@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race bench figures lint generate clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+figures:
+	$(GO) run ./cmd/xbgas-bench -all
+
+lint:
+	gofmt -l .
+	$(GO) vet ./...
+
+generate:
+	$(GO) run ./tools/gen
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,78 @@
+// Command xbgas-asm assembles RV64I + xBGAS assembly text and prints
+// the encoded program, or disassembles it back.
+//
+// Usage:
+//
+//	xbgas-asm [-base 0x1000] [-hex] file.s    # assemble, print listing
+//	xbgas-asm -d file.s                       # assemble then disassemble
+//	xbgas-asm -opcodes                        # print the encoding table
+//
+// With no file argument the source is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xbgas/internal/asm"
+	"xbgas/internal/isa"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xbgas-asm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		base    = fs.Uint64("base", asm.DefaultBase, "load address")
+		hexOut  = fs.Bool("hex", false, "print raw instruction words only")
+		disasm  = fs.Bool("d", false, "print a disassembly listing")
+		opcodes = fs.Bool("opcodes", false, "print the instruction encoding table and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *opcodes {
+		fmt.Fprint(stdout, isa.OpcodeTable())
+		return 0
+	}
+
+	var src []byte
+	var err error
+	switch fs.NArg() {
+	case 0:
+		src, err = io.ReadAll(stdin)
+	case 1:
+		src, err = os.ReadFile(fs.Arg(0))
+	default:
+		fmt.Fprintln(stderr, "xbgas-asm: at most one input file")
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "xbgas-asm: %v\n", err)
+		return 1
+	}
+
+	prog, err := asm.AssembleAt(string(src), *base)
+	if err != nil {
+		fmt.Fprintf(stderr, "xbgas-asm: %v\n", err)
+		return 1
+	}
+	switch {
+	case *hexOut:
+		for _, w := range prog.Words {
+			fmt.Fprintf(stdout, "%08x\n", w)
+		}
+	case *disasm:
+		fmt.Fprint(stdout, prog.Disasm())
+	default:
+		fmt.Fprintf(stdout, "base %#x, %d words, %d bytes\n", prog.Base, len(prog.Words), prog.Size())
+		fmt.Fprint(stdout, prog.Disasm())
+	}
+	return 0
+}

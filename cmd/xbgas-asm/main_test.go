@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAssembleFromStdin(t *testing.T) {
+	var out, errBuf strings.Builder
+	code := run(nil, strings.NewReader("add a0, a1, a2\nret"), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "add a0, a1, a2") {
+		t.Errorf("output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "2 words") {
+		t.Errorf("missing summary: %s", out.String())
+	}
+}
+
+func TestRunHexOutput(t *testing.T) {
+	var out, errBuf strings.Builder
+	code := run([]string{"-hex"}, strings.NewReader("nop"), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out.String()) != "00000013" {
+		t.Errorf("hex output: %q", out.String())
+	}
+}
+
+func TestRunOpcodes(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{"-opcodes"}, strings.NewReader(""), &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "eaddie") {
+		t.Error("opcode table missing xBGAS rows")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run(nil, strings.NewReader("bogus !!"), &out, &errBuf); code != 1 {
+		t.Errorf("bad assembly: exit %d", code)
+	}
+	if !strings.Contains(errBuf.String(), "line 1") {
+		t.Errorf("stderr: %s", errBuf.String())
+	}
+	errBuf.Reset()
+	if code := run([]string{"a.s", "b.s"}, strings.NewReader(""), &out, &errBuf); code != 2 {
+		t.Errorf("two files: exit %d", code)
+	}
+	if code := run([]string{"-nonsense"}, strings.NewReader(""), &out, &errBuf); code != 2 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+	if code := run(nil, strings.NewReader("nop"), &out, &errBuf); code != 0 {
+		t.Errorf("recovery: exit %d", code)
+	}
+	if code := run([]string{"/does/not/exist.s"}, strings.NewReader(""), &out, &errBuf); code != 1 {
+		t.Errorf("missing file: exit %d", code)
+	}
+}

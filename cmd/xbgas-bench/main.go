@@ -1,0 +1,160 @@
+// Command xbgas-bench regenerates the tables and figures of
+//
+//	Williams, Wang, Leidel, Chen. "Collective Communication for the
+//	RISC-V xBGAS ISA Extension." ICPP 2019 Workshops.
+//
+// Usage:
+//
+//	xbgas-bench -all                # everything below, in order
+//	xbgas-bench -table 1|2          # Table 1 (types), Table 2 (ranks)
+//	xbgas-bench -figure 1|2|3|4|5   # register file, memory model,
+//	                                # binomial tree, GUPS, Integer Sort
+//	xbgas-bench -compare            # xBGAS vs message-passing transport
+//	xbgas-bench -ablation NAME      # tree|size|topology|unroll|root|olb
+//
+// GUPS/IS parameters can be scaled with -gups-table, -gups-updates,
+// -is-keys, -is-maxkey, -is-iters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xbgas/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xbgas-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		all      = fs.Bool("all", false, "regenerate every table and figure")
+		table    = fs.Int("table", 0, "print a paper table (1 or 2)")
+		figure   = fs.Int("figure", 0, "regenerate a paper figure (1-5)")
+		csvOut   = fs.Bool("csv", false, "emit figure 4/5 sweeps as CSV instead of tables")
+		compare  = fs.Bool("compare", false, "xBGAS vs message-passing transport comparison")
+		micro    = fs.Bool("micro", false, "point-to-point put/get latency and bandwidth")
+		traffic  = fs.Bool("traffic", false, "per-pair communication matrix of a random put storm")
+		ablation = fs.String("ablation", "", "ablation study: tree|size|topology|unroll|root|olb|barrier|prefetch")
+
+		gupsTable   = fs.Uint64("gups-table", bench.DefaultGUPSParams().TableWords, "GUPS table size in 64-bit words (power of two)")
+		gupsUpdates = fs.Int("gups-updates", bench.DefaultGUPSParams().UpdatesPerPE, "GUPS updates per PE")
+		isKeys      = fs.Int("is-keys", bench.DefaultISParams().TotalKeys, "IS total keys")
+		isMaxKey    = fs.Int("is-maxkey", bench.DefaultISParams().MaxKey, "IS maximum key value")
+		isIters     = fs.Int("is-iters", bench.DefaultISParams().Iterations, "IS iterations")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	gups := bench.DefaultGUPSParams()
+	gups.TableWords = *gupsTable
+	gups.UpdatesPerPE = *gupsUpdates
+	is := bench.DefaultISParams()
+	is.TotalKeys = *isKeys
+	is.MaxKey = *isMaxKey
+	is.Iterations = *isIters
+
+	w := stdout
+	failed := false
+	run := func(name string, fn func(io.Writer) error) {
+		if failed {
+			return
+		}
+		if err := fn(w); err != nil {
+			fmt.Fprintf(stderr, "xbgas-bench: %s: %v\n", name, err)
+			failed = true
+			return
+		}
+		fmt.Fprintln(w)
+	}
+
+	did := false
+	if *all || *table == 1 {
+		run("table 1", bench.Table1)
+		did = true
+	}
+	if *all || *table == 2 {
+		run("table 2", bench.Table2)
+		did = true
+	}
+	if *all || *figure == 1 {
+		run("figure 1", bench.Figure1)
+		did = true
+	}
+	if *all || *figure == 2 {
+		run("figure 2", bench.Figure2)
+		did = true
+	}
+	if *all || *figure == 3 {
+		run("figure 3", bench.Figure3)
+		did = true
+	}
+	if *all || *figure == 4 {
+		if *csvOut {
+			run("figure 4", func(w io.Writer) error { return bench.FigureCSV(w, 4, gups, is) })
+		} else {
+			run("figure 4", func(w io.Writer) error { return bench.Figure4(w, gups) })
+		}
+		did = true
+	}
+	if *all || *figure == 5 {
+		if *csvOut {
+			run("figure 5", func(w io.Writer) error { return bench.FigureCSV(w, 5, gups, is) })
+		} else {
+			run("figure 5", func(w io.Writer) error { return bench.Figure5(w, is) })
+		}
+		did = true
+	}
+	if *all || *compare {
+		run("comparison", bench.Comparison)
+		did = true
+	}
+	if *micro {
+		run("micro point-to-point", bench.MicroPointToPoint)
+		did = true
+	}
+	if *traffic {
+		run("traffic matrix", bench.TrafficMatrix)
+		did = true
+	}
+	ablations := map[string]func(io.Writer) error{
+		"tree":     bench.AblationTreeVsLinear,
+		"size":     bench.AblationMessageSize,
+		"topology": bench.AblationTopology,
+		"unroll":   bench.AblationUnroll,
+		"root":     bench.AblationRoot,
+		"olb":      bench.AblationOLB,
+		"prefetch": bench.AblationPrefetch,
+		"barrier":  bench.AblationBarrier,
+	}
+	if *all {
+		run("micro point-to-point", bench.MicroPointToPoint)
+		run("traffic matrix", bench.TrafficMatrix)
+		for _, name := range []string{"tree", "size", "topology", "unroll", "root", "olb", "barrier", "prefetch"} {
+			run("ablation "+name, ablations[name])
+		}
+		did = true
+	} else if *ablation != "" {
+		fn, ok := ablations[*ablation]
+		if !ok {
+			fmt.Fprintf(stderr, "xbgas-bench: unknown ablation %q\n", *ablation)
+			return 2
+		}
+		run("ablation "+*ablation, fn)
+		did = true
+	}
+	if failed {
+		return 1
+	}
+	if !did {
+		fs.Usage()
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTables(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{"-table", "1"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "ptrdiff_t") {
+		t.Errorf("table 1 output: %s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-table", "2"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "vir_rank") {
+		t.Errorf("table 2 output: %s", out.String())
+	}
+}
+
+func TestRunFigureStatic(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{"-figure", "3"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "0->4") {
+		t.Errorf("figure 3 output: %s", out.String())
+	}
+}
+
+func TestRunCSVSweep(t *testing.T) {
+	var out, errBuf strings.Builder
+	args := []string{"-csv", "-figure", "4", "-gups-table", "16384", "-gups-updates", "128"}
+	if code := run(args, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.HasPrefix(out.String(), "figure,pes,") {
+		t.Errorf("CSV output: %s", out.String())
+	}
+}
+
+func TestRunUsageAndErrors(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run(nil, &out, &errBuf); code != 2 {
+		t.Errorf("no selection: exit %d", code)
+	}
+	if code := run([]string{"-ablation", "bogus"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown ablation: exit %d", code)
+	}
+	if code := run([]string{"-nonsense"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+	// Invalid workload parameters surface as exit 1.
+	errBuf.Reset()
+	if code := run([]string{"-figure", "4", "-gups-table", "1000"}, &out, &errBuf); code != 1 {
+		t.Errorf("bad table size: exit %d (%s)", code, errBuf.String())
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleNode(t *testing.T) {
+	var out, errBuf strings.Builder
+	src := `
+	j start
+	msg: .asciz "hi\n"
+	start:
+		la a1, msg
+		li a0, 1
+		li a2, 3
+		li a7, 64
+		ecall
+		li a0, 0
+		li a7, 93
+		ecall
+	`
+	code := run(nil, strings.NewReader(src), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	if out.String() != "hi\n" {
+		t.Errorf("stdout = %q", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "instret=") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+}
+
+func TestRunExitCodePropagates(t *testing.T) {
+	var out, errBuf strings.Builder
+	code := run(nil, strings.NewReader("li a0, 7\nli a7, 93\necall"), &out, &errBuf)
+	if code != 7 {
+		t.Errorf("exit = %d, want 7", code)
+	}
+}
+
+func TestRunSPMD(t *testing.T) {
+	var out, errBuf strings.Builder
+	src := `
+		li a7, 500
+		ecall
+		li a7, 503
+		ecall
+		li a7, 93
+		ecall
+	`
+	code := run([]string{"-spmd", "-nodes", "3"}, strings.NewReader(src), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	if strings.Count(errBuf.String(), "node ") != 3 {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	var out, errBuf strings.Builder
+	code := run([]string{"-trace"}, strings.NewReader("li a7, 93\necall"), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errBuf.String(), "ecall") {
+		t.Errorf("trace missing: %q", errBuf.String())
+	}
+}
+
+func TestRunFaultReported(t *testing.T) {
+	var out, errBuf strings.Builder
+	code := run([]string{"-max", "10"}, strings.NewReader("x: j x"), &out, &errBuf)
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "budget") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+}
+
+func TestRunBadAssembly(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run(nil, strings.NewReader("???"), &out, &errBuf); code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+}

@@ -1,0 +1,154 @@
+// Baremetal: a miniature GUPS written directly in xBGAS assembly and
+// launched SPMD on every node — the workflow of a bare-metal xBGAS
+// programmer, with no runtime library at all.
+//
+// Each core owns a slice of a distributed table, generates a
+// pseudo-random update stream, and applies read-xor-write updates with
+// raw-class remote loads and stores (erld/ersd). Barrier environment
+// calls separate the phases; a second pass re-applies the stream so
+// the xor-involution restores the table, which each core then verifies
+// locally — the same structure as the runtime-level GUPS of Figure 4.
+//
+// Run with:
+//
+//	go run ./examples/baremetal [-nodes 4] [-updates 512]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"xbgas/internal/asm"
+	"xbgas/internal/sim"
+)
+
+const perNodeWords = 1 << 10 // 8 KiB table slice per node
+
+func program(nodes, updates int) string {
+	return fmt.Sprintf(`
+	# registers: s0 rank, s1 nodes, s2 LCG state, s3 loop counter
+	li   a7, 500
+	ecall
+	mv   s0, a0
+	li   a7, 501
+	ecall
+	mv   s1, a0
+
+	# initialise my table slice: table[i] = rank<<32 | i
+	li   t0, 0x100000
+	li   t1, %[1]d
+	slli t2, s0, 32
+init:
+	addi t1, t1, -1
+	or   t3, t2, t1
+	slli t4, t1, 3
+	add  t4, t4, t0
+	sd   t3, 0(t4)
+	bnez t1, init
+
+	li   a7, 503
+	ecall                 # barrier: all slices initialised
+
+	jal  run_stream       # first pass scrambles
+	li   a7, 503
+	ecall
+	jal  run_stream       # second pass restores (xor involution)
+	li   a7, 503
+	ecall
+
+	# verify my slice
+	li   t0, 0x100000
+	li   t1, %[1]d
+	slli t2, s0, 32
+	li   a0, 0            # error count
+verify:
+	addi t1, t1, -1
+	slli t4, t1, 3
+	add  t4, t4, t0
+	ld   t3, 0(t4)
+	or   t5, t2, t1
+	beq  t3, t5, vok
+	addi a0, a0, 1
+vok:
+	bnez t1, verify
+	li   a7, 93
+	ecall                 # exit(errors)
+
+run_stream:
+	# LCG seeded by rank; %[2]d updates of read-xor-write
+	li   s2, 0x9E3779B9
+	add  s2, s2, s0
+	li   s3, %[2]d
+loop:
+	# advance LCG
+	li   t0, 6364136223846793005
+	mul  s2, s2, t0
+	li   t0, 1442695040888963407
+	add  s2, s2, t0
+
+	# global index = s2 mod (nodes * perNode); owner = idx / perNode
+	li   t1, %[3]d        # total words (power of two)
+	addi t2, t1, -1
+	and  t1, s2, t2       # global index
+	li   t2, %[1]d
+	divu t3, t1, t2       # owner node
+	remu t4, t1, t2       # offset within owner
+	slli t4, t4, 3
+	li   t5, 0x100000
+	add  t5, t5, t4       # remote address
+
+	# object ID = owner + 1 (raw class: e7 carries the ID)
+	addi t6, t3, 1
+	eaddie e7, t6, 0
+	erld t0, t5, e7       # remote load
+	xor  t0, t0, s2       # update
+	ersd t0, t5, e7       # remote store
+
+	addi s3, s3, -1
+	bnez s3, loop
+	ret
+`, perNodeWords, updates, perNodeWords*nodes)
+}
+
+func main() {
+	nodes := flag.Int("nodes", 4, "number of simulated nodes")
+	updates := flag.Int("updates", 512, "updates per node per pass")
+	flag.Parse()
+	if *nodes&(*nodes-1) != 0 {
+		log.Fatal("nodes must be a power of two (index masking)")
+	}
+
+	m, err := sim.NewMachine(sim.DefaultConfig(*nodes))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := asm.Assemble(program(*nodes, *updates))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled %d instructions; running SPMD on %d nodes\n",
+		len(prog.Words), *nodes)
+
+	results, err := m.RunSPMD(prog, 100_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	totalErrors := uint64(0)
+	var maxCycles uint64
+	var remote uint64
+	for rank, r := range results {
+		totalErrors += r.Core.ExitCode
+		if r.Core.Cycles > maxCycles {
+			maxCycles = r.Core.Cycles
+		}
+		remote += r.Core.RemoteLoads + r.Core.RemoteStores
+		fmt.Printf("node %d: %d instructions, %d cycles, %d remote ops, %d errors\n",
+			rank, r.Core.Instret, r.Core.Cycles,
+			r.Core.RemoteLoads+r.Core.RemoteStores, r.Core.ExitCode)
+	}
+	updatesTotal := 2 * *updates * *nodes
+	mops := float64(updatesTotal) / (float64(maxCycles) / 1e9) / 1e6
+	fmt.Printf("verification: %d errors across %d updates\n", totalErrors, updatesTotal)
+	fmt.Printf("throughput: %.3f MOPS (simulated)\n", mops)
+}

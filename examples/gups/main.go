@@ -1,0 +1,38 @@
+// GUPS: the random-access benchmark of paper Figure 4 as a runnable
+// example. It sweeps 1, 2, 4, and 8 PEs and prints total and per-PE
+// MOPS, reproducing the figure's two series.
+//
+// Run with:
+//
+//	go run ./examples/gups [-table 2097152] [-updates 2048]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"xbgas/internal/bench"
+)
+
+func main() {
+	table := flag.Uint64("table", bench.DefaultGUPSParams().TableWords,
+		"total table size in 64-bit words (power of two)")
+	updates := flag.Int("updates", bench.DefaultGUPSParams().UpdatesPerPE,
+		"updates per PE")
+	flag.Parse()
+
+	p := bench.DefaultGUPSParams()
+	p.TableWords = *table
+	p.UpdatesPerPE = *updates
+
+	fmt.Printf("GUPS: table %d words (%d MiB), %d updates/PE, verification on\n",
+		p.TableWords, p.TableWords*8>>20, p.UpdatesPerPE)
+	for _, n := range bench.PESweep {
+		r, err := bench.RunGUPS(p, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(" ", r)
+	}
+}

@@ -1,0 +1,110 @@
+// Monte Carlo: estimate π across PEs with the reduction-to-all
+// extension.
+//
+// Each PE throws darts at the unit square and counts hits inside the
+// quarter circle; an AllReduce (the explicit reduction-to-all call of
+// the paper's §7 future work) combines the counts so that every PE —
+// not just a root — can compute the estimate, and a final reduction
+// cross-checks that all PEs agree.
+//
+// Run with:
+//
+//	go run ./examples/montecarlo [-darts 20000] [-pes 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sync"
+
+	"xbgas/internal/core"
+	"xbgas/internal/xbrtime"
+)
+
+func main() {
+	darts := flag.Int("darts", 20000, "darts per PE")
+	pes := flag.Int("pes", 8, "number of PEs")
+	flag.Parse()
+
+	rt, err := xbrtime.New(xbrtime.Config{NumPEs: *pes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	var mu sync.Mutex
+	var estimate float64
+	var agreeing int
+
+	err = rt.Run(func(pe *xbrtime.PE) error {
+		dt := xbrtime.TypeInt64
+		hitsBuf, err := pe.Malloc(8)
+		if err != nil {
+			return err
+		}
+		total, err := pe.Malloc(8)
+		if err != nil {
+			return err
+		}
+
+		// Dart throwing: a per-PE LCG stream; the work is charged to
+		// the virtual clock so the timing model sees the compute phase.
+		x := uint64(pe.MyPE())*0x9E3779B97F4A7C15 + 0xDEADBEEF
+		hits := 0
+		for i := 0; i < *darts; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			px := float64(x>>40) / float64(1<<24)
+			x = x*6364136223846793005 + 1442695040888963407
+			py := float64(x>>40) / float64(1<<24)
+			if px*px+py*py <= 1 {
+				hits++
+			}
+			pe.Advance(12) // two LCG steps + FP multiply-adds + compare
+		}
+		pe.Poke(dt, hitsBuf, uint64(int64(hits)))
+
+		// Reduction-to-all: every PE ends up with the global hit count.
+		if err := core.AllReduce(pe, dt, core.OpSum, total, hitsBuf, 1, 1); err != nil {
+			return err
+		}
+		globalHits := int64(pe.Peek(dt, total))
+		pi := 4 * float64(globalHits) / float64(*darts**pes)
+
+		// Cross-check agreement: min and max of the per-PE estimates
+		// must coincide.
+		est, err := pe.Malloc(8)
+		if err != nil {
+			return err
+		}
+		lo, err := pe.PrivateAlloc(16)
+		if err != nil {
+			return err
+		}
+		dtf := xbrtime.TypeDouble
+		pe.Poke(dtf, est, dtf.FromFloat(pi))
+		if err := core.Reduce(pe, dtf, core.OpMin, lo, est, 1, 1, 0); err != nil {
+			return err
+		}
+		if err := core.Reduce(pe, dtf, core.OpMax, lo+8, est, 1, 1, 0); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			mu.Lock()
+			estimate = pi
+			if dtf.Float(pe.Peek(dtf, lo)) == dtf.Float(pe.Peek(dtf, lo+8)) {
+				agreeing = pe.NumPEs()
+			}
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pi ≈ %.5f (error %.5f) from %d darts across %d PEs\n",
+		estimate, math.Abs(estimate-math.Pi), *darts**pes, *pes)
+	fmt.Printf("all %d PEs hold the identical estimate (reduction-to-all)\n", agreeing)
+	fmt.Printf("simulated time: %.3f ms\n", float64(rt.MaxClock())/1e6)
+}

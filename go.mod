@@ -1,0 +1,3 @@
+module xbgas
+
+go 1.22

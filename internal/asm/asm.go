@@ -1,0 +1,642 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xbgas/internal/isa"
+)
+
+// DefaultBase is the load address used when AssembleAt is not called
+// explicitly. It leaves the zero page unmapped so that nil-pointer style
+// bugs in assembled kernels fault instead of silently reading data.
+const DefaultBase uint64 = 0x1000
+
+// Program is the result of assembling one translation unit.
+type Program struct {
+	Base    uint64            // load address of Words[0]
+	Words   []uint32          // encoded instructions and data words
+	Symbols map[string]uint64 // label -> absolute address
+}
+
+// Size returns the program footprint in bytes.
+func (p *Program) Size() int { return len(p.Words) * isa.InstBytes }
+
+// Bytes serialises the program little-endian, ready to be copied into
+// simulator memory at p.Base.
+func (p *Program) Bytes() []byte {
+	out := make([]byte, 0, p.Size())
+	for _, w := range p.Words {
+		out = append(out, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return out
+}
+
+// Disasm renders the program as address-annotated assembly, one line per
+// word, for debugging and the xbgas-asm tool.
+func (p *Program) Disasm() string {
+	var b strings.Builder
+	names := make(map[uint64]string)
+	for n, a := range p.Symbols {
+		names[a] = n
+	}
+	for i, w := range p.Words {
+		addr := p.Base + uint64(i*isa.InstBytes)
+		if n, ok := names[addr]; ok {
+			fmt.Fprintf(&b, "%s:\n", n)
+		}
+		inst, err := isa.Decode(w)
+		if err != nil {
+			fmt.Fprintf(&b, "  %#08x: .word %#08x\n", addr, w)
+			continue
+		}
+		fmt.Fprintf(&b, "  %#08x: %s\n", addr, inst.Disasm())
+	}
+	return b.String()
+}
+
+// Error is an assembly error annotated with its source line.
+type Error struct {
+	Line int
+	Text string
+	Err  error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("asm: line %d (%q): %v", e.Line, e.Text, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// item is one statement after parsing: either a concrete instruction
+// template (possibly label-relative) or a data word.
+type item struct {
+	line    int
+	text    string
+	data    bool
+	dataVal uint64
+	inst    isa.Inst
+	// symbol, if non-empty, names a label whose address (for la/absolute
+	// use) or pc-relative displacement (branches, jumps) patches Imm in
+	// pass two.
+	symbol string
+	mode   patchMode
+	// hiPart marks the LUI half of a la/li expansion pair.
+	hiPart bool
+}
+
+type patchMode uint8
+
+const (
+	patchNone patchMode = iota
+	patchRelative
+	patchAbsolute
+)
+
+// Assemble assembles src at DefaultBase.
+func Assemble(src string) (*Program, error) { return AssembleAt(src, DefaultBase) }
+
+// AssembleAt assembles src with the first word placed at base.
+func AssembleAt(src string, base uint64) (*Program, error) {
+	if base%isa.InstBytes != 0 {
+		return nil, fmt.Errorf("asm: base address %#x not word aligned", base)
+	}
+	a := &assembler{base: base, symbols: make(map[string]uint64)}
+	if err := a.passOne(src); err != nil {
+		return nil, err
+	}
+	return a.passTwo()
+}
+
+type assembler struct {
+	base    uint64
+	items   []item
+	symbols map[string]uint64
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+func (a *assembler) passOne(src string) error {
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		// Leading labels, possibly several on one line.
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				break
+			}
+			if _, dup := a.symbols[label]; dup {
+				return &Error{lineNo, raw, fmt.Errorf("duplicate label %q", label)}
+			}
+			a.symbols[label] = a.base + uint64(len(a.items)*isa.InstBytes)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := a.statement(lineNo, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// statement parses one directive, native instruction, or pseudo-op and
+// appends the resulting items.
+func (a *assembler) statement(lineNo int, line string) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+	rest = strings.TrimSpace(rest)
+
+	fail := func(err error) error { return &Error{lineNo, line, err} }
+	emit := func(insts ...item) {
+		for i := range insts {
+			insts[i].line = lineNo
+			insts[i].text = line
+		}
+		a.items = append(a.items, insts...)
+	}
+
+	if strings.HasPrefix(mnemonic, ".") {
+		return a.directive(lineNo, line, mnemonic, rest)
+	}
+
+	args := splitArgs(rest)
+
+	if op, ok := isa.OpByName(mnemonic); ok {
+		it, nativeErr := a.native(op, args)
+		if nativeErr == nil {
+			emit(it)
+			return nil
+		}
+		// Some native mnemonics also have pseudo forms ("jal label");
+		// fall through to the pseudo expander before reporting.
+		if items, err := a.pseudo(mnemonic, args); err == nil {
+			emit(items...)
+			return nil
+		}
+		return fail(nativeErr)
+	}
+
+	items, err := a.pseudo(mnemonic, args)
+	if err != nil {
+		return fail(err)
+	}
+	emit(items...)
+	return nil
+}
+
+func (a *assembler) directive(lineNo int, line, mnemonic, rest string) error {
+	fail := func(err error) error { return &Error{lineNo, line, err} }
+	switch mnemonic {
+	case ".text", ".data", ".globl", ".global", ".align":
+		return nil // accepted and ignored: single flat section
+	case ".word":
+		for _, f := range splitArgs(rest) {
+			v, err := parseImm(f)
+			if err != nil {
+				return fail(err)
+			}
+			a.items = append(a.items, item{line: lineNo, text: line, data: true, dataVal: uint64(uint32(v))})
+		}
+		return nil
+	case ".dword":
+		for _, f := range splitArgs(rest) {
+			v, err := parseImm(f)
+			if err != nil {
+				return fail(err)
+			}
+			a.items = append(a.items,
+				item{line: lineNo, text: line, data: true, dataVal: uint64(v) & 0xFFFFFFFF},
+				item{line: lineNo, text: line, data: true, dataVal: uint64(v) >> 32})
+		}
+		return nil
+	case ".ascii", ".asciz":
+		str, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return fail(fmt.Errorf("%s needs a quoted Go string: %v", mnemonic, err))
+		}
+		data := []byte(str)
+		if mnemonic == ".asciz" {
+			data = append(data, 0)
+		}
+		// Pad to word granularity (the flat image is word-addressed).
+		for len(data)%isa.InstBytes != 0 {
+			data = append(data, 0)
+		}
+		for i := 0; i < len(data); i += isa.InstBytes {
+			word := uint64(data[i]) | uint64(data[i+1])<<8 |
+				uint64(data[i+2])<<16 | uint64(data[i+3])<<24
+			a.items = append(a.items, item{line: lineNo, text: line, data: true, dataVal: word})
+		}
+		return nil
+	case ".zero":
+		n, err := parseImm(rest)
+		if err != nil {
+			return fail(err)
+		}
+		if n < 0 || n%isa.InstBytes != 0 {
+			return fail(fmt.Errorf(".zero size %d must be a non-negative multiple of %d", n, isa.InstBytes))
+		}
+		for i := int64(0); i < n/isa.InstBytes; i++ {
+			a.items = append(a.items, item{line: lineNo, text: line, data: true})
+		}
+		return nil
+	}
+	return fail(fmt.Errorf("unknown directive %q", mnemonic))
+}
+
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow large unsigned constants (e.g. 0xFFFFFFFFFFFFFFFF).
+		if u, uerr := strconv.ParseUint(s, 0, 64); uerr == nil {
+			return int64(u), nil
+		}
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMemOperand parses "imm(reg)" or "(reg)".
+func parseMemOperand(s string) (imm int64, base isa.Reg, err error) {
+	open := strings.IndexByte(s, '(')
+	close := strings.LastIndexByte(s, ')')
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	immStr := strings.TrimSpace(s[:open])
+	if immStr != "" {
+		imm, err = parseImm(immStr)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	base, err = isa.ParseReg(s[open+1 : close])
+	return imm, base, err
+}
+
+// immOrSymbol parses an argument that may be a literal immediate or a
+// label reference.
+func immOrSymbol(s string) (imm int64, symbol string, err error) {
+	if v, e := parseImm(s); e == nil {
+		return v, "", nil
+	}
+	if isIdent(s) {
+		return 0, s, nil
+	}
+	return 0, "", fmt.Errorf("bad immediate or label %q", s)
+}
+
+// native parses operands for a concrete ISA operation.
+func (a *assembler) native(op isa.Op, args []string) (item, error) {
+	it := item{inst: isa.Inst{Op: op}}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: want %d operands, have %d", op, n, len(args))
+		}
+		return nil
+	}
+
+	switch op {
+	case isa.FENCE, isa.ECALL, isa.EBREAK:
+		if len(args) != 0 {
+			return it, fmt.Errorf("%s takes no operands", op)
+		}
+		if op == isa.EBREAK {
+			it.inst.Imm = 1
+		}
+		return it, nil
+
+	case isa.EADDI: // eaddi rd, ext1, imm
+		if err := need(3); err != nil {
+			return it, err
+		}
+		rd, err := isa.ParseReg(args[0])
+		if err != nil {
+			return it, err
+		}
+		e, err := isa.ParseEReg(args[1])
+		if err != nil {
+			return it, err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return it, err
+		}
+		it.inst.Rd, it.inst.Rs1, it.inst.Imm = rd, isa.Reg(e), imm
+		return it, nil
+
+	case isa.EADDIE: // eaddie ext1, rs1, imm
+		if err := need(3); err != nil {
+			return it, err
+		}
+		e, err := isa.ParseEReg(args[0])
+		if err != nil {
+			return it, err
+		}
+		rs1, err := isa.ParseReg(args[1])
+		if err != nil {
+			return it, err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return it, err
+		}
+		it.inst.Rd, it.inst.Rs1, it.inst.Imm = isa.Reg(e), rs1, imm
+		return it, nil
+
+	case isa.EADDIX: // eaddix ext1, ext2, imm
+		if err := need(3); err != nil {
+			return it, err
+		}
+		e1, err := isa.ParseEReg(args[0])
+		if err != nil {
+			return it, err
+		}
+		e2, err := isa.ParseEReg(args[1])
+		if err != nil {
+			return it, err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return it, err
+		}
+		it.inst.Rd, it.inst.Rs1, it.inst.Imm = isa.Reg(e1), isa.Reg(e2), imm
+		return it, nil
+	}
+
+	// Extended-register spill/fill take an e register plus a memory
+	// operand: ele e1, 8(a0) / ese e1, 8(a0).
+	if op == isa.ELE || op == isa.ESE {
+		if err := need(2); err != nil {
+			return it, err
+		}
+		e, err := isa.ParseEReg(args[0])
+		if err != nil {
+			return it, err
+		}
+		imm, base, err := parseMemOperand(args[1])
+		if err != nil {
+			return it, err
+		}
+		if op == isa.ELE {
+			it.inst.Rd = isa.Reg(e)
+		} else {
+			it.inst.Rs2 = isa.Reg(e)
+		}
+		it.inst.Rs1, it.inst.Imm = base, imm
+		return it, nil
+	}
+
+	format := op.Format()
+
+	// Raw-class xBGAS operations are R-format with an extended register
+	// operand in assembly syntax.
+	if op.IsRemoteLoad() && format == isa.FormatR { // erld rd, rs1, ext2
+		if err := need(3); err != nil {
+			return it, err
+		}
+		rd, err := isa.ParseReg(args[0])
+		if err != nil {
+			return it, err
+		}
+		rs1, err := isa.ParseReg(args[1])
+		if err != nil {
+			return it, err
+		}
+		e, err := isa.ParseEReg(args[2])
+		if err != nil {
+			return it, err
+		}
+		it.inst.Rd, it.inst.Rs1, it.inst.Rs2 = rd, rs1, isa.Reg(e)
+		return it, nil
+	}
+	if op.IsRemoteStore() && format == isa.FormatR { // ersd rs1, rs2, ext3
+		if err := need(3); err != nil {
+			return it, err
+		}
+		rs1, err := isa.ParseReg(args[0])
+		if err != nil {
+			return it, err
+		}
+		rs2, err := isa.ParseReg(args[1])
+		if err != nil {
+			return it, err
+		}
+		e, err := isa.ParseEReg(args[2])
+		if err != nil {
+			return it, err
+		}
+		it.inst.Rd, it.inst.Rs1, it.inst.Rs2 = isa.Reg(e), rs1, rs2
+		return it, nil
+	}
+
+	switch format {
+	case isa.FormatR:
+		if err := need(3); err != nil {
+			return it, err
+		}
+		rd, err := isa.ParseReg(args[0])
+		if err != nil {
+			return it, err
+		}
+		rs1, err := isa.ParseReg(args[1])
+		if err != nil {
+			return it, err
+		}
+		rs2, err := isa.ParseReg(args[2])
+		if err != nil {
+			return it, err
+		}
+		it.inst.Rd, it.inst.Rs1, it.inst.Rs2 = rd, rs1, rs2
+		return it, nil
+
+	case isa.FormatI:
+		if err := need(2 + 0); err == nil && (op == isa.JALR || op.MemWidth() > 0) {
+			// "ld rd, imm(rs1)" / "jalr rd, imm(rs1)"
+			rd, err := isa.ParseReg(args[0])
+			if err != nil {
+				return it, err
+			}
+			imm, base, err := parseMemOperand(args[1])
+			if err != nil {
+				return it, err
+			}
+			it.inst.Rd, it.inst.Rs1, it.inst.Imm = rd, base, imm
+			return it, nil
+		}
+		if err := need(3); err != nil {
+			return it, err
+		}
+		rd, err := isa.ParseReg(args[0])
+		if err != nil {
+			return it, err
+		}
+		rs1, err := isa.ParseReg(args[1])
+		if err != nil {
+			return it, err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return it, err
+		}
+		it.inst.Rd, it.inst.Rs1, it.inst.Imm = rd, rs1, imm
+		return it, nil
+
+	case isa.FormatS:
+		if err := need(2); err != nil {
+			return it, err
+		}
+		rs2, err := isa.ParseReg(args[0])
+		if err != nil {
+			return it, err
+		}
+		imm, base, err := parseMemOperand(args[1])
+		if err != nil {
+			return it, err
+		}
+		it.inst.Rs1, it.inst.Rs2, it.inst.Imm = base, rs2, imm
+		return it, nil
+
+	case isa.FormatB:
+		if err := need(3); err != nil {
+			return it, err
+		}
+		rs1, err := isa.ParseReg(args[0])
+		if err != nil {
+			return it, err
+		}
+		rs2, err := isa.ParseReg(args[1])
+		if err != nil {
+			return it, err
+		}
+		imm, sym, err := immOrSymbol(args[2])
+		if err != nil {
+			return it, err
+		}
+		it.inst.Rs1, it.inst.Rs2, it.inst.Imm = rs1, rs2, imm
+		if sym != "" {
+			it.symbol, it.mode = sym, patchRelative
+		}
+		return it, nil
+
+	case isa.FormatU:
+		if err := need(2); err != nil {
+			return it, err
+		}
+		rd, err := isa.ParseReg(args[0])
+		if err != nil {
+			return it, err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return it, err
+		}
+		it.inst.Rd, it.inst.Imm = rd, imm
+		return it, nil
+
+	case isa.FormatJ:
+		if err := need(2); err != nil {
+			return it, err
+		}
+		rd, err := isa.ParseReg(args[0])
+		if err != nil {
+			return it, err
+		}
+		imm, sym, err := immOrSymbol(args[1])
+		if err != nil {
+			return it, err
+		}
+		it.inst.Rd, it.inst.Imm = rd, imm
+		if sym != "" {
+			it.symbol, it.mode = sym, patchRelative
+		}
+		return it, nil
+	}
+	return it, fmt.Errorf("unsupported format for %s", op)
+}
+
+func (a *assembler) passTwo() (*Program, error) {
+	p := &Program{Base: a.base, Symbols: a.symbols, Words: make([]uint32, 0, len(a.items))}
+	for idx, it := range a.items {
+		if it.data {
+			p.Words = append(p.Words, uint32(it.dataVal))
+			continue
+		}
+		inst := it.inst
+		if it.symbol != "" {
+			target, ok := a.symbols[it.symbol]
+			if !ok {
+				return nil, &Error{it.line, it.text, fmt.Errorf("undefined label %q", it.symbol)}
+			}
+			pc := a.base + uint64(idx*isa.InstBytes)
+			switch it.mode {
+			case patchRelative:
+				inst.Imm = int64(target) - int64(pc)
+			case patchAbsolute:
+				if it.hiPart {
+					// Round-to-nearest upper 20 bits so the low addi
+					// (sign-extended) lands exactly on target.
+					inst.Imm = int64((uint32(target) + 0x800) >> 12)
+				} else {
+					inst.Imm = int64(int32(uint32(target)<<20) >> 20)
+				}
+			}
+		}
+		w, err := inst.Encode()
+		if err != nil {
+			return nil, &Error{it.line, it.text, err}
+		}
+		p.Words = append(p.Words, w)
+	}
+	return p, nil
+}

@@ -1,0 +1,422 @@
+package asm
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xbgas/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func decodeAll(t *testing.T, p *Program) []isa.Inst {
+	t.Helper()
+	out := make([]isa.Inst, len(p.Words))
+	for i, w := range p.Words {
+		inst, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("word %d (%#08x): %v", i, w, err)
+		}
+		out[i] = inst
+	}
+	return out
+}
+
+func TestAssembleBasicInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+		add  a0, a1, a2
+		addi t0, t1, -42
+		ld   a0, 16(sp)
+		sd   ra, -8(sp)
+		lui  a0, 0x12345
+		xor  s1, s2, s3
+	`)
+	insts := decodeAll(t, p)
+	want := []isa.Inst{
+		{Op: isa.ADD, Rd: isa.A0, Rs1: isa.A1, Rs2: isa.A2},
+		{Op: isa.ADDI, Rd: isa.T0, Rs1: isa.T1, Imm: -42},
+		{Op: isa.LD, Rd: isa.A0, Rs1: isa.SP, Imm: 16},
+		{Op: isa.SD, Rs1: isa.SP, Rs2: isa.RA, Imm: -8},
+		{Op: isa.LUI, Rd: isa.A0, Imm: 0x12345},
+		{Op: isa.XOR, Rd: isa.S1, Rs1: isa.S2, Rs2: isa.S3},
+	}
+	if len(insts) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(insts), len(want))
+	}
+	for i := range want {
+		if insts[i] != want[i] {
+			t.Errorf("inst %d: got %+v, want %+v", i, insts[i], want[i])
+		}
+	}
+}
+
+func TestAssembleXBGASInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+		eld    a0, 8(a1)
+		esd    a0, 0(a2)
+		elw    t0, -4(t1)
+		erld   a0, a1, e2
+		ersd   a0, a1, e3
+		eaddi  a0, e5, 4
+		eaddie e7, a2, 0
+		eaddix e1, e2, 12
+	`)
+	insts := decodeAll(t, p)
+	want := []isa.Inst{
+		{Op: isa.ELD, Rd: isa.A0, Rs1: isa.A1, Imm: 8},
+		{Op: isa.ESD, Rs1: isa.A2, Rs2: isa.A0},
+		{Op: isa.ELW, Rd: isa.T0, Rs1: isa.T1, Imm: -4},
+		{Op: isa.ERLD, Rd: isa.A0, Rs1: isa.A1, Rs2: 2},
+		{Op: isa.ERSD, Rd: 3, Rs1: isa.A0, Rs2: isa.A1},
+		{Op: isa.EADDI, Rd: isa.A0, Rs1: 5, Imm: 4},
+		{Op: isa.EADDIE, Rd: 7, Rs1: isa.A2},
+		{Op: isa.EADDIX, Rd: 1, Rs1: 2, Imm: 12},
+	}
+	for i := range want {
+		if insts[i] != want[i] {
+			t.Errorf("inst %d: got %+v, want %+v", i, insts[i], want[i])
+		}
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+	start:
+		addi a0, zero, 10
+	loop:
+		addi a0, a0, -1
+		bnez a0, loop
+		beq  a0, zero, done
+		j    loop
+	done:
+		ret
+	`)
+	insts := decodeAll(t, p)
+	// bnez at word 2 targets loop at word 1 -> offset -4.
+	if insts[2].Op != isa.BNE || insts[2].Imm != -4 {
+		t.Errorf("bnez: got %+v", insts[2])
+	}
+	// beq at word 3 targets done at word 5 -> offset +8.
+	if insts[3].Op != isa.BEQ || insts[3].Imm != 8 {
+		t.Errorf("beq: got %+v", insts[3])
+	}
+	// j at word 4 targets loop at word 1 -> offset -12.
+	if insts[4].Op != isa.JAL || insts[4].Rd != isa.Zero || insts[4].Imm != -12 {
+		t.Errorf("j: got %+v", insts[4])
+	}
+	if got := p.Symbols["start"]; got != DefaultBase {
+		t.Errorf("start = %#x, want %#x", got, DefaultBase)
+	}
+	if got := p.Symbols["done"]; got != DefaultBase+5*4 {
+		t.Errorf("done = %#x, want %#x", got, DefaultBase+5*4)
+	}
+}
+
+func TestJalPseudoForm(t *testing.T) {
+	p := mustAssemble(t, `
+		jal fn
+		ret
+	fn:
+		ret
+	`)
+	insts := decodeAll(t, p)
+	if insts[0].Op != isa.JAL || insts[0].Rd != isa.RA || insts[0].Imm != 8 {
+		t.Errorf("jal fn: got %+v", insts[0])
+	}
+	// Two-operand native form still works.
+	p2 := mustAssemble(t, "jal ra, 16")
+	insts2 := decodeAll(t, p2)
+	if insts2[0].Op != isa.JAL || insts2[0].Rd != isa.RA || insts2[0].Imm != 16 {
+		t.Errorf("jal ra, 16: got %+v", insts2[0])
+	}
+}
+
+// simulate executes only ALU/shift instructions for li-expansion testing.
+func evalALU(t *testing.T, insts []isa.Inst) map[isa.Reg]int64 {
+	t.Helper()
+	regs := map[isa.Reg]int64{}
+	get := func(r isa.Reg) int64 {
+		if r == isa.Zero {
+			return 0
+		}
+		return regs[r]
+	}
+	for _, in := range insts {
+		var v int64
+		switch in.Op {
+		case isa.ADDI:
+			v = get(in.Rs1) + in.Imm
+		case isa.ADDIW:
+			v = int64(int32(get(in.Rs1) + in.Imm))
+		case isa.LUI:
+			v = int64(int32(uint32(in.Imm) << 12))
+		case isa.SLLI:
+			v = get(in.Rs1) << uint(in.Imm)
+		default:
+			t.Fatalf("unexpected op in li expansion: %s", in.Op)
+		}
+		if in.Rd != isa.Zero {
+			regs[in.Rd] = v
+		}
+	}
+	return regs
+}
+
+func TestLiMaterializesExactValues(t *testing.T) {
+	values := []int64{
+		0, 1, -1, 2047, -2048, 2048, -2049, 4096, 123456, -123456,
+		1 << 20, (1 << 31) - 1, -(1 << 31), 1 << 31, 1 << 40,
+		-(1 << 40), 0x123456789ABCDEF0, -0x123456789ABCDEF0,
+		(1 << 63) - 1, -(1 << 63), 0x7FFFF800, 0x7FFFFFFF,
+	}
+	for _, v := range values {
+		insts := materialize(isa.A0, v)
+		got := evalALU(t, insts)[isa.A0]
+		if got != v {
+			t.Errorf("li a0, %d: materialized %d (insts: %v)", v, got, insts)
+		}
+	}
+}
+
+func TestLiQuick(t *testing.T) {
+	f := func(v int64) bool {
+		insts := materialize(isa.T3, v)
+		regs := map[isa.Reg]int64{}
+		for _, in := range insts {
+			var x int64
+			r1 := regs[in.Rs1]
+			if in.Rs1 == isa.Zero {
+				r1 = 0
+			}
+			switch in.Op {
+			case isa.ADDI:
+				x = r1 + in.Imm
+			case isa.ADDIW:
+				x = int64(int32(r1 + in.Imm))
+			case isa.LUI:
+				x = int64(int32(uint32(in.Imm) << 12))
+			case isa.SLLI:
+				x = r1 << uint(in.Imm)
+			default:
+				return false
+			}
+			regs[in.Rd] = x
+		}
+		return regs[isa.T3] == v
+	}
+	cfg := &quick.Config{MaxCount: 3000, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+		nop
+		mv   a0, a1
+		not  a2, a3
+		neg  a4, a5
+		seqz a0, a1
+		snez a0, a1
+		jr   a0
+		ret
+		beqz a0, 8
+		bgt  a0, a1, 8
+	`)
+	insts := decodeAll(t, p)
+	want := []isa.Inst{
+		{Op: isa.ADDI},
+		{Op: isa.ADDI, Rd: isa.A0, Rs1: isa.A1},
+		{Op: isa.XORI, Rd: isa.A2, Rs1: isa.A3, Imm: -1},
+		{Op: isa.SUB, Rd: isa.A4, Rs2: isa.A5},
+		{Op: isa.SLTIU, Rd: isa.A0, Rs1: isa.A1, Imm: 1},
+		{Op: isa.SLTU, Rd: isa.A0, Rs2: isa.A1},
+		{Op: isa.JALR, Rd: isa.Zero, Rs1: isa.A0},
+		{Op: isa.JALR, Rd: isa.Zero, Rs1: isa.RA},
+		{Op: isa.BEQ, Rs1: isa.A0, Imm: 8},
+		{Op: isa.BLT, Rs1: isa.A1, Rs2: isa.A0, Imm: 8},
+	}
+	for i := range want {
+		if insts[i] != want[i] {
+			t.Errorf("inst %d: got %+v, want %+v", i, insts[i], want[i])
+		}
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+		j over
+	table:
+		.word 1, 2, 3
+		.dword 0x1122334455667788
+		.zero 8
+	over:
+		nop
+	`)
+	if p.Words[1] != 1 || p.Words[2] != 2 || p.Words[3] != 3 {
+		t.Errorf(".word: got %v", p.Words[1:4])
+	}
+	if p.Words[4] != 0x55667788 || p.Words[5] != 0x11223344 {
+		t.Errorf(".dword: got %#x %#x", p.Words[4], p.Words[5])
+	}
+	if p.Words[6] != 0 || p.Words[7] != 0 {
+		t.Errorf(".zero: got %v", p.Words[6:8])
+	}
+	if got := p.Symbols["table"]; got != DefaultBase+4 {
+		t.Errorf("table = %#x", got)
+	}
+	// j over must skip the 7 data words.
+	inst, _ := isa.Decode(p.Words[0])
+	if inst.Imm != 8*4 {
+		t.Errorf("j over: imm %d, want 32", inst.Imm)
+	}
+}
+
+func TestLaAbsoluteAddressing(t *testing.T) {
+	p, err := AssembleAt(`
+		la a0, buf
+		ret
+	buf:
+		.dword 0
+	`, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lui, err := isa.Decode(p.Words[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	addi, err := isa.Decode(p.Words[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lui.Op != isa.LUI || addi.Op != isa.ADDI {
+		t.Fatalf("la expansion: %v %v", lui.Op, addi.Op)
+	}
+	got := int64(int32(uint32(lui.Imm)<<12)) + addi.Imm
+	want := int64(p.Symbols["buf"])
+	if got != want {
+		t.Errorf("la: address %#x, want %#x", got, want)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus a0, a1",        // unknown mnemonic
+		"add a0, a1",          // missing operand
+		"addi a0, a1, 99999",  // immediate out of range
+		"ld a0, 8(q9)",        // bad register
+		"beq a0, a1, nowhere", // undefined label
+		"erld a0, a1, a2",     // raw class needs an e register
+		"eaddix e1, a2, 0",    // second operand must be an e register
+		"x: nop\nx: nop",      // duplicate label
+		".bogus 4",            // unknown directive
+		".zero 3",             // misaligned zero fill
+		"la a0, 42",           // la needs a label
+		"esd a0, a1, a2",      // base-class store takes mem operand
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q): expected error", src)
+		} else if _, ok := err.(*Error); !ok {
+			t.Errorf("Assemble(%q): error %v is not *asm.Error", src, err)
+		}
+	}
+}
+
+func TestProgramBytesLittleEndian(t *testing.T) {
+	p := mustAssemble(t, ".word 0x11223344")
+	b := p.Bytes()
+	want := []byte{0x44, 0x33, 0x22, 0x11}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("Bytes() = % x, want % x", b, want)
+		}
+	}
+	if p.Size() != 4 {
+		t.Errorf("Size() = %d", p.Size())
+	}
+}
+
+func TestDisasmListing(t *testing.T) {
+	p := mustAssemble(t, `
+	main:
+		addi a0, zero, 5
+		eld  a1, 0(a0)
+		ret
+	`)
+	listing := p.Disasm()
+	for _, want := range []string{"main:", "addi a0, zero, 5", "eld a1, 0(a0)", "jalr zero, 0(ra)"} {
+		if !strings.Contains(listing, want) {
+			t.Errorf("listing missing %q:\n%s", want, listing)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := mustAssemble(t, `
+		# full line comment
+		nop        # trailing comment
+		nop        // c++ style
+
+		.text
+	`)
+	if len(p.Words) != 2 {
+		t.Errorf("got %d words, want 2", len(p.Words))
+	}
+}
+
+func TestAssembleAtRejectsMisalignedBase(t *testing.T) {
+	if _, err := AssembleAt("nop", 0x1002); err == nil {
+		t.Error("expected error for misaligned base")
+	}
+}
+
+func TestErrorTypeCarriesLineInfo(t *testing.T) {
+	_, err := Assemble("nop\nbogus a0\nnop")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var ae *Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %T is not *asm.Error", err)
+	}
+	if ae.Line != 2 || !strings.Contains(ae.Error(), "line 2") {
+		t.Errorf("error = %v (line %d)", ae, ae.Line)
+	}
+	if ae.Unwrap() == nil {
+		t.Error("Unwrap returned nil")
+	}
+}
+
+func TestAsciiDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+	msg:
+		.asciz "Hi!"
+	raw:
+		.ascii "ABCD"
+	`)
+	// "Hi!" + NUL fills exactly one word.
+	if p.Words[0] != 0x00216948 {
+		t.Errorf(".asciz word = %#08x", p.Words[0])
+	}
+	if p.Words[1] != 0x44434241 {
+		t.Errorf(".ascii word = %#08x", p.Words[1])
+	}
+	if p.Symbols["raw"] != DefaultBase+4 {
+		t.Errorf("raw at %#x", p.Symbols["raw"])
+	}
+	if _, err := Assemble(`.ascii unquoted`); err == nil {
+		t.Error("unquoted .ascii must fail")
+	}
+}

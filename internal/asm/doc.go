@@ -1,0 +1,21 @@
+// Package asm implements a two-pass assembler for the RV64I + xBGAS
+// instruction subset modelled by internal/isa.
+//
+// It stands in for the xBGAS RISC-V GNU toolchain
+// (riscv64-unknown-elf-gcc) the paper uses to "translate the extended
+// xBGAS instructions into binaries that can be recognized by the Spike
+// simulator" (paper §5.1): runtime stubs and benchmark kernels are
+// written in assembly text, assembled to machine words, and executed by
+// internal/sim.
+//
+// Supported syntax:
+//
+//	label:                     # labels, local to the program
+//	add  a0, a1, a2            # native instructions, ABI register names
+//	eld  a0, 8(a1)             # xBGAS base-class extended accesses
+//	erld a0, a1, e2            # xBGAS raw-class accesses
+//	li   a0, 0x123456789       # pseudo-instructions (li, la, mv, j, ...)
+//	.dword 42                  # data directives (.word, .dword, .zero)
+//
+// Comments run from '#' or "//" to end of line.
+package asm

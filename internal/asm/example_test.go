@@ -1,0 +1,32 @@
+package asm_test
+
+import (
+	"fmt"
+	"log"
+
+	"xbgas/internal/asm"
+)
+
+// ExampleAssemble assembles a small xBGAS kernel and prints its
+// disassembly listing.
+func ExampleAssemble() {
+	prog, err := asm.Assemble(`
+	start:
+		li   t1, 2
+		eaddie e30, t1, 0
+		li   t5, 0x100
+		eld  a0, 0(t5)
+		ret
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(prog.Disasm())
+	// Output:
+	// start:
+	//   0x00001000: addi t1, zero, 2
+	//   0x00001004: eaddie e30, t1, 0
+	//   0x00001008: addi t5, zero, 256
+	//   0x0000100c: eld a0, 0(t5)
+	//   0x00001010: jalr zero, 0(ra)
+}

@@ -1,0 +1,49 @@
+package asm
+
+import (
+	"testing"
+
+	"xbgas/internal/isa"
+)
+
+// FuzzAssemble asserts the assembler never panics on arbitrary source
+// and that whatever it accepts round-trips through the disassembler
+// listing without errors.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"nop",
+		"add a0, a1, a2",
+		"eld a0, 8(a1)\nersd a0, a1, e3",
+		"x: j x",
+		"li a0, 0x123456789ABCDEF",
+		".word 1, 2, 3\n.dword -1\n.zero 8",
+		"label:\n\tbeq a0, a1, label",
+		"# comment only",
+		"la a0, buf\nbuf: .dword 0",
+		"eaddix e1, e2, -2048",
+		"bogus !!!",
+		"addi a0, a1, 99999",
+		".zero -4",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		// Accepted programs have internally consistent listings.
+		_ = p.Disasm()
+		if p.Size() != len(p.Words)*isa.InstBytes {
+			t.Fatalf("size mismatch: %d vs %d words", p.Size(), len(p.Words))
+		}
+		for name, addr := range p.Symbols {
+			if addr < p.Base || addr > p.Base+uint64(p.Size()) {
+				t.Fatalf("symbol %q at %#x outside program [%#x,%#x]",
+					name, addr, p.Base, p.Base+uint64(p.Size()))
+			}
+		}
+	})
+}

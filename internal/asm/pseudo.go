@@ -1,0 +1,306 @@
+package asm
+
+import (
+	"fmt"
+
+	"xbgas/internal/isa"
+)
+
+// pseudo expands one pseudo-instruction into concrete items. Expansion
+// width is deterministic in pass one (it depends only on operand values),
+// which keeps label addresses stable.
+func (a *assembler) pseudo(mnemonic string, args []string) ([]item, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: want %d operands, have %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+	one := func(i isa.Inst) []item { return []item{{inst: i}} }
+
+	switch mnemonic {
+	case "nop":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.ADDI}), nil
+
+	case "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := isa.ParseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := isa.ParseReg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rs}), nil
+
+	case "not":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := isa.ParseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := isa.ParseReg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.XORI, Rd: rd, Rs1: rs, Imm: -1}), nil
+
+	case "neg", "negw":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := isa.ParseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := isa.ParseReg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		op := isa.SUB
+		if mnemonic == "negw" {
+			op = isa.SUBW
+		}
+		return one(isa.Inst{Op: op, Rd: rd, Rs2: rs}), nil
+
+	case "seqz":
+		return a.cmpZero(args, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.SLTIU, Rd: rd, Rs1: rs, Imm: 1}
+		})
+	case "snez":
+		return a.cmpZero(args, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.SLTU, Rd: rd, Rs1: isa.Zero, Rs2: rs}
+		})
+	case "sltz":
+		return a.cmpZero(args, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.SLT, Rd: rd, Rs1: rs, Rs2: isa.Zero}
+		})
+	case "sgtz":
+		return a.cmpZero(args, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.SLT, Rd: rd, Rs1: isa.Zero, Rs2: rs}
+		})
+
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := isa.ParseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImm(args[1])
+		if err != nil {
+			return nil, err
+		}
+		insts := materialize(rd, v)
+		items := make([]item, len(insts))
+		for i, in := range insts {
+			items[i] = item{inst: in}
+		}
+		return items, nil
+
+	case "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := isa.ParseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if !isIdent(args[1]) {
+			return nil, fmt.Errorf("la: %q is not a label", args[1])
+		}
+		// Fixed two-word absolute expansion (addresses fit in 31 bits in
+		// the simulated machines).
+		return []item{
+			{inst: isa.Inst{Op: isa.LUI, Rd: rd}, symbol: args[1], mode: patchAbsolute, hiPart: true},
+			{inst: isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rd}, symbol: args[1], mode: patchAbsolute},
+		}, nil
+
+	case "j":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		imm, sym, err := immOrSymbol(args[0])
+		if err != nil {
+			return nil, err
+		}
+		it := item{inst: isa.Inst{Op: isa.JAL, Rd: isa.Zero, Imm: imm}}
+		if sym != "" {
+			it.symbol, it.mode = sym, patchRelative
+		}
+		return []item{it}, nil
+
+	case "jal":
+		// Single-operand form: jal label == jal ra, label.
+		if len(args) == 1 {
+			imm, sym, err := immOrSymbol(args[0])
+			if err != nil {
+				return nil, err
+			}
+			it := item{inst: isa.Inst{Op: isa.JAL, Rd: isa.RA, Imm: imm}}
+			if sym != "" {
+				it.symbol, it.mode = sym, patchRelative
+			}
+			return []item{it}, nil
+		}
+		return nil, fmt.Errorf("jal: want 1 operand in pseudo form")
+
+	case "call":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		imm, sym, err := immOrSymbol(args[0])
+		if err != nil {
+			return nil, err
+		}
+		it := item{inst: isa.Inst{Op: isa.JAL, Rd: isa.RA, Imm: imm}}
+		if sym != "" {
+			it.symbol, it.mode = sym, patchRelative
+		}
+		return []item{it}, nil
+
+	case "jr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := isa.ParseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.JALR, Rd: isa.Zero, Rs1: rs}), nil
+
+	case "ret":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.JALR, Rd: isa.Zero, Rs1: isa.RA}), nil
+
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := isa.ParseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, sym, err := immOrSymbol(args[1])
+		if err != nil {
+			return nil, err
+		}
+		var in isa.Inst
+		switch mnemonic {
+		case "beqz":
+			in = isa.Inst{Op: isa.BEQ, Rs1: rs, Rs2: isa.Zero}
+		case "bnez":
+			in = isa.Inst{Op: isa.BNE, Rs1: rs, Rs2: isa.Zero}
+		case "blez":
+			in = isa.Inst{Op: isa.BGE, Rs1: isa.Zero, Rs2: rs}
+		case "bgez":
+			in = isa.Inst{Op: isa.BGE, Rs1: rs, Rs2: isa.Zero}
+		case "bltz":
+			in = isa.Inst{Op: isa.BLT, Rs1: rs, Rs2: isa.Zero}
+		case "bgtz":
+			in = isa.Inst{Op: isa.BLT, Rs1: isa.Zero, Rs2: rs}
+		}
+		in.Imm = imm
+		it := item{inst: in}
+		if sym != "" {
+			it.symbol, it.mode = sym, patchRelative
+		}
+		return []item{it}, nil
+
+	case "bgt", "ble", "bgtu", "bleu":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err := isa.ParseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := isa.ParseReg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		imm, sym, err := immOrSymbol(args[2])
+		if err != nil {
+			return nil, err
+		}
+		var op isa.Op
+		switch mnemonic {
+		case "bgt":
+			op = isa.BLT
+		case "ble":
+			op = isa.BGE
+		case "bgtu":
+			op = isa.BLTU
+		case "bleu":
+			op = isa.BGEU
+		}
+		// Operands swap: bgt a,b == blt b,a.
+		it := item{inst: isa.Inst{Op: op, Rs1: rs2, Rs2: rs1, Imm: imm}}
+		if sym != "" {
+			it.symbol, it.mode = sym, patchRelative
+		}
+		return []item{it}, nil
+	}
+	return nil, fmt.Errorf("unknown mnemonic %q", mnemonic)
+}
+
+func (a *assembler) cmpZero(args []string, build func(rd, rs isa.Reg) isa.Inst) ([]item, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("want 2 operands, have %d", len(args))
+	}
+	rd, err := isa.ParseReg(args[0])
+	if err != nil {
+		return nil, err
+	}
+	rs, err := isa.ParseReg(args[1])
+	if err != nil {
+		return nil, err
+	}
+	return []item{{inst: build(rd, rs)}}, nil
+}
+
+// materialize produces an instruction sequence loading the 64-bit
+// constant v into rd, mirroring what the GNU assembler emits for li.
+func materialize(rd isa.Reg, v int64) []isa.Inst {
+	// 12-bit immediates: one addi.
+	if v >= -2048 && v <= 2047 {
+		return []isa.Inst{{Op: isa.ADDI, Rd: rd, Imm: v}}
+	}
+	// 32-bit values: lui (+ addiw when the low bits are non-zero).
+	if v >= -(1<<31) && v < (1<<31) {
+		hi := (uint32(v) + 0x800) >> 12
+		lo := int64(int32(uint32(v)<<20) >> 20)
+		insts := []isa.Inst{{Op: isa.LUI, Rd: rd, Imm: int64(hi & 0xFFFFF)}}
+		if lo != 0 {
+			insts = append(insts, isa.Inst{Op: isa.ADDIW, Rd: rd, Rs1: rd, Imm: lo})
+		} else {
+			// lui sign-extends through addiw semantics anyway; normalise
+			// the upper bits explicitly for negative page values.
+			insts = append(insts, isa.Inst{Op: isa.ADDIW, Rd: rd, Rs1: rd, Imm: 0})
+		}
+		return insts
+	}
+	// General 64-bit: materialise the high 32 bits, shift, or-in the rest
+	// 11 bits at a time (sign-safe because each addi chunk is < 2^11).
+	// Each addi chunk stays <= 0x7FF so it never sign-extends.
+	hi32 := v >> 32
+	insts := materialize(rd, hi32)
+	insts = append(insts, isa.Inst{Op: isa.SLLI, Rd: rd, Rs1: rd, Imm: 11})
+	insts = append(insts, isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rd, Imm: int64((uint64(v) >> 21) & 0x7FF)})
+	insts = append(insts, isa.Inst{Op: isa.SLLI, Rd: rd, Rs1: rd, Imm: 11})
+	insts = append(insts, isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rd, Imm: int64((uint64(v) >> 10) & 0x7FF)})
+	insts = append(insts, isa.Inst{Op: isa.SLLI, Rd: rd, Rs1: rd, Imm: 10})
+	insts = append(insts, isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rd, Imm: int64(uint64(v) & 0x3FF)})
+	return insts
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestGUPSRunsAndVerifies(t *testing.T) {
+	p := DefaultGUPSParams()
+	// A generous table keeps cross-PE read-modify-write collisions (the
+	// HPCC-sanctioned race) negligible even under the race detector's
+	// coarse scheduling.
+	p.TableWords = 1 << 18
+	p.UpdatesPerPE = 256
+	for _, n := range []int{1, 2, 4} {
+		r, err := RunGUPS(p, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !r.Verified {
+			t.Errorf("n=%d: verification failed with %d errors", n, r.Errors)
+		}
+		if r.Ops != uint64(256*n) {
+			t.Errorf("n=%d: ops = %d", n, r.Ops)
+		}
+		if r.Cycles == 0 || r.TotalMOPS() <= 0 {
+			t.Errorf("n=%d: degenerate result %+v", n, r)
+		}
+		if n > 1 && r.Messages == 0 {
+			t.Errorf("n=%d: no remote traffic recorded", n)
+		}
+	}
+}
+
+func TestGUPSParamValidation(t *testing.T) {
+	p := DefaultGUPSParams()
+	p.TableWords = 1000 // not a power of two
+	if _, err := RunGUPS(p, 2); err == nil {
+		t.Error("non-power-of-two table must fail")
+	}
+	p = DefaultGUPSParams()
+	p.TableWords = 1 << 10
+	if _, err := RunGUPS(p, 3); err == nil {
+		t.Error("indivisible table must fail")
+	}
+	p = DefaultGUPSParams()
+	p.Lookahead = 0
+	if _, err := RunGUPS(p, 2); err == nil {
+		t.Error("zero lookahead must fail")
+	}
+}
+
+func TestISRunsAndVerifies(t *testing.T) {
+	p := DefaultISParams()
+	p.TotalKeys = 1 << 12
+	p.MaxKey = 1 << 8
+	p.Iterations = 2
+	for _, n := range []int{1, 2, 4} {
+		r, err := RunIS(p, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !r.Verified {
+			t.Errorf("n=%d: verification failed with %d errors", n, r.Errors)
+		}
+		if r.Ops != uint64(p.TotalKeys*p.Iterations) {
+			t.Errorf("n=%d: ops = %d", n, r.Ops)
+		}
+		if r.TotalMOPS() <= 0 {
+			t.Errorf("n=%d: degenerate result %+v", n, r)
+		}
+	}
+}
+
+func TestISParamValidation(t *testing.T) {
+	p := DefaultISParams()
+	p.TotalKeys = 1001
+	if _, err := RunIS(p, 2); err == nil {
+		t.Error("indivisible keys must fail")
+	}
+	p = DefaultISParams()
+	p.Iterations = 0
+	if _, err := RunIS(p, 2); err == nil {
+		t.Error("zero iterations must fail")
+	}
+}
+
+func TestResultMetrics(t *testing.T) {
+	r := Result{Name: "x", PEs: 4, Ops: 4_000_000, Cycles: 1_000_000_000}
+	if got := r.Seconds(); got != 1.0 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if got := r.TotalMOPS(); got != 4 {
+		t.Errorf("TotalMOPS = %v", got)
+	}
+	if got := r.PerPEMOPS(); got != 1 {
+		t.Errorf("PerPEMOPS = %v", got)
+	}
+	if (Result{}).TotalMOPS() != 0 || (Result{}).PerPEMOPS() != 0 {
+		t.Error("zero-value result must not divide by zero")
+	}
+}
+
+func TestGUPSWeakScaling(t *testing.T) {
+	p := DefaultGUPSParams()
+	p.TableWords = 1 << 12 // per-PE under weak scaling
+	p.UpdatesPerPE = 256
+	p.Weak = true
+	var prevTable uint64
+	for _, n := range []int{1, 2, 4} {
+		r, err := RunGUPS(p, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !r.Verified {
+			t.Errorf("n=%d: weak-scaling verification failed", n)
+		}
+		_ = prevTable
+	}
+	// Weak scaling requires a power-of-two PE count for index masking.
+	if _, err := RunGUPS(p, 3); err == nil {
+		t.Error("weak scaling with 3 PEs must fail")
+	}
+}
+
+func TestISGaussianKeysImbalance(t *testing.T) {
+	// The NPB distribution loads the middle buckets: at 4 PEs the
+	// imbalanced run must be slower per PE than the uniform one, and
+	// still verify.
+	p := DefaultISParams()
+	p.TotalKeys = 1 << 13
+	p.MaxKey = 1 << 9
+	p.Iterations = 1
+	uniform, err := RunIS(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.GaussianKeys = true
+	gaussian, err := RunIS(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gaussian.Verified {
+		t.Errorf("gaussian run failed verification: %d errors", gaussian.Errors)
+	}
+	if gaussian.TotalMOPS() >= uniform.TotalMOPS() {
+		t.Errorf("imbalanced keys (%.2f MOPS) should be slower than uniform (%.2f MOPS)",
+			gaussian.TotalMOPS(), uniform.TotalMOPS())
+	}
+}

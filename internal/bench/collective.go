@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"xbgas/internal/core"
+	"xbgas/internal/xbrtime"
+)
+
+// CollectiveOp names a collective for the microbenchmarks.
+type CollectiveOp string
+
+// Collective operations measurable by RunCollective.
+const (
+	OpBroadcast CollectiveOp = "broadcast"
+	OpReduce    CollectiveOp = "reduce"
+	OpScatter   CollectiveOp = "scatter"
+	OpGather    CollectiveOp = "gather"
+	OpBarrier   CollectiveOp = "barrier"
+)
+
+// CollectiveSpec configures one collective microbenchmark.
+type CollectiveSpec struct {
+	Op      CollectiveOp
+	PEs     int
+	Nelems  int
+	Stride  int
+	Root    int
+	Algo    core.Algorithm
+	Iters   int
+	Runtime xbrtime.Config
+}
+
+// RunCollective measures the makespan of Iters invocations of the
+// collective and reports one operation per element moved per iteration
+// (so TotalMOPS is element throughput and Cycles/Iters the latency).
+func RunCollective(spec CollectiveSpec) (Result, error) {
+	if spec.PEs <= 0 {
+		return Result{}, fmt.Errorf("bench: collective needs PEs > 0")
+	}
+	if spec.Iters <= 0 {
+		spec.Iters = 1
+	}
+	if spec.Stride <= 0 {
+		spec.Stride = 1
+	}
+	if spec.Nelems < 0 {
+		return Result{}, fmt.Errorf("bench: negative nelems")
+	}
+	if spec.Root < 0 || spec.Root >= spec.PEs {
+		return Result{}, fmt.Errorf("bench: root %d outside 0..%d", spec.Root, spec.PEs-1)
+	}
+	cfg := spec.Runtime
+	cfg.NumPEs = spec.PEs
+	rt, err := xbrtime.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer rt.Close()
+
+	dt := xbrtime.TypeInt64
+	w := uint64(dt.Width)
+	span := uint64((spec.Nelems*spec.Stride + 1)) * w
+
+	var mu sync.Mutex
+	var makespan uint64
+
+	msgs := make([]int, spec.PEs)
+	disp := make([]int, spec.PEs)
+	per := spec.Nelems / spec.PEs
+	rem := spec.Nelems % spec.PEs
+	off := 0
+	for i := range msgs {
+		msgs[i] = per
+		if i < rem {
+			msgs[i]++
+		}
+		disp[i] = off
+		off += msgs[i]
+	}
+
+	err = rt.Run(func(pe *xbrtime.PE) error {
+		buf, err := pe.Malloc(span)
+		if err != nil {
+			return err
+		}
+		out, err := pe.PrivateAlloc(span)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < spec.Nelems; i++ {
+			pe.Poke(dt, buf+uint64(i*spec.Stride)*w, uint64(pe.MyPE()+i))
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		start := pe.Now()
+		for it := 0; it < spec.Iters; it++ {
+			var err error
+			switch spec.Op {
+			case OpBroadcast:
+				err = core.BroadcastWith(spec.Algo, pe, dt, buf, buf, spec.Nelems, spec.Stride, spec.Root)
+			case OpReduce:
+				err = core.ReduceWith(spec.Algo, pe, dt, core.OpSum, out, buf, spec.Nelems, spec.Stride, spec.Root)
+			case OpScatter:
+				err = core.ScatterWith(spec.Algo, pe, dt, out, buf, msgs, disp, spec.Nelems, spec.Root)
+			case OpGather:
+				err = core.GatherWith(spec.Algo, pe, dt, out, buf, msgs, disp, spec.Nelems, spec.Root)
+			case OpBarrier:
+				err = pe.Barrier()
+			default:
+				err = fmt.Errorf("bench: unknown collective %q", spec.Op)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		spanCyc := pe.Now() - start
+		mu.Lock()
+		if spanCyc > makespan {
+			makespan = spanCyc
+		}
+		mu.Unlock()
+		return pe.Free(buf)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	ops := uint64(spec.Nelems) * uint64(spec.Iters)
+	if spec.Op == OpBarrier || ops == 0 {
+		ops = uint64(spec.Iters)
+	}
+	fab := rt.Machine().Fabric
+	return Result{
+		Name:             fmt.Sprintf("%s/%s", spec.Op, spec.Algo),
+		PEs:              spec.PEs,
+		Ops:              ops,
+		Cycles:           makespan,
+		Verified:         true,
+		Messages:         fab.Messages(),
+		Bytes:            fab.Bytes(),
+		ContentionCycles: fab.ContentionCycles(),
+	}, nil
+}
+
+// LatencyCycles returns the average per-invocation latency of a
+// collective measurement produced by RunCollective.
+func LatencyCycles(r Result, iters int) float64 {
+	if iters <= 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(iters)
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+
+	"xbgas/internal/xbrtime"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name     string
+	PEs      int
+	Ops      uint64 // operations performed (updates, keys ranked, ...)
+	Cycles   uint64 // simulated makespan in cycles
+	Verified bool
+	Errors   uint64 // verification mismatches, if any
+
+	// Communication totals across all PEs.
+	Messages         uint64
+	Bytes            uint64
+	ContentionCycles uint64
+}
+
+// Seconds converts the simulated makespan to seconds at the nominal
+// clock.
+func (r Result) Seconds() float64 {
+	return float64(r.Cycles) / float64(xbrtime.ClockHz)
+}
+
+// TotalMOPS returns millions of operations per second across all PEs.
+func (r Result) TotalMOPS() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Seconds() / 1e6
+}
+
+// PerPEMOPS returns millions of operations per second per PE — the
+// second series of paper Figures 4 and 5.
+func (r Result) PerPEMOPS() float64 {
+	if r.PEs == 0 {
+		return 0
+	}
+	return r.TotalMOPS() / float64(r.PEs)
+}
+
+// String renders the measurement as one report row.
+func (r Result) String() string {
+	v := "ok"
+	if !r.Verified {
+		v = fmt.Sprintf("FAILED (%d errors)", r.Errors)
+	}
+	return fmt.Sprintf("%-12s PEs=%d ops=%d cycles=%d total=%.3f MOPS per-PE=%.3f MOPS verify=%s",
+		r.Name, r.PEs, r.Ops, r.Cycles, r.TotalMOPS(), r.PerPEMOPS(), v)
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"xbgas/internal/xbrtime"
+)
+
+// TestEveryTable1TypeThroughEveryCollective pushes one value of every
+// Table 1 type through broadcast, scatter, gather, and every valid
+// reduction — the coverage behind the generated typed surface.
+func TestEveryTable1TypeThroughEveryCollective(t *testing.T) {
+	const nPEs = 4
+	for _, dt := range xbrtime.Types {
+		dt := dt
+		t.Run(dt.Name, func(t *testing.T) {
+			w := uint64(dt.Width)
+			msgs := []int{1, 1, 1, 1}
+			disp := []int{0, 1, 2, 3}
+			runSPMD(t, nPEs, func(pe *xbrtime.PE) error {
+				me := pe.MyPE()
+				buf, err := pe.Malloc(w * 8)
+				if err != nil {
+					return err
+				}
+				vec, err := pe.Malloc(w * 8)
+				if err != nil {
+					return err
+				}
+				out, err := pe.PrivateAlloc(w * 8)
+				if err != nil {
+					return err
+				}
+
+				// Broadcast a type-representative value from PE 2.
+				var sample uint64
+				if dt.Kind == xbrtime.KindFloat {
+					sample = dt.FromFloat(2.5)
+				} else {
+					sample = dt.Canon(uint64(100 + 7)) // fits every width
+				}
+				if me == 2 {
+					pe.Poke(dt, out, sample)
+				}
+				if err := Broadcast(pe, dt, buf, out, 1, 1, 2); err != nil {
+					return err
+				}
+				if got := pe.Peek(dt, buf); got != sample {
+					t.Errorf("%s broadcast: PE %d got %s, want %s",
+						dt, me, dt.FormatValue(got), dt.FormatValue(sample))
+				}
+
+				// Scatter 4 distinct values from PE 1, gather them back.
+				if me == 1 {
+					for i := 0; i < nPEs; i++ {
+						if dt.Kind == xbrtime.KindFloat {
+							pe.Poke(dt, out+uint64(i)*w, dt.FromFloat(float64(i+1)))
+						} else {
+							pe.Poke(dt, out+uint64(i)*w, dt.Canon(uint64(i+1)))
+						}
+					}
+				}
+				if err := Scatter(pe, dt, buf, out, msgs, disp, nPEs, 1); err != nil {
+					return err
+				}
+				var wantMine uint64
+				if dt.Kind == xbrtime.KindFloat {
+					wantMine = dt.FromFloat(float64(me + 1))
+				} else {
+					wantMine = dt.Canon(uint64(me + 1))
+				}
+				if got := pe.Peek(dt, buf); got != wantMine {
+					t.Errorf("%s scatter: PE %d got %s, want %s",
+						dt, me, dt.FormatValue(got), dt.FormatValue(wantMine))
+				}
+				if err := Gather(pe, dt, vec, buf, msgs, disp, nPEs, 0); err != nil {
+					return err
+				}
+				if me == 0 {
+					for i := 0; i < nPEs; i++ {
+						var want uint64
+						if dt.Kind == xbrtime.KindFloat {
+							want = dt.FromFloat(float64(i + 1))
+						} else {
+							want = dt.Canon(uint64(i + 1))
+						}
+						if got := pe.Peek(dt, vec+uint64(i)*w); got != want {
+							t.Errorf("%s gather elem %d: got %s, want %s",
+								dt, i, dt.FormatValue(got), dt.FormatValue(want))
+						}
+					}
+				}
+
+				// Every valid reduction.
+				for _, op := range AllReduceOps() {
+					if !op.ValidFor(dt) {
+						continue
+					}
+					var mine uint64
+					if dt.Kind == xbrtime.KindFloat {
+						mine = dt.FromFloat(float64(me + 1))
+					} else {
+						mine = dt.Canon(uint64(me + 1))
+					}
+					pe.Poke(dt, buf, mine)
+					if err := Reduce(pe, dt, op, out, buf, 1, 1, 3); err != nil {
+						return err
+					}
+					if me == 3 {
+						want := Identity(dt, op)
+						for p := 0; p < nPEs; p++ {
+							var v uint64
+							if dt.Kind == xbrtime.KindFloat {
+								v = dt.FromFloat(float64(p + 1))
+							} else {
+								v = dt.Canon(uint64(p + 1))
+							}
+							var err error
+							want, err = Combine(dt, op, want, v)
+							if err != nil {
+								return err
+							}
+						}
+						if got := pe.Peek(dt, out); got != want {
+							t.Errorf("%s reduce %s: got %s, want %s",
+								dt, op, dt.FormatValue(got), dt.FormatValue(want))
+						}
+					}
+				}
+				if err := pe.Free(buf); err != nil {
+					return err
+				}
+				return pe.Free(vec)
+			})
+		})
+	}
+}
+
+// TestCollectivesAtPaperCoreCount runs the collectives at 12 PEs — the
+// core count of the paper's simulation environment (§5.1).
+func TestCollectivesAtPaperCoreCount(t *testing.T) {
+	const nPEs = 12
+	runSPMD(t, nPEs, func(pe *xbrtime.PE) error {
+		dt := xbrtime.TypeInt64
+		buf, err := pe.Malloc(8)
+		if err != nil {
+			return err
+		}
+		out, err := pe.Malloc(8)
+		if err != nil {
+			return err
+		}
+		src, err := pe.PrivateAlloc(8)
+		if err != nil {
+			return err
+		}
+		if pe.MyPE() == 7 {
+			pe.Poke(dt, src, 1234)
+		}
+		if err := Broadcast(pe, dt, buf, src, 1, 1, 7); err != nil {
+			return err
+		}
+		if got := pe.Peek(dt, buf); got != 1234 {
+			t.Errorf("PE %d broadcast at 12 PEs = %d", pe.MyPE(), got)
+		}
+		pe.Poke(dt, buf, uint64(pe.MyPE()))
+		if err := Reduce(pe, dt, OpSum, out, buf, 1, 1, 11); err != nil {
+			return err
+		}
+		if pe.MyPE() == 11 {
+			if got := int64(pe.Peek(dt, out)); got != 66 { // 0+..+11
+				t.Errorf("reduce at 12 PEs = %d, want 66", got)
+			}
+		}
+		if err := pe.Free(buf); err != nil {
+			return err
+		}
+		return pe.Free(out)
+	})
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"xbgas/internal/xbrtime"
+)
+
+// Linear (flat) collectives: the root communicates with every other PE
+// directly, O(N) rounds of traffic through one node. They are the
+// baseline for the paper's §4.1 observation that the best algorithm
+// depends on the call's arguments, and the ablation benchmarks compare
+// them against the binomial tree.
+
+// BroadcastLinear is a flat broadcast: the root puts to each PE in turn.
+func BroadcastLinear(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems, stride, root int) error {
+	if err := validate(pe, dt, nelems, stride, root); err != nil {
+		return err
+	}
+	if pe.MyPE() == root {
+		if dest != src {
+			timedCopy(pe, dt, dest, src, nelems, stride, stride)
+		}
+		for p := 0; p < pe.NumPEs(); p++ {
+			if p == root {
+				continue
+			}
+			if err := pe.Put(dt, dest, dest, nelems, stride, p); err != nil {
+				return err
+			}
+		}
+	}
+	return pe.Barrier()
+}
+
+// ReduceLinear is a flat reduction: the root gets every PE's staged
+// contribution and folds it locally.
+func ReduceLinear(pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint64, nelems, stride, root int) error {
+	if err := validate(pe, dt, nelems, stride, root); err != nil {
+		return err
+	}
+	if _, err := Combine(dt, op, 0, 0); err != nil {
+		return err
+	}
+	w := uint64(dt.Width)
+	span := spanBytes(dt, nelems, stride)
+	sBuf, err := pe.Malloc(span)
+	if err != nil {
+		return err
+	}
+	timedCopy(pe, dt, sBuf, src, nelems, stride, stride)
+	if err := pe.Barrier(); err != nil {
+		pe.Free(sBuf) //nolint:errcheck
+		return err
+	}
+	if pe.MyPE() == root {
+		lBuf, err := pe.Scratch(span)
+		if err != nil {
+			pe.Free(sBuf) //nolint:errcheck
+			return err
+		}
+		cost := combineCost(dt, op)
+		// Start from the root's own staged values, fold in each peer.
+		timedCopy(pe, dt, dest, sBuf, nelems, stride, stride)
+		for p := 0; p < pe.NumPEs(); p++ {
+			if p == root {
+				continue
+			}
+			if err := pe.Get(dt, lBuf, sBuf, nelems, stride, p); err != nil {
+				pe.Free(sBuf) //nolint:errcheck
+				return err
+			}
+			for j := 0; j < nelems; j++ {
+				off := uint64(j*stride) * w
+				a := pe.ReadElem(dt, dest+off)
+				b := pe.ReadElem(dt, lBuf+off)
+				r, err := Combine(dt, op, a, b)
+				if err != nil {
+					pe.Free(sBuf) //nolint:errcheck
+					return err
+				}
+				pe.Advance(cost)
+				pe.WriteElem(dt, dest+off, r)
+			}
+		}
+	}
+	if err := pe.Barrier(); err != nil {
+		pe.Free(sBuf) //nolint:errcheck
+		return err
+	}
+	return pe.Free(sBuf)
+}
+
+// ScatterLinear is a flat scatter: the root puts each PE's block
+// directly to its dest.
+func ScatterLinear(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp []int, nelems, root int) error {
+	if err := validateVector(pe, dt, peMsgs, peDisp, nelems, root); err != nil {
+		return err
+	}
+	w := uint64(dt.Width)
+	if pe.MyPE() == root {
+		for p := 0; p < pe.NumPEs(); p++ {
+			blk := src + uint64(peDisp[p])*w
+			if p == root {
+				timedCopy(pe, dt, dest, blk, peMsgs[p], 1, 1)
+				continue
+			}
+			if peMsgs[p] > 0 {
+				if err := pe.Put(dt, dest, blk, peMsgs[p], 1, p); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return pe.Barrier()
+}
+
+// GatherLinear is a flat gather: the root gets each PE's block from a
+// symmetric staging buffer.
+func GatherLinear(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp []int, nelems, root int) error {
+	if err := validateVector(pe, dt, peMsgs, peDisp, nelems, root); err != nil {
+		return err
+	}
+	w := uint64(dt.Width)
+	me := pe.MyPE()
+	most := 0
+	for _, m := range peMsgs {
+		if m > most {
+			most = m
+		}
+	}
+	bufBytes := uint64(most) * w
+	if most == 0 {
+		bufBytes = w
+	}
+	sBuf, err := pe.Malloc(bufBytes)
+	if err != nil {
+		return err
+	}
+	timedCopy(pe, dt, sBuf, src, peMsgs[me], 1, 1)
+	if err := pe.Barrier(); err != nil {
+		pe.Free(sBuf) //nolint:errcheck
+		return err
+	}
+	if me == root {
+		for p := 0; p < pe.NumPEs(); p++ {
+			dst := dest + uint64(peDisp[p])*w
+			if p == root {
+				timedCopy(pe, dt, dst, sBuf, peMsgs[p], 1, 1)
+				continue
+			}
+			if peMsgs[p] > 0 {
+				if err := pe.Get(dt, dst, sBuf, peMsgs[p], 1, p); err != nil {
+					pe.Free(sBuf) //nolint:errcheck
+					return err
+				}
+			}
+		}
+	}
+	if err := pe.Barrier(); err != nil {
+		pe.Free(sBuf) //nolint:errcheck
+		return err
+	}
+	return pe.Free(sBuf)
+}

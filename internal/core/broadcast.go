@@ -1,0 +1,54 @@
+package core
+
+import (
+	"xbgas/internal/xbrtime"
+)
+
+// Broadcast distributes nelems elements of type dt from src on the root
+// PE to dest on every PE (paper §4.3, Algorithm 1).
+//
+// dest must be a symmetric address valid on every PE; src needs to be
+// valid only on the root and may be private (paper: "a pointer to the
+// (not-necessarily shared) address for these values on the root pe").
+// stride applies to consecutive elements at both src and dest. On
+// return every PE, including the root, holds the values at dest.
+//
+// The communication pattern is the binomial tree with recursive
+// halving: the loop index runs from ⌈log₂ n⌉−1 down to 0 so the mask
+// isolates virtual-rank bits left to right, spreading the first hops
+// across the widest distance. Intermediate PEs forward from dest, the
+// address where the tree delivered their copy. A barrier closes every
+// round.
+func Broadcast(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems, stride, root int) error {
+	if err := validate(pe, dt, nelems, stride, root); err != nil {
+		return err
+	}
+	nPEs := pe.NumPEs()
+	vRank := VirtualRank(pe.MyPE(), root, nPEs)
+	rounds := CeilLog2(nPEs)
+
+	// The root stages the values at its own dest so that (a) the
+	// broadcast postcondition holds on the root too and (b) every
+	// sender, root included, forwards from the same symmetric address.
+	if vRank == 0 && dest != src {
+		timedCopy(pe, dt, dest, src, nelems, stride, stride)
+	}
+
+	mask := (1 << rounds) - 1
+	for i := rounds - 1; i >= 0; i-- {
+		mask ^= 1 << i
+		if vRank&mask == 0 && vRank&(1<<i) == 0 {
+			vPart := (vRank ^ (1 << i)) % nPEs
+			logPart := LogicalRank(vPart, root, nPEs)
+			if vRank < vPart {
+				if err := pe.Put(dt, dest, dest, nelems, stride, logPart); err != nil {
+					return err
+				}
+			}
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

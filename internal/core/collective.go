@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"xbgas/internal/xbrtime"
+)
+
+// validate checks the argument contract shared by broadcast and
+// reduction.
+func validate(pe *xbrtime.PE, dt xbrtime.DType, nelems, stride, root int) error {
+	if !dt.Valid() {
+		return fmt.Errorf("core: invalid data type %+v", dt)
+	}
+	if nelems < 0 {
+		return fmt.Errorf("core: negative element count %d", nelems)
+	}
+	if stride < 1 {
+		return fmt.Errorf("core: stride %d; must be >= 1", stride)
+	}
+	if root < 0 || root >= pe.NumPEs() {
+		return fmt.Errorf("core: root %d outside 0..%d", root, pe.NumPEs()-1)
+	}
+	return nil
+}
+
+// spanBytes returns the byte footprint of nelems elements laid out with
+// the given element stride: ((nelems-1)*stride + 1) * width.
+func spanBytes(dt xbrtime.DType, nelems, stride int) uint64 {
+	if nelems == 0 {
+		return uint64(dt.Width)
+	}
+	return uint64(((nelems-1)*stride + 1) * dt.Width)
+}
+
+// timedCopy copies n elements with independent strides through the
+// PE's timed local accessors.
+func timedCopy(pe *xbrtime.PE, dt xbrtime.DType, dst, src uint64, n, dstStride, srcStride int) {
+	w := uint64(dt.Width)
+	for i := 0; i < n; i++ {
+		v := pe.ReadElem(dt, src+uint64(i*srcStride)*w)
+		pe.WriteElem(dt, dst+uint64(i*dstStride)*w, v)
+	}
+}
+
+// adjustedDisplacements computes the adj_disp array of Algorithms 3 and
+// 4: the element offset, in virtual-rank order, at which each virtual
+// rank's block begins inside the reordered shared buffer. The returned
+// slice has length nPEs+1, with adj[nPEs] equal to the total element
+// count, so that the subtree block for virtual ranks [a, b) is
+// adj[b]-adj[a] elements at element offset adj[a].
+func adjustedDisplacements(peMsgs []int, root, nPEs int) []int {
+	adj := make([]int, nPEs+1)
+	for v := 0; v < nPEs; v++ {
+		adj[v+1] = adj[v] + peMsgs[LogicalRank(v, root, nPEs)]
+	}
+	return adj
+}
+
+// validateVector checks the scatter/gather argument contract.
+func validateVector(pe *xbrtime.PE, dt xbrtime.DType, peMsgs, peDisp []int, nelems, root int) error {
+	n := pe.NumPEs()
+	if !dt.Valid() {
+		return fmt.Errorf("core: invalid data type %+v", dt)
+	}
+	if root < 0 || root >= n {
+		return fmt.Errorf("core: root %d outside 0..%d", root, n-1)
+	}
+	if len(peMsgs) != n || len(peDisp) != n {
+		return fmt.Errorf("core: pe_msgs/pe_disp length %d/%d; want %d entries (one per PE)",
+			len(peMsgs), len(peDisp), n)
+	}
+	total := 0
+	for i, m := range peMsgs {
+		if m < 0 {
+			return fmt.Errorf("core: pe_msgs[%d] = %d; counts must be non-negative", i, m)
+		}
+		if peDisp[i] < 0 {
+			return fmt.Errorf("core: pe_disp[%d] = %d; displacements must be non-negative", i, peDisp[i])
+		}
+		total += m
+	}
+	if total != nelems {
+		return fmt.Errorf("core: pe_msgs sums to %d, nelems is %d", total, nelems)
+	}
+	return nil
+}
+
+// subtreeCount returns the number of elements owned by the subtree of
+// virtual ranks [vp, vp+2^i) clipped to nPEs, in terms of adj_disp.
+func subtreeCount(adj []int, vp, i, nPEs int) int {
+	end := vp + (1 << i)
+	if end > nPEs {
+		end = nPEs
+	}
+	return adj[end] - adj[vp]
+}

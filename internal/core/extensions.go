@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"xbgas/internal/xbrtime"
+)
+
+// This file implements the collective operations the paper lists as
+// future work (§7): "support for further collective operations
+// including personalized all-to-all communication as well as explicit
+// reduction-to-all and gather-to-all calls".
+
+// AllReduce combines nelems elements from src on every PE with op and
+// delivers the result to dest on every PE: the explicit
+// reduction-to-all call of §7, realised as the reduce + broadcast
+// composition that §4.7 notes an xBGAS user would otherwise write by
+// hand. src must be symmetric; dest must be symmetric as well since the
+// broadcast writes it on every PE.
+func AllReduce(pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint64, nelems, stride int) error {
+	if err := Reduce(pe, dt, op, dest, src, nelems, stride, 0); err != nil {
+		return err
+	}
+	return Broadcast(pe, dt, dest, dest, nelems, stride, 0)
+}
+
+// AllGather concatenates every PE's contribution (peMsgs[l] elements at
+// src on logical rank l, landing at element offset peDisp[l]) into dest
+// on every PE: the gather-to-all call of §7 and the analogue of
+// OpenSHMEM's collect. dest must be symmetric.
+func AllGather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp []int, nelems int) error {
+	if err := Gather(pe, dt, dest, src, peMsgs, peDisp, nelems, 0); err != nil {
+		return err
+	}
+	return Broadcast(pe, dt, dest, dest, nelems, 1, 0)
+}
+
+// Alltoall performs personalized all-to-all communication (§7): every
+// PE sends a distinct block of nelems elements to every PE. Block j of
+// src on PE i (elements [j*nelems, (j+1)*nelems)) arrives as block i of
+// dest on PE j. Both buffers must be symmetric and hold
+// nelems*NumPEs() elements.
+//
+// The implementation is the one-sided direct exchange natural to xBGAS:
+// each PE deposits its blocks into the peers' dest buffers with
+// non-blocking puts, overlapping all N-1 transfers, and a barrier
+// closes the exchange.
+func Alltoall(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems int) error {
+	if !dt.Valid() {
+		return fmt.Errorf("core: invalid data type %+v", dt)
+	}
+	if nelems < 0 {
+		return fmt.Errorf("core: negative element count %d", nelems)
+	}
+	n := pe.NumPEs()
+	me := pe.MyPE()
+	w := uint64(dt.Width)
+	block := uint64(nelems) * w
+
+	// Local block moves through the hierarchy like any other copy.
+	timedCopy(pe, dt, dest+uint64(me)*block, src+uint64(me)*block, nelems, 1, 1)
+
+	handles := make([]xbrtime.Handle, 0, n-1)
+	for off := 1; off < n; off++ {
+		// Rotated start (me+off) spreads simultaneous senders across
+		// distinct receivers instead of all PEs hammering PE 0 first.
+		p := (me + off) % n
+		h, err := pe.PutNB(dt, dest+uint64(me)*block, src+uint64(p)*block, nelems, 1, p)
+		if err != nil {
+			return err
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		pe.Wait(h)
+	}
+	return pe.Barrier()
+}

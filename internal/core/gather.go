@@ -1,0 +1,88 @@
+package core
+
+import (
+	"xbgas/internal/xbrtime"
+)
+
+// Gather collects a distinct block of src from each PE into dest on the
+// root PE (paper §4.6, Algorithm 4). It is symmetric to Scatter in the
+// same way Reduce is to Broadcast.
+//
+// peMsgs[l] is the number of elements contributed by logical rank l and
+// peDisp[l] the element offset at which that block lands inside dest on
+// the root; nelems is the total element count. Each PE contributes
+// peMsgs[MyPE()] contiguous elements starting at src. src stages
+// through a symmetric buffer, so any shared or private source address
+// works; dest is significant only on the root.
+//
+// Data moves leaves→root with recursive doubling and get, aggregating
+// each child subtree's contiguous block at every round; the root
+// finally reorders the virtual-rank-ordered staging buffer into dest by
+// logical rank.
+func Gather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp []int, nelems, root int) error {
+	if err := validateVector(pe, dt, peMsgs, peDisp, nelems, root); err != nil {
+		return err
+	}
+	nPEs := pe.NumPEs()
+	me := pe.MyPE()
+	vRank := VirtualRank(me, root, nPEs)
+	rounds := CeilLog2(nPEs)
+	w := uint64(dt.Width)
+
+	adj := adjustedDisplacements(peMsgs, root, nPEs)
+
+	bufBytes := uint64(nelems) * w
+	if nelems == 0 {
+		bufBytes = w
+	}
+	sBuf, err := pe.Malloc(bufBytes)
+	if err != nil {
+		return err
+	}
+
+	// Load the staging buffer with this PE's candidate gather data at
+	// its adjusted offset.
+	timedCopy(pe, dt, sBuf+uint64(adj[vRank])*w, src, peMsgs[me], 1, 1)
+	if err := pe.Barrier(); err != nil {
+		pe.Free(sBuf) //nolint:errcheck
+		return err
+	}
+
+	mask := (1 << rounds) - 1
+	for i := 0; i < rounds; i++ {
+		mask ^= 1 << i
+		if vRank|mask == mask && vRank&(1<<i) == 0 {
+			vPart := (vRank ^ (1 << i)) % nPEs
+			logPart := LogicalRank(vPart, root, nPEs)
+			if vRank < vPart {
+				// The partner has aggregated its subtree's block by now;
+				// pull it in one contiguous get.
+				msgSize := subtreeCount(adj, vPart, i, nPEs)
+				if msgSize > 0 {
+					off := sBuf + uint64(adj[vPart])*w
+					if err := pe.Get(dt, off, off, msgSize, 1, logPart); err != nil {
+						pe.Free(sBuf) //nolint:errcheck
+						return err
+					}
+				}
+			}
+		}
+		if err := pe.Barrier(); err != nil {
+			pe.Free(sBuf) //nolint:errcheck
+			return err
+		}
+	}
+
+	// Root reorders the staging buffer (virtual order) into dest
+	// (logical order at the caller's displacements).
+	if vRank == 0 {
+		for l := 0; l < nPEs; l++ {
+			v := VirtualRank(l, root, nPEs)
+			timedCopy(pe, dt,
+				dest+uint64(peDisp[l])*w,
+				sBuf+uint64(adj[v])*w,
+				peMsgs[l], 1, 1)
+		}
+	}
+	return pe.Free(sBuf)
+}

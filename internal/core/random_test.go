@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xbgas/internal/xbrtime"
+)
+
+// TestRandomizedCollectivesAgainstReference is the broad randomized
+// sweep: random PE counts, roots, element counts, strides, types, and
+// operators, with every result checked against a sequential reference
+// computed in plain Go.
+func TestRandomizedCollectivesAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260704))
+	dts := []xbrtime.DType{
+		xbrtime.TypeUint8, xbrtime.TypeInt16, xbrtime.TypeUint32,
+		xbrtime.TypeInt64, xbrtime.TypeDouble, xbrtime.TypeFloat,
+	}
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		nPEs := 1 + rng.Intn(9)
+		root := rng.Intn(nPEs)
+		nelems := rng.Intn(12)
+		stride := 1 + rng.Intn(3)
+		dt := dts[rng.Intn(len(dts))]
+		ops := AllReduceOps()
+		op := ops[rng.Intn(len(ops))]
+		if !op.ValidFor(dt) {
+			op = OpSum
+		}
+
+		// Per-PE contributions as canonical values. Small integers are
+		// exactly representable in every type, keeping float comparisons
+		// exact under any combine order.
+		contrib := make([][]uint64, nPEs)
+		for p := range contrib {
+			contrib[p] = make([]uint64, nelems)
+			for i := range contrib[p] {
+				v := rng.Intn(17) + 1
+				if dt.Kind == xbrtime.KindFloat {
+					contrib[p][i] = dt.FromFloat(float64(v))
+				} else {
+					contrib[p][i] = dt.Canon(uint64(v))
+				}
+			}
+		}
+		// Sequential reference reduction.
+		wantReduce := make([]uint64, nelems)
+		for i := 0; i < nelems; i++ {
+			acc := contrib[0][i]
+			for p := 1; p < nPEs; p++ {
+				var err error
+				acc, err = Combine(dt, op, acc, contrib[p][i])
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			wantReduce[i] = acc
+		}
+
+		w := uint64(dt.Width)
+		span := spanBytes(dt, nelems, stride)
+		runSPMD(t, nPEs, func(pe *xbrtime.PE) error {
+			me := pe.MyPE()
+			src, err := pe.Malloc(span)
+			if err != nil {
+				return err
+			}
+			bcast, err := pe.Malloc(span)
+			if err != nil {
+				return err
+			}
+			out, err := pe.PrivateAlloc(span)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < nelems; i++ {
+				pe.Poke(dt, src+uint64(i*stride)*w, contrib[me][i])
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+
+			// Broadcast from root: everyone must see the root's row.
+			if err := Broadcast(pe, dt, bcast, src, nelems, stride, root); err != nil {
+				return err
+			}
+			for i := 0; i < nelems; i++ {
+				if got := pe.Peek(dt, bcast+uint64(i*stride)*w); got != contrib[root][i] {
+					t.Errorf("trial %d (n=%d root=%d stride=%d %s): broadcast PE %d elem %d = %s, want %s",
+						trial, nPEs, root, stride, dt, me, i,
+						dt.FormatValue(got), dt.FormatValue(contrib[root][i]))
+				}
+			}
+
+			// Reduce to root.
+			if err := Reduce(pe, dt, op, out, src, nelems, stride, root); err != nil {
+				return err
+			}
+			if me == root {
+				for i := 0; i < nelems; i++ {
+					if got := pe.Peek(dt, out+uint64(i*stride)*w); got != wantReduce[i] {
+						t.Errorf("trial %d (n=%d root=%d stride=%d %s %s): reduce elem %d = %s, want %s",
+							trial, nPEs, root, stride, dt, op, i,
+							dt.FormatValue(got), dt.FormatValue(wantReduce[i]))
+					}
+				}
+			}
+			if err := pe.Free(src); err != nil {
+				return err
+			}
+			return pe.Free(bcast)
+		})
+	}
+}
+
+// TestRandomizedScatterGather exercises random vectored configurations
+// including empty blocks and permuted displacements.
+func TestRandomizedScatterGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	trials := 15
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		nPEs := 2 + rng.Intn(7)
+		root := rng.Intn(nPEs)
+		msgs := make([]int, nPEs)
+		total := 0
+		for i := range msgs {
+			msgs[i] = rng.Intn(4)
+			total += msgs[i]
+		}
+		if total == 0 {
+			msgs[0] = 1
+			total = 1
+		}
+		// Displacements in permuted order with random gaps.
+		perm := rng.Perm(nPEs)
+		disp := make([]int, nPEs)
+		off := 0
+		for _, p := range perm {
+			off += rng.Intn(2)
+			disp[p] = off
+			off += msgs[p]
+		}
+		srcElems := off + 1
+
+		vals := make([]int64, srcElems)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(100000))
+		}
+		dt := xbrtime.TypeInt64
+		const w = 8
+		runSPMD(t, nPEs, func(pe *xbrtime.PE) error {
+			me := pe.MyPE()
+			dest, err := pe.Malloc(uint64(srcElems) * w)
+			if err != nil {
+				return err
+			}
+			src, err := pe.PrivateAlloc(uint64(srcElems) * w)
+			if err != nil {
+				return err
+			}
+			back, err := pe.PrivateAlloc(uint64(srcElems) * w)
+			if err != nil {
+				return err
+			}
+			if me == root {
+				for i, v := range vals {
+					pe.Poke(dt, src+uint64(i)*w, uint64(v))
+				}
+			}
+			if err := Scatter(pe, dt, dest, src, msgs, disp, total, root); err != nil {
+				return err
+			}
+			for i := 0; i < msgs[me]; i++ {
+				want := vals[disp[me]+i]
+				if got := int64(pe.Peek(dt, dest+uint64(i)*w)); got != want {
+					t.Errorf("trial %d: scatter PE %d elem %d = %d, want %d",
+						trial, me, i, got, want)
+				}
+			}
+			if err := Gather(pe, dt, back, dest, msgs, disp, total, root); err != nil {
+				return err
+			}
+			if me == root {
+				for p := 0; p < nPEs; p++ {
+					for i := 0; i < msgs[p]; i++ {
+						want := vals[disp[p]+i]
+						if got := int64(pe.Peek(dt, back+uint64(disp[p]+i)*w)); got != want {
+							t.Errorf("trial %d: gather block %d elem %d = %d, want %d",
+								trial, p, i, got, want)
+						}
+					}
+				}
+			}
+			return pe.Free(dest)
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"xbgas/internal/xbrtime"
+)
+
+// Reduce combines nelems elements of type dt from src on every PE with
+// operator op and delivers the result to dest on the root PE (paper
+// §4.4, Algorithm 2).
+//
+// src must be a symmetric shared address — the algorithm's gets pull
+// from the peers' staging buffers which shadow src — while dest is
+// significant only on the root and "may be either shared or private".
+// stride applies at both src and dest. op must be valid for dt (bitwise
+// operators are undefined for floating-point types).
+//
+// Data flows leaves→root with recursive doubling: the loop index runs
+// upward so the mask isolates virtual-rank bits right to left,
+// reversing the direction of the broadcast tree. Each surviving PE gets
+// its partner's staged partial into a private buffer (l_buff), combines
+// it into its shared staging buffer (s_buff), and the root finally
+// migrates s_buff to dest. Both buffers exist to "prevent any
+// unintended overwriting of values on any PE".
+func Reduce(pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint64, nelems, stride, root int) error {
+	if err := validate(pe, dt, nelems, stride, root); err != nil {
+		return err
+	}
+	if _, err := Combine(dt, op, 0, 0); err != nil {
+		return err // operator/type mismatch
+	}
+	nPEs := pe.NumPEs()
+	vRank := VirtualRank(pe.MyPE(), root, nPEs)
+	rounds := CeilLog2(nPEs)
+	w := uint64(dt.Width)
+	span := spanBytes(dt, nelems, stride)
+
+	// Symmetric staging buffer (same address on every PE) and a private
+	// landing buffer for partners' partials.
+	sBuf, err := pe.Malloc(span)
+	if err != nil {
+		return err
+	}
+	lBuf, err := pe.Scratch(span)
+	if err != nil {
+		pe.Free(sBuf) //nolint:errcheck // best-effort unwind
+		return err
+	}
+
+	// Stage the local contribution: s_buff[i×stride] = src[i×stride].
+	timedCopy(pe, dt, sBuf, src, nelems, stride, stride)
+	if err := pe.Barrier(); err != nil {
+		pe.Free(sBuf) //nolint:errcheck
+		return err
+	}
+
+	cost := combineCost(dt, op)
+	mask := (1 << rounds) - 1
+	for i := 0; i < rounds; i++ {
+		mask ^= 1 << i
+		if vRank|mask == mask && vRank&(1<<i) == 0 {
+			vPart := (vRank ^ (1 << i)) % nPEs
+			logPart := LogicalRank(vPart, root, nPEs)
+			if vRank < vPart {
+				if err := pe.Get(dt, lBuf, sBuf, nelems, stride, logPart); err != nil {
+					pe.Free(sBuf) //nolint:errcheck
+					return err
+				}
+				for j := 0; j < nelems; j++ {
+					off := uint64(j*stride) * w
+					a := pe.ReadElem(dt, sBuf+off)
+					b := pe.ReadElem(dt, lBuf+off)
+					r, err := Combine(dt, op, a, b)
+					if err != nil {
+						pe.Free(sBuf) //nolint:errcheck
+						return err
+					}
+					pe.Advance(cost)
+					pe.WriteElem(dt, sBuf+off, r)
+				}
+			}
+		}
+		if err := pe.Barrier(); err != nil {
+			pe.Free(sBuf) //nolint:errcheck
+			return err
+		}
+	}
+
+	// Root migrates the final values to dest.
+	if vRank == 0 {
+		timedCopy(pe, dt, dest, sBuf, nelems, stride, stride)
+	}
+	return pe.Free(sBuf)
+}

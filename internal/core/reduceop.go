@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"xbgas/internal/xbrtime"
+)
+
+// ReduceOp names one of the supported reduction operators. The paper's
+// implementation "supports sum, product, min, and max operations for
+// all types listed in Table 1" and "bitwise AND, bitwise OR, and
+// bitwise XOR ... for non-floating point types" (§4.4).
+type ReduceOp uint8
+
+// Reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpProd
+	OpMin
+	OpMax
+	OpBand
+	OpBor
+	OpBxor
+)
+
+var reduceOpNames = [...]string{"sum", "prod", "min", "max", "and", "or", "xor"}
+
+// String returns the operator's short name as used in the C function
+// names (xbrtime_TYPENAME_reduce_OP).
+func (op ReduceOp) String() string {
+	if int(op) < len(reduceOpNames) {
+		return reduceOpNames[op]
+	}
+	return fmt.Sprintf("op?%d", uint8(op))
+}
+
+// AllReduceOps lists every operator.
+func AllReduceOps() []ReduceOp {
+	return []ReduceOp{OpSum, OpProd, OpMin, OpMax, OpBand, OpBor, OpBxor}
+}
+
+// ValidFor reports whether the operator applies to dt: bitwise
+// operators are defined only for non-floating-point types.
+func (op ReduceOp) ValidFor(dt xbrtime.DType) bool {
+	switch op {
+	case OpSum, OpProd, OpMin, OpMax:
+		return true
+	case OpBand, OpBor, OpBxor:
+		return dt.Kind != xbrtime.KindFloat
+	}
+	return false
+}
+
+// combineCost is the ALU cycle charge per element combine.
+func combineCost(dt xbrtime.DType, op ReduceOp) uint64 {
+	if dt.Kind == xbrtime.KindFloat {
+		return 4 // FP add/mul/compare latency
+	}
+	if op == OpProd {
+		return 3 // integer multiply
+	}
+	return 1
+}
+
+// Combine applies op to two canonical values of type dt and returns the
+// canonical result. Canonical means: sign-extended for signed integers,
+// zero-extended for unsigned, raw IEEE bits for floats (see
+// xbrtime.DType.Canon).
+func Combine(dt xbrtime.DType, op ReduceOp, a, b uint64) (uint64, error) {
+	if !op.ValidFor(dt) {
+		return 0, fmt.Errorf("core: operator %s undefined for type %s", op, dt)
+	}
+	switch dt.Kind {
+	case xbrtime.KindFloat:
+		x, y := dt.Float(a), dt.Float(b)
+		var r float64
+		switch op {
+		case OpSum:
+			r = x + y
+		case OpProd:
+			r = x * y
+		case OpMin:
+			r = x
+			if y < x {
+				r = y
+			}
+		case OpMax:
+			r = x
+			if y > x {
+				r = y
+			}
+		}
+		return dt.FromFloat(r), nil
+
+	case xbrtime.KindInt:
+		x, y := int64(a), int64(b)
+		var r int64
+		switch op {
+		case OpSum:
+			r = x + y
+		case OpProd:
+			r = x * y
+		case OpMin:
+			r = x
+			if y < x {
+				r = y
+			}
+		case OpMax:
+			r = x
+			if y > x {
+				r = y
+			}
+		case OpBand:
+			r = x & y
+		case OpBor:
+			r = x | y
+		case OpBxor:
+			r = x ^ y
+		}
+		return dt.Canon(uint64(r)), nil
+
+	default: // KindUint
+		x, y := a, b
+		var r uint64
+		switch op {
+		case OpSum:
+			r = x + y
+		case OpProd:
+			r = x * y
+		case OpMin:
+			r = x
+			if y < x {
+				r = y
+			}
+		case OpMax:
+			r = x
+			if y > x {
+				r = y
+			}
+		case OpBand:
+			r = x & y
+		case OpBor:
+			r = x | y
+		case OpBxor:
+			r = x ^ y
+		}
+		return dt.Canon(r), nil
+	}
+}
+
+// Identity returns the operator's identity element for dt (used by the
+// linear-reduction baseline and by tests).
+func Identity(dt xbrtime.DType, op ReduceOp) uint64 {
+	switch op {
+	case OpSum, OpBor, OpBxor:
+		if dt.Kind == xbrtime.KindFloat {
+			return dt.FromFloat(0)
+		}
+		return 0
+	case OpProd:
+		if dt.Kind == xbrtime.KindFloat {
+			return dt.FromFloat(1)
+		}
+		return 1
+	case OpBand:
+		return dt.Canon(^uint64(0))
+	case OpMin:
+		switch dt.Kind {
+		case xbrtime.KindFloat:
+			return dt.FromFloat(maxFloat(dt))
+		case xbrtime.KindInt:
+			return dt.Canon(uint64(int64(1)<<(8*dt.Width-1) - 1)) // max signed
+		default:
+			return dt.Canon(^uint64(0)) // max unsigned
+		}
+	case OpMax:
+		switch dt.Kind {
+		case xbrtime.KindFloat:
+			return dt.FromFloat(-maxFloat(dt))
+		case xbrtime.KindInt:
+			return dt.Canon(uint64(int64(-1) << (8*dt.Width - 1))) // min signed
+		default:
+			return 0
+		}
+	}
+	return 0
+}
+
+func maxFloat(dt xbrtime.DType) float64 {
+	if dt.Width == 4 {
+		return 3.4028234663852886e+38 // math.MaxFloat32
+	}
+	return 1.7976931348623157e+308 // math.MaxFloat64
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Transfer is one point-to-point move in a collective's schedule,
+// expressed in virtual ranks.
+type Transfer struct {
+	Round int
+	// From and To are virtual ranks; for get-based collectives From is
+	// the passive data owner and To the PE issuing the get.
+	From, To int
+}
+
+// BroadcastSchedule computes, analytically, the communication schedule
+// of Algorithm 1 for n PEs: which virtual rank puts to which in each
+// round. Root choice does not affect the virtual-rank schedule (that is
+// the point of the remapping).
+func BroadcastSchedule(n int) []Transfer {
+	rounds := CeilLog2(n)
+	var out []Transfer
+	mask := (1 << rounds) - 1
+	for i := rounds - 1; i >= 0; i-- {
+		mask ^= 1 << i
+		for v := 0; v < n; v++ {
+			if v&mask == 0 && v&(1<<i) == 0 {
+				vp := (v ^ (1 << i)) % n
+				if v < vp {
+					out = append(out, Transfer{Round: rounds - 1 - i, From: v, To: vp})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ReduceSchedule computes the get schedule of Algorithm 2: in each
+// round, which virtual rank pulls from which.
+func ReduceSchedule(n int) []Transfer {
+	rounds := CeilLog2(n)
+	var out []Transfer
+	mask := (1 << rounds) - 1
+	for i := 0; i < rounds; i++ {
+		mask ^= 1 << i
+		for v := 0; v < n; v++ {
+			if v|mask == mask && v&(1<<i) == 0 {
+				vp := (v ^ (1 << i)) % n
+				if v < vp {
+					out = append(out, Transfer{Round: i, From: vp, To: v})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RenderTree renders the broadcast binomial tree with recursive halving
+// in the shape of paper Figure 3: one line per round listing the
+// point-to-point transfers among virtual ranks.
+func RenderTree(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Binomial tree with recursive halving, %d PEs (paper Figure 3)\n", n)
+	sched := BroadcastSchedule(n)
+	rounds := CeilLog2(n)
+	for r := 0; r < rounds; r++ {
+		fmt.Fprintf(&b, "  round %d:", r)
+		for _, tr := range sched {
+			if tr.Round == r {
+				fmt.Fprintf(&b, "  %d->%d", tr.From, tr.To)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  %d communication steps for %d PEs (upper bound ceil(log2 N))\n",
+		rounds, n)
+	return b.String()
+}

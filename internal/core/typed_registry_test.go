@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"xbgas/internal/xbrtime"
+)
+
+// TestEveryGeneratedWrapperDelegates drives every generated typed
+// wrapper — the full xbrtime_TYPENAME_{broadcast,scatter,gather} and
+// xbrtime_TYPENAME_reduce_OP surface — through one collective each and
+// checks the result against the generic entry point it must delegate
+// to.
+func TestEveryGeneratedWrapperDelegates(t *testing.T) {
+	const nPEs = 3
+	if len(typedBroadcasts) != 24 || len(typedScatters) != 24 || len(typedGathers) != 24 {
+		t.Fatalf("registry sizes: %d/%d/%d, want 24 each",
+			len(typedBroadcasts), len(typedScatters), len(typedGathers))
+	}
+	reduceCount := 0
+	for _, ops := range typedReduces {
+		reduceCount += len(ops)
+	}
+	// 24 types × 4 arithmetic ops + 21 integer types × 3 bitwise ops.
+	if want := 24*4 + 21*3; reduceCount != want {
+		t.Fatalf("reduce registry has %d entries, want %d", reduceCount, want)
+	}
+
+	for name, bcast := range typedBroadcasts {
+		name, bcast := name, bcast
+		dt, ok := xbrtime.TypeByName(name)
+		if !ok {
+			t.Fatalf("registry names unknown type %q", name)
+		}
+		scatter := typedScatters[name]
+		gather := typedGathers[name]
+		reduces := typedReduces[name]
+		t.Run(name, func(t *testing.T) {
+			w := uint64(dt.Width)
+			msgs := []int{1, 1, 1}
+			disp := []int{0, 1, 2}
+			runSPMD(t, nPEs, func(pe *xbrtime.PE) error {
+				me := pe.MyPE()
+				buf, err := pe.Malloc(w * 4)
+				if err != nil {
+					return err
+				}
+				out, err := pe.PrivateAlloc(w * 4)
+				if err != nil {
+					return err
+				}
+				val := func(k int) uint64 {
+					if dt.Kind == xbrtime.KindFloat {
+						return dt.FromFloat(float64(k))
+					}
+					return dt.Canon(uint64(k))
+				}
+
+				// Broadcast via the wrapper.
+				if me == 1 {
+					pe.Poke(dt, out, val(7))
+				}
+				if err := bcast(pe, buf, out, 1, 1, 1); err != nil {
+					return err
+				}
+				if got := pe.Peek(dt, buf); got != val(7) {
+					t.Errorf("broadcast wrapper: PE %d got %s", me, dt.FormatValue(got))
+				}
+
+				// Scatter then gather via the wrappers.
+				if me == 0 {
+					for i := 0; i < nPEs; i++ {
+						pe.Poke(dt, out+uint64(i)*w, val(i+1))
+					}
+				}
+				if err := scatter(pe, buf, out, msgs, disp, nPEs, 0); err != nil {
+					return err
+				}
+				if got := pe.Peek(dt, buf); got != val(me+1) {
+					t.Errorf("scatter wrapper: PE %d got %s", me, dt.FormatValue(got))
+				}
+				if err := gather(pe, out, buf, msgs, disp, nPEs, 2); err != nil {
+					return err
+				}
+				if me == 2 {
+					for i := 0; i < nPEs; i++ {
+						if got := pe.Peek(dt, out+uint64(i)*w); got != val(i+1) {
+							t.Errorf("gather wrapper elem %d: %s", i, dt.FormatValue(got))
+						}
+					}
+				}
+
+				// Every reduction wrapper for this type.
+				for opName, reduce := range reduces {
+					op := opByName(t, opName)
+					pe.Poke(dt, buf, val(me+1))
+					if err := reduce(pe, out, buf, 1, 1, 0); err != nil {
+						return err
+					}
+					if me == 0 {
+						want := val(1)
+						for p := 1; p < nPEs; p++ {
+							var err error
+							want, err = Combine(dt, op, want, val(p+1))
+							if err != nil {
+								return err
+							}
+						}
+						if got := pe.Peek(dt, out); got != want {
+							t.Errorf("reduce_%s wrapper: got %s, want %s",
+								opName, dt.FormatValue(got), dt.FormatValue(want))
+						}
+					}
+				}
+				return pe.Free(buf)
+			})
+		})
+	}
+}
+
+func opByName(t *testing.T, name string) ReduceOp {
+	t.Helper()
+	for _, op := range AllReduceOps() {
+		if op.String() == name {
+			return op
+		}
+	}
+	t.Fatalf("unknown reduce op %q", name)
+	return 0
+}

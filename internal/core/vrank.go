@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VirtualRank maps a logical PE rank to its virtual rank for a
+// collective rooted at root (paper §4.3):
+//
+//	vir_rank = log_rank - root            if log_rank >= root
+//	vir_rank = log_rank + n_pes - root    otherwise
+//
+// so the root always receives virtual rank 0 and consecutive virtual
+// ranks follow logical order modulo n_pes.
+func VirtualRank(logRank, root, nPEs int) int {
+	if logRank >= root {
+		return logRank - root
+	}
+	return logRank + nPEs - root
+}
+
+// LogicalRank inverts VirtualRank: log_part = (vir_part + root) mod
+// n_pes (the partner computation used in every algorithm).
+func LogicalRank(virRank, root, nPEs int) int {
+	return (virRank + root) % nPEs
+}
+
+// CeilLog2 returns ⌈log₂ n⌉ for n ≥ 1 — the number of rounds of every
+// binomial-tree collective.
+func CeilLog2(n int) int {
+	r := 0
+	for (1 << r) < n {
+		r++
+	}
+	return r
+}
+
+// Table2Mapping renders the logical→virtual rank mapping in the shape
+// of paper Table 2 for the given configuration (the paper's instance is
+// nPEs=7, root=4).
+func Table2Mapping(nPEs, root int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Logical to Virtual Rank Mapping (n_pes=%d, root=%d)\n", nPEs, root)
+	b.WriteString("log_rank  vir_rank\n")
+	for l := 0; l < nPEs; l++ {
+		fmt.Fprintf(&b, "%8d  %8d\n", l, VirtualRank(l, root, nPEs))
+	}
+	return b.String()
+}

@@ -1,0 +1,294 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Config parameterises the network cost model. Times are in core cycles
+// (the simulation's nominal clock is 1 GHz, so 1 cycle = 1 ns).
+type Config struct {
+	// InjectionOverhead is the fixed per-message software+NIC latency on
+	// the sender, counted in every message's transit time. xBGAS remote
+	// accesses issue "directly from the user-space" avoiding kernel
+	// involvement (paper §3.1), so this is small; message-passing
+	// baselines configure it much larger.
+	InjectionOverhead uint64
+	// IssueGap is the sender-side occupancy per message in a pipelined
+	// (unrolled or non-blocking) element stream: a core can start a new
+	// remote element operation at most once per IssueGap cycles. It is
+	// the throughput counterpart of InjectionOverhead's latency.
+	IssueGap uint64
+	// HopLatency is the per-hop propagation cost (α term).
+	HopLatency uint64
+	// ByteCost is the per-byte serialisation cost (β term), in cycles
+	// per byte.
+	ByteCost uint64
+	// ReceiverGap is the per-message service time at the receiving
+	// NIC/memory port; concurrent senders to one node queue behind it.
+	ReceiverGap uint64
+	// SwitchGap is the per-message service time of the shared central
+	// switch every message crosses. Aggregate traffic grows with the
+	// PE count, so this is the resource whose saturation produces the
+	// scaling knee at higher PE counts. Zero disables the switch model.
+	SwitchGap uint64
+	// SwitchByteCost is the per-byte component of switch service.
+	SwitchByteCost uint64
+	// CongestionWindow is the width, in cycles, of the occupancy
+	// windows used by the contention model. Messages whose timestamps
+	// fall in the same window queue behind each other's service time;
+	// the windowed booking is insensitive to the real-time order in
+	// which the per-PE goroutines issue their sends. Zero selects the
+	// default.
+	CongestionWindow uint64
+	// QueueCap bounds the queueing delay of a single message to this
+	// many windows (an overloaded resource drops to its service rate
+	// rather than building unbounded backlog). Zero selects the
+	// default.
+	QueueCap uint64
+}
+
+const (
+	defaultWindow   = 2048
+	defaultQueueCap = 4
+)
+
+// DefaultConfig returns the xBGAS-style cost model used in the
+// evaluation: cheap user-space injection, single-switch latency,
+// 1 byte/cycle links, DMA-speed receiver service.
+func DefaultConfig() Config {
+	return Config{
+		InjectionOverhead: 60,
+		IssueGap:          20,
+		HopLatency:        250,
+		ByteCost:          1,
+		ReceiverGap:       8,
+		SwitchGap:         15,
+		SwitchByteCost:    0,
+	}
+}
+
+// MessageConfig returns a cost model representative of a two-sided
+// message-passing transport: heavy injection (socket setup, handshakes,
+// system calls — paper §3.1) and receiver-side matching costs.
+func MessageConfig() Config {
+	return Config{
+		InjectionOverhead: 1500,
+		IssueGap:          400,
+		HopLatency:        250,
+		ByteCost:          1,
+		ReceiverGap:       400,
+		SwitchGap:         15,
+		SwitchByteCost:    0,
+	}
+}
+
+// Fabric is a contention-aware network shared by all simulated nodes.
+// It is safe for concurrent use by per-PE goroutines.
+//
+// Contention uses windowed booking: virtual time is divided into
+// fixed-width windows, and every message books its service time at its
+// destination (and at the shared switch) in the window of its send
+// timestamp. A message's queueing delay is the service already booked
+// in that window, capped at QueueCap windows. Because booking keys on
+// virtual timestamps, PEs whose virtual clocks have drifted apart do
+// not falsely contend, and the model is insensitive (up to window
+// granularity) to the real-time order in which goroutines issue sends.
+type Fabric struct {
+	mu       sync.Mutex
+	cfg      Config
+	topo     Topology
+	window   uint64
+	queueCap uint64
+
+	recvBusy   []map[uint64]uint64 // per node: window -> booked service
+	switchBusy map[uint64]uint64
+	downLinks  map[[2]int]bool // directed links taken down for fault injection
+
+	messages uint64
+	bytes    uint64
+	stallCyc uint64 // cycles lost to queueing
+	dropped  uint64 // sends refused on down links
+
+	// matrix[src*n+dst] counts messages and payload bytes per directed
+	// pair, for the traffic-matrix report.
+	matMsgs  []uint64
+	matBytes []uint64
+}
+
+// New builds a fabric over the given topology.
+func New(topo Topology, cfg Config) (*Fabric, error) {
+	if topo == nil || topo.Nodes() <= 0 {
+		return nil, fmt.Errorf("fabric: topology with no nodes")
+	}
+	window := cfg.CongestionWindow
+	if window == 0 {
+		window = defaultWindow
+	}
+	qcap := cfg.QueueCap
+	if qcap == 0 {
+		qcap = defaultQueueCap
+	}
+	n := topo.Nodes()
+	f := &Fabric{
+		cfg:        cfg,
+		topo:       topo,
+		window:     window,
+		queueCap:   qcap,
+		recvBusy:   make([]map[uint64]uint64, n),
+		switchBusy: make(map[uint64]uint64),
+		matMsgs:    make([]uint64, n*n),
+		matBytes:   make([]uint64, n*n),
+	}
+	for i := range f.recvBusy {
+		f.recvBusy[i] = make(map[uint64]uint64)
+	}
+	return f, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(topo Topology, cfg Config) *Fabric {
+	f, err := New(topo, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Topology returns the fabric's topology.
+func (f *Fabric) Topology() Topology { return f.topo }
+
+// Config returns the fabric's cost model.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// TransitCost returns the uncontended cost of moving n bytes from src to
+// dst: injection + hops·α + n·β. A self-send costs only the injection
+// overhead (the paper's runtime turns PE-local "remote" accesses into
+// plain loads and stores, but collectives never self-send anyway).
+func (f *Fabric) TransitCost(src, dst int, n int) uint64 {
+	if n < 0 {
+		n = 0
+	}
+	hops := uint64(f.topo.Hops(src, dst))
+	return f.cfg.InjectionOverhead + hops*f.cfg.HopLatency + uint64(n)*f.cfg.ByteCost
+}
+
+// book records service cycles in a window map and returns the delay a
+// new message experiences. The model is a fluid queue per window:
+// service booked earlier in the window drains at one cycle per cycle,
+// so a message queues only for the booked work that elapsed window time
+// has not yet covered. Arrivals spaced wider than their service time
+// therefore see no queue, while bursts and sustained overload do.
+func (f *Fabric) book(m map[uint64]uint64, now, service uint64) uint64 {
+	w := now / f.window
+	elapsed := now % f.window
+	booked := m[w]
+	m[w] = booked + service
+	if booked <= elapsed {
+		return 0
+	}
+	queued := booked - elapsed
+	if limit := f.queueCap * f.window; queued > limit {
+		return limit
+	}
+	return queued
+}
+
+// Send models a message of n bytes leaving src at time now and returns
+// the cycle at which it is fully received at dst. Messages sharing a
+// congestion window queue behind each other at the destination NIC and
+// at the shared switch; the resulting delay is recorded in
+// ContentionCycles.
+func (f *Fabric) Send(src, dst int, n int, now uint64) (arrive uint64, err error) {
+	if src < 0 || src >= f.topo.Nodes() || dst < 0 || dst >= f.topo.Nodes() {
+		return 0, fmt.Errorf("fabric: send %d->%d outside topology of %d nodes",
+			src, dst, f.topo.Nodes())
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("fabric: negative message size %d", n)
+	}
+	transit := f.TransitCost(src, dst, n)
+	recvSvc := f.cfg.ReceiverGap + uint64(n)*f.cfg.ByteCost
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.downLinks[[2]int{src, dst}] {
+		f.dropped++
+		return 0, fmt.Errorf("fabric: link %d->%d is down", src, dst)
+	}
+	queue := f.book(f.recvBusy[dst], now, recvSvc)
+	if f.cfg.SwitchGap > 0 {
+		switchSvc := f.cfg.SwitchGap + uint64(n)*f.cfg.SwitchByteCost
+		if qs := f.book(f.switchBusy, now, switchSvc); qs > queue {
+			queue = qs
+		}
+	}
+	f.stallCyc += queue
+	f.messages++
+	f.bytes += uint64(n)
+	idx := src*f.topo.Nodes() + dst
+	f.matMsgs[idx]++
+	f.matBytes[idx] += uint64(n)
+	return now + queue + transit, nil
+}
+
+// SetLinkState marks the directed link src→dst up or down. Sends over
+// a down link fail — the fault-injection hook used to test that
+// runtime and collective error paths propagate cleanly instead of
+// deadlocking.
+func (f *Fabric) SetLinkState(src, dst int, up bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.downLinks == nil {
+		f.downLinks = make(map[[2]int]bool)
+	}
+	if up {
+		delete(f.downLinks, [2]int{src, dst})
+	} else {
+		f.downLinks[[2]int{src, dst}] = true
+	}
+}
+
+// Dropped returns the number of sends refused because the link was
+// down.
+func (f *Fabric) Dropped() uint64 { f.mu.Lock(); defer f.mu.Unlock(); return f.dropped }
+
+// Messages returns the number of messages sent.
+func (f *Fabric) Messages() uint64 { f.mu.Lock(); defer f.mu.Unlock(); return f.messages }
+
+// Bytes returns the total payload bytes sent.
+func (f *Fabric) Bytes() uint64 { f.mu.Lock(); defer f.mu.Unlock(); return f.bytes }
+
+// ContentionCycles returns the cumulative queueing delay experienced at
+// busy receivers and the shared switch.
+func (f *Fabric) ContentionCycles() uint64 { f.mu.Lock(); defer f.mu.Unlock(); return f.stallCyc }
+
+// Traffic returns the per-directed-pair message and byte counts:
+// msgs[src][dst] and bytes[src][dst].
+func (f *Fabric) Traffic() (msgs, bytes [][]uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.topo.Nodes()
+	msgs = make([][]uint64, n)
+	bytes = make([][]uint64, n)
+	for s := 0; s < n; s++ {
+		msgs[s] = append([]uint64(nil), f.matMsgs[s*n:(s+1)*n]...)
+		bytes[s] = append([]uint64(nil), f.matBytes[s*n:(s+1)*n]...)
+	}
+	return msgs, bytes
+}
+
+// Reset clears occupancy and statistics, for reuse between benchmark
+// repetitions.
+func (f *Fabric) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.recvBusy {
+		f.recvBusy[i] = make(map[uint64]uint64)
+	}
+	f.switchBusy = make(map[uint64]uint64)
+	f.messages, f.bytes, f.stallCyc, f.dropped = 0, 0, 0, 0
+	for i := range f.matMsgs {
+		f.matMsgs[i], f.matBytes[i] = 0, 0
+	}
+}

@@ -1,0 +1,259 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologyHops(t *testing.T) {
+	cases := []struct {
+		topo          Topology
+		src, dst, hop int
+	}{
+		{FullyConnected{8}, 0, 0, 0},
+		{FullyConnected{8}, 0, 7, 1},
+		{FullyConnected{8}, 3, 5, 1},
+		{Ring{8}, 0, 1, 1},
+		{Ring{8}, 0, 4, 4},
+		{Ring{8}, 0, 7, 1}, // wraps
+		{Ring{8}, 2, 6, 4},
+		{Torus2D{4, 2}, 0, 3, 1}, // (0,0)->(3,0): wrap distance 1
+		{Torus2D{4, 2}, 0, 5, 2}, // (0,0)->(1,1)
+		{Torus2D{4, 2}, 0, 0, 0},
+		{Hypercube{3}, 0, 7, 3},
+		{Hypercube{3}, 0, 1, 1},
+		{Hypercube{3}, 5, 5, 0},
+		{Hypercube{4}, 0b0101, 0b1010, 4},
+	}
+	for _, c := range cases {
+		if got := c.topo.Hops(c.src, c.dst); got != c.hop {
+			t.Errorf("%s: Hops(%d,%d) = %d, want %d", c.topo.Name(), c.src, c.dst, got, c.hop)
+		}
+	}
+}
+
+func TestTopologyProperties(t *testing.T) {
+	topos := []Topology{FullyConnected{7}, Ring{7}, Torus2D{3, 3}, Hypercube{3}}
+	for _, topo := range topos {
+		n := topo.Nodes()
+		f := func(a, b uint8) bool {
+			src, dst := int(a)%n, int(b)%n
+			h := topo.Hops(src, dst)
+			// Symmetry, identity, and non-negativity.
+			return h == topo.Hops(dst, src) && (src != dst || h == 0) && h >= 0 &&
+				(src == dst || h >= 1)
+		}
+		cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(5))}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", topo.Name(), err)
+		}
+	}
+}
+
+func TestTransitCost(t *testing.T) {
+	cfg := Config{InjectionOverhead: 100, HopLatency: 50, ByteCost: 2, ReceiverGap: 10}
+	f := MustNew(Ring{8}, cfg)
+	// 0 -> 2 is 2 hops, 16 bytes.
+	got := f.TransitCost(0, 2, 16)
+	want := uint64(100 + 2*50 + 16*2)
+	if got != want {
+		t.Errorf("TransitCost = %d, want %d", got, want)
+	}
+	if f.TransitCost(3, 3, 0) != 100 {
+		t.Errorf("self-send cost = %d, want injection only", f.TransitCost(3, 3, 0))
+	}
+}
+
+func TestSendUncontended(t *testing.T) {
+	cfg := Config{InjectionOverhead: 10, HopLatency: 5, ByteCost: 1, ReceiverGap: 3}
+	f := MustNew(FullyConnected{4}, cfg)
+	arrive, err := f.Send(0, 1, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(100 + 10 + 5 + 8)
+	if arrive != want {
+		t.Errorf("arrive = %d, want %d", arrive, want)
+	}
+	if f.Messages() != 1 || f.Bytes() != 8 {
+		t.Errorf("stats: messages=%d bytes=%d", f.Messages(), f.Bytes())
+	}
+	if f.ContentionCycles() != 0 {
+		t.Errorf("uncontended send recorded %d stall cycles", f.ContentionCycles())
+	}
+}
+
+func TestSendContention(t *testing.T) {
+	cfg := Config{InjectionOverhead: 0, HopLatency: 0, ByteCost: 0, ReceiverGap: 100}
+	f := MustNew(FullyConnected{4}, cfg)
+	// Three simultaneous messages to node 3 serialise at its receiver.
+	a1, _ := f.Send(0, 3, 0, 0)
+	a2, _ := f.Send(1, 3, 0, 0)
+	a3, _ := f.Send(2, 3, 0, 0)
+	if a1 != 0 || a2 != 100 || a3 != 200 {
+		t.Errorf("arrivals = %d,%d,%d; want 0,100,200", a1, a2, a3)
+	}
+	if f.ContentionCycles() != 300 {
+		t.Errorf("contention = %d, want 300", f.ContentionCycles())
+	}
+	// A message to a different node is unaffected.
+	a4, _ := f.Send(0, 1, 0, 0)
+	if a4 != 0 {
+		t.Errorf("cross-destination message delayed: %d", a4)
+	}
+}
+
+func TestSwitchContention(t *testing.T) {
+	// With a switch service time configured, messages to *different*
+	// destinations still queue at the shared switch.
+	cfg := Config{ReceiverGap: 0, SwitchGap: 50}
+	f := MustNew(FullyConnected{4}, cfg)
+	a1, _ := f.Send(0, 1, 0, 0)
+	a2, _ := f.Send(2, 3, 0, 0)
+	if a1 != 0 || a2 != 50 {
+		t.Errorf("switch arrivals = %d,%d; want 0,50", a1, a2)
+	}
+}
+
+func TestDriftedClocksDoNotContend(t *testing.T) {
+	// Messages whose virtual timestamps are far apart land in different
+	// congestion windows and must not queue behind each other, even
+	// though they are issued back-to-back in real time.
+	f := MustNew(FullyConnected{2}, Config{ReceiverGap: 500})
+	a1, _ := f.Send(0, 1, 0, 5_000_000)
+	a2, _ := f.Send(0, 1, 0, 1_000) // virtually much earlier
+	if a1 != 5_000_000 || a2 != 1_000 {
+		t.Errorf("arrivals = %d,%d; drift created false contention", a1, a2)
+	}
+	if f.ContentionCycles() != 0 {
+		t.Errorf("contention = %d, want 0", f.ContentionCycles())
+	}
+}
+
+func TestQueueCapBoundsDelay(t *testing.T) {
+	cfg := Config{ReceiverGap: 1000, CongestionWindow: 100, QueueCap: 2}
+	f := MustNew(FullyConnected{2}, cfg)
+	var last uint64
+	for i := 0; i < 50; i++ {
+		last, _ = f.Send(0, 1, 0, 0)
+	}
+	if last > 200 {
+		t.Errorf("delay %d exceeds the 2-window cap", last)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	f := MustNew(Ring{4}, DefaultConfig())
+	if _, err := f.Send(-1, 0, 0, 0); err == nil {
+		t.Error("negative src must fail")
+	}
+	if _, err := f.Send(0, 4, 0, 0); err == nil {
+		t.Error("dst out of range must fail")
+	}
+	if _, err := f.Send(0, 1, -5, 0); err == nil {
+		t.Error("negative size must fail")
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := MustNew(FullyConnected{2}, Config{ReceiverGap: 50})
+	f.Send(0, 1, 100, 0)
+	f.Reset()
+	if f.Messages() != 0 || f.Bytes() != 0 || f.ContentionCycles() != 0 {
+		t.Error("reset did not clear statistics")
+	}
+	arrive, _ := f.Send(0, 1, 0, 0)
+	if arrive != 0 {
+		t.Errorf("reset did not clear receiver occupancy: arrive=%d", arrive)
+	}
+}
+
+func TestMessageConfigIsHeavier(t *testing.T) {
+	// Sanity of the §3.1 claim encoded in the two presets: the
+	// message-passing transport must cost more per message than the
+	// xBGAS one-sided transport.
+	x := DefaultConfig()
+	m := MessageConfig()
+	if m.InjectionOverhead <= x.InjectionOverhead {
+		t.Error("message-passing injection should exceed xBGAS user-space injection")
+	}
+	if m.ReceiverGap <= x.ReceiverGap {
+		t.Error("message-passing receiver gap should exceed xBGAS gap")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Error("nil topology must fail")
+	}
+	if _, err := New(Ring{0}, DefaultConfig()); err == nil {
+		t.Error("empty topology must fail")
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	f := MustNew(FullyConnected{8}, DefaultConfig())
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(src int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				if _, err := f.Send(src, (src+i)%8, 64, uint64(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if f.Messages() != 800 {
+		t.Errorf("messages = %d, want 800", f.Messages())
+	}
+}
+
+func TestLinkPartition(t *testing.T) {
+	f := MustNew(FullyConnected{3}, DefaultConfig())
+	f.SetLinkState(0, 1, false)
+	if _, err := f.Send(0, 1, 8, 0); err == nil {
+		t.Error("send over a down link must fail")
+	}
+	// Direction matters, and other links stay up.
+	if _, err := f.Send(1, 0, 8, 0); err != nil {
+		t.Errorf("reverse link should be up: %v", err)
+	}
+	if _, err := f.Send(0, 2, 8, 0); err != nil {
+		t.Errorf("unrelated link should be up: %v", err)
+	}
+	if f.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", f.Dropped())
+	}
+	f.SetLinkState(0, 1, true)
+	if _, err := f.Send(0, 1, 8, 0); err != nil {
+		t.Errorf("restored link should work: %v", err)
+	}
+}
+
+func TestTrafficMatrix(t *testing.T) {
+	f := MustNew(FullyConnected{3}, DefaultConfig())
+	f.Send(0, 1, 8, 0)
+	f.Send(0, 1, 16, 0)
+	f.Send(2, 0, 4, 0)
+	msgs, bytes := f.Traffic()
+	if msgs[0][1] != 2 || bytes[0][1] != 24 {
+		t.Errorf("0->1: %d msgs %d bytes", msgs[0][1], bytes[0][1])
+	}
+	if msgs[2][0] != 1 || bytes[2][0] != 4 {
+		t.Errorf("2->0: %d msgs %d bytes", msgs[2][0], bytes[2][0])
+	}
+	if msgs[1][2] != 0 {
+		t.Errorf("1->2 should be empty")
+	}
+	f.Reset()
+	msgs, _ = f.Traffic()
+	if msgs[0][1] != 0 {
+		t.Error("reset did not clear the matrix")
+	}
+}

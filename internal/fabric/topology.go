@@ -1,0 +1,114 @@
+// Package fabric models the inter-node communication substrate of the
+// xBGAS simulation environment. The paper's infrastructure uses MPICH
+// 3.2 purely as the transport between Spike instances (§5.1); this
+// package replaces it with an explicit α–β cost model plus receiver-side
+// contention, parameterised by network topology.
+//
+// The binomial-tree collectives of paper §4 are chosen specifically to
+// "forgo making any assumptions about network topology" and to work on
+// either "a torus or hypercube topology"; the Topology interface lets
+// the benchmarks demonstrate exactly that claim.
+package fabric
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Topology yields the hop distance between nodes. Implementations must
+// be immutable and safe for concurrent use.
+type Topology interface {
+	// Name identifies the topology in reports.
+	Name() string
+	// Nodes returns the number of nodes.
+	Nodes() int
+	// Hops returns the minimal hop count from src to dst. Hops(n, n)
+	// must be 0.
+	Hops(src, dst int) int
+}
+
+// FullyConnected is an all-to-all topology: every remote pair is one hop
+// apart. This models the paper's single-switch evaluation cluster.
+type FullyConnected struct{ N int }
+
+// Name implements Topology.
+func (f FullyConnected) Name() string { return "fully-connected" }
+
+// Nodes implements Topology.
+func (f FullyConnected) Nodes() int { return f.N }
+
+// Hops implements Topology.
+func (f FullyConnected) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	return 1
+}
+
+// Ring is a bidirectional ring.
+type Ring struct{ N int }
+
+// Name implements Topology.
+func (r Ring) Name() string { return "ring" }
+
+// Nodes implements Topology.
+func (r Ring) Nodes() int { return r.N }
+
+// Hops implements Topology.
+func (r Ring) Hops(src, dst int) int {
+	if r.N == 0 {
+		return 0
+	}
+	d := src - dst
+	if d < 0 {
+		d = -d
+	}
+	if wrap := r.N - d; wrap < d {
+		return wrap
+	}
+	return d
+}
+
+// Torus2D is a W×H bidirectional 2-D torus; node n sits at
+// (n mod W, n / W).
+type Torus2D struct{ W, H int }
+
+// Name implements Topology.
+func (t Torus2D) Name() string { return fmt.Sprintf("torus-%dx%d", t.W, t.H) }
+
+// Nodes implements Topology.
+func (t Torus2D) Nodes() int { return t.W * t.H }
+
+// Hops implements Topology.
+func (t Torus2D) Hops(src, dst int) int {
+	return ringDist(src%t.W, dst%t.W, t.W) + ringDist(src/t.W, dst/t.W, t.H)
+}
+
+func ringDist(a, b, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if wrap := n - d; wrap < d {
+		return wrap
+	}
+	return d
+}
+
+// Hypercube is a 2^Dim-node binary hypercube; the hop count between two
+// nodes is the Hamming distance of their labels.
+type Hypercube struct{ Dim int }
+
+// Name implements Topology.
+func (h Hypercube) Name() string { return fmt.Sprintf("hypercube-%d", h.Dim) }
+
+// Nodes implements Topology.
+func (h Hypercube) Nodes() int { return 1 << h.Dim }
+
+// Hops implements Topology.
+func (h Hypercube) Hops(src, dst int) int {
+	return bits.OnesCount(uint(src ^ dst))
+}

@@ -1,0 +1,49 @@
+package isa
+
+import "fmt"
+
+// Disasm renders i using the assembler syntax accepted by internal/asm
+// and used in the paper (e.g. "eld a0, 8(a1)", "erld a0, a1, e2").
+func (i Inst) Disasm() string {
+	info := opTable[i.Op]
+	switch i.Op {
+	case OpInvalid:
+		return "invalid"
+	case FENCE, ECALL, EBREAK:
+		return i.Op.String()
+	case ELE: // ele ext1, imm(rs1)
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.ExtRd(), i.Imm, i.Rs1)
+	case ESE: // ese ext1, imm(rs1)
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.ExtRs2(), i.Imm, i.Rs1)
+	case EADDI: // eaddi rd, ext1, imm
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.ExtRs1(), i.Imm)
+	case EADDIE: // eaddie ext1, rs1, imm
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.ExtRd(), i.Rs1, i.Imm)
+	case EADDIX: // eaddix ext1, ext2, imm
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.ExtRd(), i.ExtRs1(), i.Imm)
+	}
+	if i.Op.IsRemoteLoad() && info.format == FormatR { // raw loads
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs1, i.ExtRs2())
+	}
+	if i.Op.IsRemoteStore() && info.format == FormatR { // raw stores
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rs1, i.Rs2, i.ExtRd())
+	}
+	switch info.format {
+	case FormatR:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case FormatI:
+		if info.opcode == opcLoad || info.opcode == opcXLoad || i.Op == JALR {
+			return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rd, i.Imm, i.Rs1)
+		}
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case FormatS:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rs2, i.Imm, i.Rs1)
+	case FormatB:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case FormatU:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+	case FormatJ:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+	}
+	return "invalid"
+}

@@ -1,0 +1,31 @@
+// Package isa models the RISC-V RV64I instruction set together with the
+// xBGAS extension described in the xBGAS architecture specification and in
+// Williams et al., "Collective Communication for the RISC-V xBGAS ISA
+// Extension" (ICPP 2019).
+//
+// The package provides:
+//
+//   - the register files: the 32 base integer registers x0–x31 and the 32
+//     xBGAS extended registers e0–e31 (paper Figure 1),
+//
+//   - an instruction representation (Inst) with binary encode and decode
+//     for the RV64I base, the M multiply/divide subset, and the three
+//     xBGAS instruction classes of paper §3.2:
+//
+//     base integer load/store   — eld rd, imm(rs1): the extended register
+//     naturally paired with rs1 supplies the upper 64 bits of the
+//     effective address;
+//
+//     raw integer load/store    — erld rd, rs1, ext2: the extended
+//     register is named explicitly and no immediate is available;
+//
+//     address management        — eaddi/eaddie/eaddix move values between
+//     base and extended registers without touching memory,
+//
+//   - a disassembler producing the mnemonics used throughout the paper.
+//
+// The xBGAS opcodes occupy the custom-0..custom-3 major opcode space
+// reserved by the RISC-V specification for extensions; the semantic
+// behaviour (effective-address formation, OLB translation on a non-zero
+// object ID) follows the paper exactly.
+package isa

@@ -1,0 +1,44 @@
+package isa
+
+import "testing"
+
+// FuzzDecode asserts that no 32-bit word makes the decoder panic and
+// that every successfully decoded instruction re-encodes to a word
+// that decodes to the same instruction (encode need not reproduce the
+// original word bit-for-bit: ignored fields are legal).
+func FuzzDecode(f *testing.F) {
+	seeds := []uint32{
+		0x00000000, 0xFFFFFFFF, 0x00000013, // addi x0,x0,0
+		0x00A5051B, 0x0000100B, 0x0000102B, 0x0000105B, 0x0000107B,
+	}
+	for _, op := range AllOps() {
+		w, err := (Inst{Op: op, Rd: A0, Rs1: A1, Rs2: A2}).Encode()
+		if err == nil {
+			seeds = append(seeds, w)
+		}
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, w uint32) {
+		inst, err := Decode(w)
+		if err != nil {
+			return
+		}
+		if !inst.Op.Valid() {
+			t.Fatalf("decode accepted %#08x but produced invalid op", w)
+		}
+		_ = inst.Disasm() // must not panic
+		re, err := inst.Encode()
+		if err != nil {
+			t.Fatalf("decoded %#08x to %+v which fails to encode: %v", w, inst, err)
+		}
+		back, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded word %#08x fails to decode: %v", re, err)
+		}
+		if back != inst {
+			t.Fatalf("decode(%#08x)=%+v but decode(encode)=%+v", w, inst, back)
+		}
+	})
+}

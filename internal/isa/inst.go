@@ -1,0 +1,360 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// InstBytes is the size of one encoded instruction word.
+const InstBytes = 4
+
+// ErrBadEncoding is wrapped by Decode errors for unrecognised words.
+var ErrBadEncoding = errors.New("isa: bad instruction encoding")
+
+// Inst is one decoded instruction.
+//
+// Register fields hold raw 5-bit indices. For most operations they name
+// base registers; the xBGAS raw-class and address-management operations
+// reinterpret one field as an extended-register index, exposed through
+// the ExtReg helpers below:
+//
+//	erld rd, rs1, ext2  — Rs2 is the extended register
+//	ersd rs1, rs2, ext3 — Rd is the extended register
+//	eaddi rd, ext1, imm — Rs1 is the extended register
+//	eaddie ext1, rs1, imm — Rd is the extended register
+//	eaddix ext1, ext2, imm — Rd and Rs1 are both extended registers
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int64
+}
+
+// ExtRd returns the Rd field viewed as an extended register.
+func (i Inst) ExtRd() EReg { return EReg(i.Rd) }
+
+// ExtRs1 returns the Rs1 field viewed as an extended register.
+func (i Inst) ExtRs1() EReg { return EReg(i.Rs1) }
+
+// ExtRs2 returns the Rs2 field viewed as an extended register.
+func (i Inst) ExtRs2() EReg { return EReg(i.Rs2) }
+
+func signExtend(v uint32, bits uint) int64 {
+	shift := 64 - bits
+	return int64(uint64(v)<<shift) >> shift
+}
+
+// immRange reports the inclusive immediate range for a format.
+func immRange(op Op) (lo, hi int64, mul int64) {
+	info := opTable[op]
+	if info.shift {
+		if op == SLLIW || op == SRLIW || op == SRAIW {
+			return 0, 31, 1
+		}
+		return 0, 63, 1
+	}
+	switch info.format {
+	case FormatI, FormatS:
+		return -2048, 2047, 1
+	case FormatB:
+		return -4096, 4094, 2
+	case FormatU:
+		return 0, 0xFFFFF, 1 // 20-bit unsigned page number
+	case FormatJ:
+		return -(1 << 20), (1 << 20) - 2, 2
+	}
+	return 0, 0, 1
+}
+
+// Encode produces the 32-bit instruction word for i. It validates
+// register indices and immediate ranges.
+func (i Inst) Encode() (uint32, error) {
+	if !i.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid op %d", i.Op)
+	}
+	if !i.Rd.Valid() || !i.Rs1.Valid() || !i.Rs2.Valid() {
+		return 0, fmt.Errorf("isa: encode %s: register index out of range", i.Op)
+	}
+	info := opTable[i.Op]
+	lo, hi, mul := immRange(i.Op)
+	if info.format != FormatR && (i.Imm < lo || i.Imm > hi || i.Imm%mul != 0) {
+		return 0, fmt.Errorf("isa: encode %s: immediate %d outside [%d,%d] step %d",
+			i.Op, i.Imm, lo, hi, mul)
+	}
+
+	w := info.opcode
+	rd := uint32(i.Rd) << 7
+	rs1 := uint32(i.Rs1) << 15
+	rs2 := uint32(i.Rs2) << 20
+	f3 := info.funct3 << 12
+
+	switch info.format {
+	case FormatR:
+		w |= rd | f3 | rs1 | rs2 | info.funct7<<25
+
+	case FormatI:
+		imm := uint32(i.Imm) & 0xFFF
+		if info.shift {
+			imm = uint32(i.Imm) & 0x3F // 6-bit shamt (RV64)
+			imm |= info.funct7 << 5    // funct7[6:1] discriminator
+		}
+		if i.Op == EBREAK {
+			imm = 1
+		}
+		w |= rd | f3 | rs1 | imm<<20
+
+	case FormatS:
+		imm := uint32(i.Imm) & 0xFFF
+		w |= (imm & 0x1F) << 7
+		w |= f3 | rs1 | rs2
+		w |= (imm >> 5) << 25
+
+	case FormatB:
+		imm := uint32(i.Imm) & 0x1FFF
+		w |= ((imm >> 11) & 1) << 7
+		w |= ((imm >> 1) & 0xF) << 8
+		w |= f3 | rs1 | rs2
+		w |= ((imm >> 5) & 0x3F) << 25
+		w |= ((imm >> 12) & 1) << 31
+
+	case FormatU:
+		w |= rd | uint32(i.Imm)<<12
+
+	case FormatJ:
+		imm := uint32(i.Imm) & 0x1FFFFF
+		w |= rd
+		w |= ((imm >> 12) & 0xFF) << 12
+		w |= ((imm >> 11) & 1) << 20
+		w |= ((imm >> 1) & 0x3FF) << 21
+		w |= ((imm >> 20) & 1) << 31
+	}
+	return w, nil
+}
+
+// MustEncode is Encode for instructions known valid at construction time;
+// it panics on error and is intended for runtime-generated stubs.
+func (i Inst) MustEncode() uint32 {
+	w, err := i.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode decodes one 32-bit instruction word.
+func Decode(w uint32) (Inst, error) {
+	opcode := w & 0x7F
+	rd := Reg((w >> 7) & 0x1F)
+	funct3 := (w >> 12) & 7
+	rs1 := Reg((w >> 15) & 0x1F)
+	rs2 := Reg((w >> 20) & 0x1F)
+	funct7 := w >> 25
+
+	inst := Inst{Rd: rd, Rs1: rs1, Rs2: rs2}
+
+	fail := func() (Inst, error) {
+		return Inst{}, fmt.Errorf("%w: %#08x", ErrBadEncoding, w)
+	}
+
+	switch opcode {
+	case opcLUI, opcAUIPC:
+		if opcode == opcLUI {
+			inst.Op = LUI
+		} else {
+			inst.Op = AUIPC
+		}
+		inst.Rs1, inst.Rs2 = 0, 0
+		inst.Imm = int64(w >> 12)
+		return inst, nil
+
+	case opcJAL:
+		inst.Op = JAL
+		inst.Rs1, inst.Rs2 = 0, 0
+		imm := ((w >> 31) & 1) << 20
+		imm |= ((w >> 21) & 0x3FF) << 1
+		imm |= ((w >> 20) & 1) << 11
+		imm |= ((w >> 12) & 0xFF) << 12
+		inst.Imm = signExtend(imm, 21)
+		return inst, nil
+
+	case opcJALR:
+		if funct3 != 0 {
+			return fail()
+		}
+		inst.Op = JALR
+		inst.Rs2 = 0
+		inst.Imm = signExtend(w>>20, 12)
+		return inst, nil
+
+	case opcBranch:
+		ops := map[uint32]Op{0: BEQ, 1: BNE, 4: BLT, 5: BGE, 6: BLTU, 7: BGEU}
+		op, ok := ops[funct3]
+		if !ok {
+			return fail()
+		}
+		inst.Op = op
+		inst.Rd = 0
+		imm := ((w >> 31) & 1) << 12
+		imm |= ((w >> 7) & 1) << 11
+		imm |= ((w >> 25) & 0x3F) << 5
+		imm |= ((w >> 8) & 0xF) << 1
+		inst.Imm = signExtend(imm, 13)
+		return inst, nil
+
+	case opcLoad, opcXLoad:
+		var ops map[uint32]Op
+		if opcode == opcLoad {
+			ops = map[uint32]Op{0: LB, 1: LH, 2: LW, 3: LD, 4: LBU, 5: LHU, 6: LWU}
+		} else {
+			ops = map[uint32]Op{0: ELB, 1: ELH, 2: ELW, 3: ELD, 4: ELBU, 5: ELHU, 6: ELWU, 7: ELE}
+		}
+		op, ok := ops[funct3]
+		if !ok {
+			return fail()
+		}
+		inst.Op = op
+		inst.Rs2 = 0
+		inst.Imm = signExtend(w>>20, 12)
+		return inst, nil
+
+	case opcStore, opcXStore:
+		var ops map[uint32]Op
+		if opcode == opcStore {
+			ops = map[uint32]Op{0: SB, 1: SH, 2: SW, 3: SD}
+		} else {
+			ops = map[uint32]Op{0: ESB, 1: ESH, 2: ESW, 3: ESD, 7: ESE}
+		}
+		op, ok := ops[funct3]
+		if !ok {
+			return fail()
+		}
+		inst.Op = op
+		inst.Rd = 0
+		imm := ((w >> 7) & 0x1F) | (funct7 << 5)
+		inst.Imm = signExtend(imm, 12)
+		return inst, nil
+
+	case opcOpImm, opcOpImm32:
+		w32 := opcode == opcOpImm32
+		switch funct3 {
+		case 1, 5: // shifts
+			shamt := (w >> 20) & 0x3F
+			disc := funct7 &^ 1 // bit 25 is part of the RV64 shamt
+			var op Op
+			switch {
+			case funct3 == 1 && disc == 0x00:
+				op = SLLI
+			case funct3 == 5 && disc == 0x00:
+				op = SRLI
+			case funct3 == 5 && disc == 0x20:
+				op = SRAI
+			default:
+				return fail()
+			}
+			if w32 {
+				switch op {
+				case SLLI:
+					op = SLLIW
+				case SRLI:
+					op = SRLIW
+				case SRAI:
+					op = SRAIW
+				}
+				if shamt > 31 {
+					return fail()
+				}
+			}
+			inst.Op = op
+			inst.Rs2 = 0
+			inst.Imm = int64(shamt)
+			return inst, nil
+		default:
+			var ops map[uint32]Op
+			if w32 {
+				ops = map[uint32]Op{0: ADDIW}
+			} else {
+				ops = map[uint32]Op{0: ADDI, 2: SLTI, 3: SLTIU, 4: XORI, 6: ORI, 7: ANDI}
+			}
+			op, ok := ops[funct3]
+			if !ok {
+				return fail()
+			}
+			inst.Op = op
+			inst.Rs2 = 0
+			inst.Imm = signExtend(w>>20, 12)
+			return inst, nil
+		}
+
+	case opcOp, opcOp32:
+		type key struct{ f3, f7 uint32 }
+		var ops map[key]Op
+		if opcode == opcOp {
+			ops = map[key]Op{
+				{0, 0x00}: ADD, {0, 0x20}: SUB, {1, 0x00}: SLL, {2, 0x00}: SLT,
+				{3, 0x00}: SLTU, {4, 0x00}: XOR, {5, 0x00}: SRL, {5, 0x20}: SRA,
+				{6, 0x00}: OR, {7, 0x00}: AND,
+				{0, 0x01}: MUL, {1, 0x01}: MULH, {3, 0x01}: MULHU,
+				{4, 0x01}: DIV, {5, 0x01}: DIVU, {6, 0x01}: REM, {7, 0x01}: REMU,
+			}
+		} else {
+			ops = map[key]Op{
+				{0, 0x00}: ADDW, {0, 0x20}: SUBW, {1, 0x00}: SLLW,
+				{5, 0x00}: SRLW, {5, 0x20}: SRAW,
+				{0, 0x01}: MULW, {4, 0x01}: DIVW, {5, 0x01}: DIVUW,
+				{6, 0x01}: REMW, {7, 0x01}: REMUW,
+			}
+		}
+		op, ok := ops[key{funct3, funct7}]
+		if !ok {
+			return fail()
+		}
+		inst.Op = op
+		return inst, nil
+
+	case opcMiscMem:
+		if funct3 != 0 {
+			return fail()
+		}
+		// fence: ordering bits are irrelevant to the functional model.
+		return Inst{Op: FENCE}, nil
+
+	case opcSystem:
+		if funct3 != 0 || rd != 0 || rs1 != 0 {
+			return fail()
+		}
+		switch w >> 20 {
+		case 0:
+			return Inst{Op: ECALL}, nil
+		case 1:
+			return Inst{Op: EBREAK, Imm: 1}, nil
+		}
+		return fail()
+
+	case opcXRaw:
+		type key struct{ f3, f7 uint32 }
+		ops := map[key]Op{
+			{0, 0x00}: ERLB, {1, 0x00}: ERLH, {2, 0x00}: ERLW, {3, 0x00}: ERLD,
+			{4, 0x00}: ERLBU, {5, 0x00}: ERLHU, {6, 0x00}: ERLWU,
+			{0, 0x01}: ERSB, {1, 0x01}: ERSH, {2, 0x01}: ERSW, {3, 0x01}: ERSD,
+		}
+		op, ok := ops[key{funct3, funct7}]
+		if !ok {
+			return fail()
+		}
+		inst.Op = op
+		return inst, nil
+
+	case opcXAddress:
+		ops := map[uint32]Op{0: EADDI, 1: EADDIE, 2: EADDIX}
+		op, ok := ops[funct3]
+		if !ok {
+			return fail()
+		}
+		inst.Op = op
+		inst.Rs2 = 0
+		inst.Imm = signExtend(w>>20, 12)
+		return inst, nil
+	}
+	return fail()
+}

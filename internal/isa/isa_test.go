@@ -1,0 +1,324 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// normalize zeroes the fields of i that the encoding of its format does
+// not carry, so that encode→decode round-trips compare equal.
+func normalize(i Inst) Inst {
+	info := opTable[i.Op]
+	switch i.Op {
+	case FENCE:
+		return Inst{Op: FENCE}
+	case ECALL:
+		return Inst{Op: ECALL}
+	case EBREAK:
+		return Inst{Op: EBREAK, Imm: 1}
+	}
+	switch info.format {
+	case FormatR:
+		i.Imm = 0
+	case FormatI:
+		i.Rs2 = 0
+	case FormatS, FormatB:
+		i.Rd = 0
+	case FormatU, FormatJ:
+		i.Rs1, i.Rs2 = 0, 0
+	}
+	return i
+}
+
+// randomInst builds a random valid instruction for op.
+func randomInst(op Op, rng *rand.Rand) Inst {
+	i := Inst{
+		Op:  op,
+		Rd:  Reg(rng.Intn(NumRegs)),
+		Rs1: Reg(rng.Intn(NumRegs)),
+		Rs2: Reg(rng.Intn(NumRegs)),
+	}
+	lo, hi, mul := immRange(op)
+	if hi > lo {
+		i.Imm = lo + rng.Int63n((hi-lo)/mul+1)*mul
+	}
+	return normalize(i)
+}
+
+func TestEncodeDecodeRoundTripAllOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, op := range AllOps() {
+		for trial := 0; trial < 200; trial++ {
+			want := randomInst(op, rng)
+			w, err := want.Encode()
+			if err != nil {
+				t.Fatalf("%s: encode %+v: %v", op, want, err)
+			}
+			got, err := Decode(w)
+			if err != nil {
+				t.Fatalf("%s: decode %#08x: %v", op, w, err)
+			}
+			if got != want {
+				t.Fatalf("%s: round trip mismatch\nword %#08x\nwant %+v\ngot  %+v",
+					op, w, want, got)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	ops := AllOps()
+	f := func(opIdx uint16, rd, rs1, rs2 uint8, rawImm int64) bool {
+		op := ops[int(opIdx)%len(ops)]
+		lo, hi, mul := immRange(op)
+		i := Inst{Op: op, Rd: Reg(rd % NumRegs), Rs1: Reg(rs1 % NumRegs), Rs2: Reg(rs2 % NumRegs)}
+		if hi > lo {
+			span := (hi-lo)/mul + 1
+			v := rawImm % span
+			if v < 0 {
+				v += span
+			}
+			i.Imm = lo + v*mul
+		}
+		i = normalize(i)
+		w, err := i.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsBadImmediates(t *testing.T) {
+	cases := []Inst{
+		{Op: ADDI, Rd: A0, Rs1: A1, Imm: 4096},
+		{Op: ADDI, Rd: A0, Rs1: A1, Imm: -4097},
+		{Op: SLLI, Rd: A0, Rs1: A1, Imm: 64},
+		{Op: SLLIW, Rd: A0, Rs1: A1, Imm: 32},
+		{Op: BEQ, Rs1: A0, Rs2: A1, Imm: 3},      // misaligned branch target
+		{Op: JAL, Rd: RA, Imm: 1 << 21},          // out of range
+		{Op: ELD, Rd: A0, Rs1: A1, Imm: 2048},    // xBGAS immediate range
+		{Op: EADDIE, Rd: 1, Rs1: A0, Imm: -2049}, // address management range
+	}
+	for _, c := range cases {
+		if _, err := c.Encode(); err == nil {
+			t.Errorf("%s imm=%d: expected encode error", c.Op, c.Imm)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := []uint32{
+		0x00000000,             // all zeros: not a defined encoding
+		0xFFFFFFFF,             // all ones
+		0x00007063,             // branch with funct3=7? (bgeu valid) -> use funct3=2
+		0x0000A063,             // branch funct3=2: undefined
+		0x0000602B,             // xBGAS store funct3=6: undefined
+		0x0000307B,             // address management funct3=3: undefined
+		0x0200802B>>0 | 0x7000, // xstore funct3=7
+	}
+	for _, w := range bad {
+		inst, err := Decode(w)
+		if err == nil && inst.Op != BLTU && inst.Op != BGEU {
+			// a couple of entries above are deliberately near-valid; only
+			// fail when decode accepted a word it should not have
+			if inst.Op == OpInvalid {
+				continue
+			}
+			if w == 0x00000000 || w == 0xFFFFFFFF || w == 0x0000A063 ||
+				w == 0x0000602B || w == 0x0000307B {
+				t.Errorf("Decode(%#08x) = %v, want error", w, inst)
+			}
+		}
+	}
+}
+
+func TestRegisterParsing(t *testing.T) {
+	cases := map[string]Reg{
+		"zero": Zero, "ra": RA, "sp": SP, "fp": S0, "s0": S0,
+		"a0": A0, "a7": A7, "t6": T6, "x0": Zero, "x31": T6, "X10": A0,
+	}
+	for in, want := range cases {
+		got, err := ParseReg(in)
+		if err != nil || got != want {
+			t.Errorf("ParseReg(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseReg("x32"); err == nil {
+		t.Error("ParseReg(x32): expected error")
+	}
+	if _, err := ParseReg("q7"); err == nil {
+		t.Error("ParseReg(q7): expected error")
+	}
+	for in, want := range map[string]EReg{"e0": 0, "e31": 31, "E10": 10} {
+		got, err := ParseEReg(in)
+		if err != nil || got != want {
+			t.Errorf("ParseEReg(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseEReg("e32"); err == nil {
+		t.Error("ParseEReg(e32): expected error")
+	}
+}
+
+func TestRegPairing(t *testing.T) {
+	// Paper §3.2: base-class operations use the extended register that
+	// naturally corresponds to the base register.
+	for r := Reg(0); r < NumRegs; r++ {
+		if got := r.Pair(); got != EReg(r) {
+			t.Fatalf("Pair(%v) = %v", r, got)
+		}
+	}
+}
+
+func TestDisasmMnemonics(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ELD, Rd: A0, Rs1: A1, Imm: 8}, "eld a0, 8(a1)"},
+		{Inst{Op: ESD, Rs1: A1, Rs2: A0, Imm: -16}, "esd a0, -16(a1)"},
+		{Inst{Op: ERLD, Rd: A0, Rs1: A1, Rs2: 2}, "erld a0, a1, e2"},
+		{Inst{Op: ERSD, Rd: 3, Rs1: A0, Rs2: A1}, "ersd a0, a1, e3"},
+		{Inst{Op: EADDI, Rd: A0, Rs1: 5, Imm: 4}, "eaddi a0, e5, 4"},
+		{Inst{Op: EADDIE, Rd: 7, Rs1: A2, Imm: 0}, "eaddie e7, a2, 0"},
+		{Inst{Op: EADDIX, Rd: 1, Rs1: 2, Imm: 12}, "eaddix e1, e2, 12"},
+		{Inst{Op: ADD, Rd: A0, Rs1: A1, Rs2: A2}, "add a0, a1, a2"},
+		{Inst{Op: ADDI, Rd: A0, Rs1: A1, Imm: -1}, "addi a0, a1, -1"},
+		{Inst{Op: LW, Rd: T0, Rs1: SP, Imm: 4}, "lw t0, 4(sp)"},
+		{Inst{Op: SD, Rs1: SP, Rs2: RA, Imm: 8}, "sd ra, 8(sp)"},
+		{Inst{Op: BEQ, Rs1: A0, Rs2: A1, Imm: 16}, "beq a0, a1, 16"},
+		{Inst{Op: JAL, Rd: RA, Imm: 2048}, "jal ra, 2048"},
+		{Inst{Op: JALR, Rd: RA, Rs1: A0, Imm: 0}, "jalr ra, 0(a0)"},
+		{Inst{Op: LUI, Rd: A0, Imm: 0x12345}, "lui a0, 74565"},
+		{Inst{Op: ECALL}, "ecall"},
+		{Inst{Op: FENCE}, "fence"},
+	}
+	for _, c := range cases {
+		if got := c.in.Disasm(); got != c.want {
+			t.Errorf("Disasm(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDisasmDecodeAgree(t *testing.T) {
+	// Disassembly of a decoded word names the decoded operation.
+	rng := rand.New(rand.NewSource(7))
+	for _, op := range AllOps() {
+		i := randomInst(op, rng)
+		w := i.MustEncode()
+		d, err := Decode(w)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if !strings.HasPrefix(d.Disasm()+" ", op.String()+" ") {
+			t.Errorf("%s: disasm %q does not start with mnemonic", op, d.Disasm())
+		}
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	remoteLoads := []Op{ELB, ELH, ELW, ELD, ELBU, ELHU, ELWU, ERLB, ERLH, ERLW, ERLD, ERLBU, ERLHU, ERLWU}
+	remoteStores := []Op{ESB, ESH, ESW, ESD, ERSB, ERSH, ERSW, ERSD}
+	addrMgmt := []Op{EADDI, EADDIE, EADDIX}
+	for _, op := range remoteLoads {
+		if !op.IsRemoteLoad() || op.IsRemoteStore() || !op.IsXBGAS() {
+			t.Errorf("%s: wrong classification", op)
+		}
+	}
+	for _, op := range remoteStores {
+		if !op.IsRemoteStore() || op.IsRemoteLoad() || !op.IsXBGAS() {
+			t.Errorf("%s: wrong classification", op)
+		}
+	}
+	for _, op := range addrMgmt {
+		if !op.IsXBGAS() || op.IsRemoteLoad() || op.IsRemoteStore() {
+			t.Errorf("%s: wrong classification", op)
+		}
+		if op.MemWidth() != 0 {
+			t.Errorf("%s: address management must not access memory", op)
+		}
+	}
+	for _, op := range []Op{ADD, LW, SD, JAL, ECALL} {
+		if op.IsXBGAS() {
+			t.Errorf("%s: misclassified as xBGAS", op)
+		}
+	}
+}
+
+func TestMemWidths(t *testing.T) {
+	widths := map[Op]int{
+		LB: 1, LH: 2, LW: 4, LD: 8, SB: 1, SH: 2, SW: 4, SD: 8,
+		ELB: 1, ELH: 2, ELW: 4, ELD: 8, ESB: 1, ESH: 2, ESW: 4, ESD: 8,
+		ERLB: 1, ERLH: 2, ERLW: 4, ERLD: 8, ERSB: 1, ERSH: 2, ERSW: 4, ERSD: 8,
+		ADD: 0, EADDIX: 0,
+	}
+	for op, want := range widths {
+		if got := op.MemWidth(); got != want {
+			t.Errorf("%s.MemWidth() = %d, want %d", op, got, want)
+		}
+	}
+	unsigned := []Op{LBU, LHU, LWU, ELBU, ELHU, ELWU, ERLBU, ERLHU, ERLWU}
+	for _, op := range unsigned {
+		if !op.MemUnsigned() {
+			t.Errorf("%s: should be unsigned", op)
+		}
+	}
+	if LD.MemUnsigned() || ELD.MemUnsigned() {
+		t.Error("64-bit loads have no unsigned variant")
+	}
+}
+
+func TestOpByName(t *testing.T) {
+	for _, op := range AllOps() {
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName(bogus) should fail")
+	}
+}
+
+func TestRegisterFileLayout(t *testing.T) {
+	layout := RegisterFileLayout()
+	for _, want := range []string{"x0", "e0", "x31", "e31", "128-bit", "object ID"} {
+		if !strings.Contains(layout, want) {
+			t.Errorf("layout missing %q", want)
+		}
+	}
+}
+
+func TestOpcodeTableListsEveryOp(t *testing.T) {
+	table := OpcodeTable()
+	for _, op := range AllOps() {
+		if !strings.Contains(table, op.String()) {
+			t.Errorf("opcode table missing %s", op)
+		}
+	}
+	if !strings.Contains(table, "xBGAS extension") {
+		t.Error("opcode table missing the xBGAS section header")
+	}
+}
+
+func TestELEESEDisasm(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ELE, Rd: 5, Rs1: A0, Imm: 16}, "ele e5, 16(a0)"},
+		{Inst{Op: ESE, Rs2: 7, Rs1: SP, Imm: -8}, "ese e7, -8(sp)"},
+	}
+	for _, c := range cases {
+		if got := c.in.Disasm(); got != c.want {
+			t.Errorf("Disasm(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

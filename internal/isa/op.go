@@ -1,0 +1,393 @@
+package isa
+
+// Format is the RISC-V instruction encoding format.
+type Format uint8
+
+// Instruction formats per the RISC-V user-level specification.
+const (
+	FormatR Format = iota // register-register
+	FormatI               // register-immediate, loads, jalr
+	FormatS               // stores
+	FormatB               // conditional branches
+	FormatU               // lui/auipc
+	FormatJ               // jal
+)
+
+// Major opcode values (bits [6:0] of the instruction word).
+const (
+	opcLUI      = 0x37
+	opcAUIPC    = 0x17
+	opcJAL      = 0x6F
+	opcJALR     = 0x67
+	opcBranch   = 0x63
+	opcLoad     = 0x03
+	opcStore    = 0x23
+	opcOpImm    = 0x13
+	opcOpImm32  = 0x1B
+	opcOp       = 0x33
+	opcOp32     = 0x3B
+	opcMiscMem  = 0x0F
+	opcSystem   = 0x73
+	opcXLoad    = 0x0B // custom-0: xBGAS base-class extended loads
+	opcXStore   = 0x2B // custom-1: xBGAS base-class extended stores
+	opcXRaw     = 0x5B // custom-2: xBGAS raw-class loads/stores
+	opcXAddress = 0x7B // custom-3: xBGAS address management
+)
+
+// Op names an instruction operation.
+type Op uint16
+
+// RV64I base, M subset, and xBGAS operations.
+const (
+	OpInvalid Op = iota
+
+	// RV64I upper-immediate and control transfer.
+	LUI
+	AUIPC
+	JAL
+	JALR
+
+	// Conditional branches.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+
+	// Local loads.
+	LB
+	LH
+	LW
+	LD
+	LBU
+	LHU
+	LWU
+
+	// Local stores.
+	SB
+	SH
+	SW
+	SD
+
+	// Register-immediate ALU.
+	ADDI
+	SLTI
+	SLTIU
+	XORI
+	ORI
+	ANDI
+	SLLI
+	SRLI
+	SRAI
+	ADDIW
+	SLLIW
+	SRLIW
+	SRAIW
+
+	// Register-register ALU.
+	ADD
+	SUB
+	SLL
+	SLT
+	SLTU
+	XOR
+	SRL
+	SRA
+	OR
+	AND
+	ADDW
+	SUBW
+	SLLW
+	SRLW
+	SRAW
+
+	// M extension subset.
+	MUL
+	MULH
+	MULHU
+	DIV
+	DIVU
+	REM
+	REMU
+	MULW
+	DIVW
+	DIVUW
+	REMW
+	REMUW
+
+	// Miscellaneous.
+	FENCE
+	ECALL
+	EBREAK
+
+	// xBGAS base-class extended loads: eld rd, imm(rs1).
+	// The extended register paired with rs1 supplies the object ID.
+	ELB
+	ELH
+	ELW
+	ELD
+	ELBU
+	ELHU
+	ELWU
+
+	// xBGAS base-class extended stores: esd rs2, imm(rs1).
+	ESB
+	ESH
+	ESW
+	ESD
+
+	// xBGAS raw-class loads: erld rd, rs1, ext2.
+	// Rs2 carries the extended-register index; no immediate (paper §3.2).
+	ERLB
+	ERLH
+	ERLW
+	ERLD
+	ERLBU
+	ERLHU
+	ERLWU
+
+	// xBGAS raw-class stores: ersd rs1, rs2, ext3.
+	// Rs1 is the value, Rs2 the address, Rd carries the extended-register
+	// index.
+	ERSB
+	ERSH
+	ERSW
+	ERSD
+
+	// xBGAS extended-register spill/fill: move an extended register to
+	// or from local memory (the xBGAS specification's ele/ese forms).
+	ELE // ele ext1, imm(rs1): e[ext1] = mem64[x[rs1]+imm]
+	ESE // ese ext1, imm(rs1): mem64[x[rs1]+imm] = e[ext1]
+
+	// xBGAS address management (paper §3.2: manipulate extended register
+	// contents without performing remote accesses).
+	EADDI  // eaddi  rd,  ext1, imm : x[rd]  = e[ext1] + imm
+	EADDIE // eaddie ext1, rs1, imm : e[ext1] = x[rs1] + imm
+	EADDIX // eaddix ext1, ext2, imm: e[ext1] = e[ext2] + imm
+
+	numOps // sentinel
+)
+
+// opInfo carries the encoding metadata for one operation.
+type opInfo struct {
+	name   string
+	format Format
+	opcode uint32 // major opcode bits [6:0]
+	funct3 uint32
+	funct7 uint32
+	// shift marks OP-IMM shifts, whose immediate is a 6-bit shamt with
+	// funct7[6:1] acting as a discriminator (RV64 encoding).
+	shift bool
+}
+
+var opTable = [numOps]opInfo{
+	LUI:   {"lui", FormatU, opcLUI, 0, 0, false},
+	AUIPC: {"auipc", FormatU, opcAUIPC, 0, 0, false},
+	JAL:   {"jal", FormatJ, opcJAL, 0, 0, false},
+	JALR:  {"jalr", FormatI, opcJALR, 0, 0, false},
+
+	BEQ:  {"beq", FormatB, opcBranch, 0, 0, false},
+	BNE:  {"bne", FormatB, opcBranch, 1, 0, false},
+	BLT:  {"blt", FormatB, opcBranch, 4, 0, false},
+	BGE:  {"bge", FormatB, opcBranch, 5, 0, false},
+	BLTU: {"bltu", FormatB, opcBranch, 6, 0, false},
+	BGEU: {"bgeu", FormatB, opcBranch, 7, 0, false},
+
+	LB:  {"lb", FormatI, opcLoad, 0, 0, false},
+	LH:  {"lh", FormatI, opcLoad, 1, 0, false},
+	LW:  {"lw", FormatI, opcLoad, 2, 0, false},
+	LD:  {"ld", FormatI, opcLoad, 3, 0, false},
+	LBU: {"lbu", FormatI, opcLoad, 4, 0, false},
+	LHU: {"lhu", FormatI, opcLoad, 5, 0, false},
+	LWU: {"lwu", FormatI, opcLoad, 6, 0, false},
+
+	SB: {"sb", FormatS, opcStore, 0, 0, false},
+	SH: {"sh", FormatS, opcStore, 1, 0, false},
+	SW: {"sw", FormatS, opcStore, 2, 0, false},
+	SD: {"sd", FormatS, opcStore, 3, 0, false},
+
+	ADDI:  {"addi", FormatI, opcOpImm, 0, 0, false},
+	SLTI:  {"slti", FormatI, opcOpImm, 2, 0, false},
+	SLTIU: {"sltiu", FormatI, opcOpImm, 3, 0, false},
+	XORI:  {"xori", FormatI, opcOpImm, 4, 0, false},
+	ORI:   {"ori", FormatI, opcOpImm, 6, 0, false},
+	ANDI:  {"andi", FormatI, opcOpImm, 7, 0, false},
+	SLLI:  {"slli", FormatI, opcOpImm, 1, 0x00, true},
+	SRLI:  {"srli", FormatI, opcOpImm, 5, 0x00, true},
+	SRAI:  {"srai", FormatI, opcOpImm, 5, 0x20, true},
+	ADDIW: {"addiw", FormatI, opcOpImm32, 0, 0, false},
+	SLLIW: {"slliw", FormatI, opcOpImm32, 1, 0x00, true},
+	SRLIW: {"srliw", FormatI, opcOpImm32, 5, 0x00, true},
+	SRAIW: {"sraiw", FormatI, opcOpImm32, 5, 0x20, true},
+
+	ADD:  {"add", FormatR, opcOp, 0, 0x00, false},
+	SUB:  {"sub", FormatR, opcOp, 0, 0x20, false},
+	SLL:  {"sll", FormatR, opcOp, 1, 0x00, false},
+	SLT:  {"slt", FormatR, opcOp, 2, 0x00, false},
+	SLTU: {"sltu", FormatR, opcOp, 3, 0x00, false},
+	XOR:  {"xor", FormatR, opcOp, 4, 0x00, false},
+	SRL:  {"srl", FormatR, opcOp, 5, 0x00, false},
+	SRA:  {"sra", FormatR, opcOp, 5, 0x20, false},
+	OR:   {"or", FormatR, opcOp, 6, 0x00, false},
+	AND:  {"and", FormatR, opcOp, 7, 0x00, false},
+	ADDW: {"addw", FormatR, opcOp32, 0, 0x00, false},
+	SUBW: {"subw", FormatR, opcOp32, 0, 0x20, false},
+	SLLW: {"sllw", FormatR, opcOp32, 1, 0x00, false},
+	SRLW: {"srlw", FormatR, opcOp32, 5, 0x00, false},
+	SRAW: {"sraw", FormatR, opcOp32, 5, 0x20, false},
+
+	MUL:   {"mul", FormatR, opcOp, 0, 0x01, false},
+	MULH:  {"mulh", FormatR, opcOp, 1, 0x01, false},
+	MULHU: {"mulhu", FormatR, opcOp, 3, 0x01, false},
+	DIV:   {"div", FormatR, opcOp, 4, 0x01, false},
+	DIVU:  {"divu", FormatR, opcOp, 5, 0x01, false},
+	REM:   {"rem", FormatR, opcOp, 6, 0x01, false},
+	REMU:  {"remu", FormatR, opcOp, 7, 0x01, false},
+	MULW:  {"mulw", FormatR, opcOp32, 0, 0x01, false},
+	DIVW:  {"divw", FormatR, opcOp32, 4, 0x01, false},
+	DIVUW: {"divuw", FormatR, opcOp32, 5, 0x01, false},
+	REMW:  {"remw", FormatR, opcOp32, 6, 0x01, false},
+	REMUW: {"remuw", FormatR, opcOp32, 7, 0x01, false},
+
+	FENCE:  {"fence", FormatI, opcMiscMem, 0, 0, false},
+	ECALL:  {"ecall", FormatI, opcSystem, 0, 0, false},
+	EBREAK: {"ebreak", FormatI, opcSystem, 0, 0, false},
+
+	ELE: {"ele", FormatI, opcXLoad, 7, 0, false},
+	ESE: {"ese", FormatS, opcXStore, 7, 0, false},
+
+	ELB:  {"elb", FormatI, opcXLoad, 0, 0, false},
+	ELH:  {"elh", FormatI, opcXLoad, 1, 0, false},
+	ELW:  {"elw", FormatI, opcXLoad, 2, 0, false},
+	ELD:  {"eld", FormatI, opcXLoad, 3, 0, false},
+	ELBU: {"elbu", FormatI, opcXLoad, 4, 0, false},
+	ELHU: {"elhu", FormatI, opcXLoad, 5, 0, false},
+	ELWU: {"elwu", FormatI, opcXLoad, 6, 0, false},
+
+	ESB: {"esb", FormatS, opcXStore, 0, 0, false},
+	ESH: {"esh", FormatS, opcXStore, 1, 0, false},
+	ESW: {"esw", FormatS, opcXStore, 2, 0, false},
+	ESD: {"esd", FormatS, opcXStore, 3, 0, false},
+
+	ERLB:  {"erlb", FormatR, opcXRaw, 0, 0x00, false},
+	ERLH:  {"erlh", FormatR, opcXRaw, 1, 0x00, false},
+	ERLW:  {"erlw", FormatR, opcXRaw, 2, 0x00, false},
+	ERLD:  {"erld", FormatR, opcXRaw, 3, 0x00, false},
+	ERLBU: {"erlbu", FormatR, opcXRaw, 4, 0x00, false},
+	ERLHU: {"erlhu", FormatR, opcXRaw, 5, 0x00, false},
+	ERLWU: {"erlwu", FormatR, opcXRaw, 6, 0x00, false},
+
+	ERSB: {"ersb", FormatR, opcXRaw, 0, 0x01, false},
+	ERSH: {"ersh", FormatR, opcXRaw, 1, 0x01, false},
+	ERSW: {"ersw", FormatR, opcXRaw, 2, 0x01, false},
+	ERSD: {"ersd", FormatR, opcXRaw, 3, 0x01, false},
+
+	EADDI:  {"eaddi", FormatI, opcXAddress, 0, 0, false},
+	EADDIE: {"eaddie", FormatI, opcXAddress, 1, 0, false},
+	EADDIX: {"eaddix", FormatI, opcXAddress, 2, 0, false},
+}
+
+// String returns the assembler mnemonic for the operation.
+func (op Op) String() string {
+	if op > OpInvalid && op < numOps {
+		return opTable[op].name
+	}
+	return "invalid"
+}
+
+// Format returns the encoding format of the operation.
+func (op Op) Format() Format {
+	if op > OpInvalid && op < numOps {
+		return opTable[op].format
+	}
+	return FormatI
+}
+
+// Valid reports whether op names a defined operation.
+func (op Op) Valid() bool { return op > OpInvalid && op < numOps }
+
+// IsXBGAS reports whether op belongs to the xBGAS extension.
+func (op Op) IsXBGAS() bool {
+	switch op.majorOpcode() {
+	case opcXLoad, opcXStore, opcXRaw, opcXAddress:
+		return true
+	}
+	return false
+}
+
+// IsRemoteLoad reports whether op is an xBGAS load (base or raw class).
+func (op Op) IsRemoteLoad() bool {
+	switch op {
+	case ELB, ELH, ELW, ELD, ELBU, ELHU, ELWU,
+		ERLB, ERLH, ERLW, ERLD, ERLBU, ERLHU, ERLWU:
+		return true
+	}
+	return false
+}
+
+// IsRemoteStore reports whether op is an xBGAS store (base or raw class).
+func (op Op) IsRemoteStore() bool {
+	switch op {
+	case ESB, ESH, ESW, ESD, ERSB, ERSH, ERSW, ERSD:
+		return true
+	}
+	return false
+}
+
+// MemWidth returns the access width in bytes for load/store operations
+// (local or extended), and 0 for non-memory operations.
+func (op Op) MemWidth() int {
+	switch op {
+	case LB, LBU, SB, ELB, ELBU, ESB, ERLB, ERLBU, ERSB:
+		return 1
+	case LH, LHU, SH, ELH, ELHU, ESH, ERLH, ERLHU, ERSH:
+		return 2
+	case LW, LWU, SW, ELW, ELWU, ESW, ERLW, ERLWU, ERSW:
+		return 4
+	case LD, SD, ELD, ESD, ERLD, ERSD:
+		return 8
+	}
+	return 0
+}
+
+// MemUnsigned reports whether a load zero-extends (lbu/lhu/lwu and the
+// extended equivalents). 64-bit loads have no signedness distinction.
+func (op Op) MemUnsigned() bool {
+	switch op {
+	case LBU, LHU, LWU, ELBU, ELHU, ELWU, ERLBU, ERLHU, ERLWU:
+		return true
+	}
+	return false
+}
+
+func (op Op) majorOpcode() uint32 {
+	if op > OpInvalid && op < numOps {
+		return opTable[op].opcode
+	}
+	return 0
+}
+
+// OpByName returns the operation with the given assembler mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := OpInvalid + 1; op < numOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// AllOps returns every defined operation, in declaration order. It is
+// used by encode/decode round-trip tests and the disassembler tests.
+func AllOps() []Op {
+	ops := make([]Op, 0, int(numOps)-1)
+	for op := OpInvalid + 1; op < numOps; op++ {
+		ops = append(ops, op)
+	}
+	return ops
+}

@@ -1,0 +1,66 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpcodeTable renders the full instruction encoding table in the style
+// of an ISA specification appendix: mnemonic, format, major opcode,
+// funct3/funct7 discriminators. The xBGAS extension instructions are
+// grouped under their custom opcodes.
+func OpcodeTable() string {
+	type row struct {
+		name   string
+		format Format
+		opc    uint32
+		f3     uint32
+		f7     uint32
+		xbgas  bool
+	}
+	rows := make([]row, 0, int(numOps))
+	for op := OpInvalid + 1; op < numOps; op++ {
+		info := opTable[op]
+		rows = append(rows, row{
+			name: info.name, format: info.format,
+			opc: info.opcode, f3: info.funct3, f7: info.funct7,
+			xbgas: op.IsXBGAS(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].xbgas != rows[j].xbgas {
+			return !rows[i].xbgas
+		}
+		if rows[i].opc != rows[j].opc {
+			return rows[i].opc < rows[j].opc
+		}
+		if rows[i].f3 != rows[j].f3 {
+			return rows[i].f3 < rows[j].f3
+		}
+		return rows[i].f7 < rows[j].f7
+	})
+
+	formatName := map[Format]string{
+		FormatR: "R", FormatI: "I", FormatS: "S",
+		FormatB: "B", FormatU: "U", FormatJ: "J",
+	}
+	var b strings.Builder
+	b.WriteString("RV64I + M-subset + xBGAS instruction encodings\n")
+	fmt.Fprintf(&b, "%-8s %-3s %-9s %-7s %-7s %s\n",
+		"mnem", "fmt", "opcode", "funct3", "funct7", "class")
+	sectionDone := false
+	for _, r := range rows {
+		if r.xbgas && !sectionDone {
+			b.WriteString("--- xBGAS extension (custom-0..custom-3 opcode space) ---\n")
+			sectionDone = true
+		}
+		class := "base"
+		if r.xbgas {
+			class = "xbgas"
+		}
+		fmt.Fprintf(&b, "%-8s %-3s %#07b %#05b  %#09b %s\n",
+			r.name, formatName[r.format], r.opc, r.f3, r.f7, class)
+	}
+	return b.String()
+}

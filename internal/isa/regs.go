@@ -1,0 +1,132 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Reg identifies one of the 32 base integer registers x0–x31.
+type Reg uint8
+
+// EReg identifies one of the 32 xBGAS extended ("e") registers e0–e31.
+// Paper Figure 1: the extended register file mirrors the base register
+// file; e-register k is the natural pair of base register x-k and holds
+// the upper 64 bits (the object ID) of a 128-bit extended address.
+type EReg uint8
+
+// NumRegs is the size of each register file.
+const NumRegs = 32
+
+// Base register ABI names, in the standard RV64 ABI order.
+const (
+	Zero Reg = iota // x0, hardwired zero
+	RA              // x1, return address
+	SP              // x2, stack pointer
+	GP              // x3, global pointer
+	TP              // x4, thread pointer
+	T0              // x5
+	T1              // x6
+	T2              // x7
+	S0              // x8 / fp
+	S1              // x9
+	A0              // x10, argument/return
+	A1              // x11
+	A2              // x12
+	A3              // x13
+	A4              // x14
+	A5              // x15
+	A6              // x16
+	A7              // x17, syscall number
+	S2              // x18
+	S3              // x19
+	S4              // x20
+	S5              // x21
+	S6              // x22
+	S7              // x23
+	S8              // x24
+	S9              // x25
+	S10             // x26
+	S11             // x27
+	T3              // x28
+	T4              // x29
+	T5              // x30
+	T6              // x31
+)
+
+var abiNames = [NumRegs]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// String returns the ABI name of the register ("a0", "sp", ...).
+func (r Reg) String() string {
+	if int(r) < len(abiNames) {
+		return abiNames[r]
+	}
+	return fmt.Sprintf("x?%d", uint8(r))
+}
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// String returns the extended register name ("e0" ... "e31").
+func (e EReg) String() string { return fmt.Sprintf("e%d", uint8(e)) }
+
+// Valid reports whether e names an architectural extended register.
+func (e EReg) Valid() bool { return e < NumRegs }
+
+// Pair returns the extended register naturally paired with base register
+// r. Base-class xBGAS load/stores (paper §3.2) "automatically employ the
+// extended register that naturally corresponds to the provided base
+// register" — i.e. the one with the same index.
+func (r Reg) Pair() EReg { return EReg(r) }
+
+// ParseReg parses a base register name: an ABI name ("a0", "sp"), a
+// numeric name ("x10"), or the frame-pointer alias "fp".
+func ParseReg(s string) (Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "fp" {
+		return S0, nil
+	}
+	for i, n := range abiNames {
+		if s == n {
+			return Reg(i), nil
+		}
+	}
+	if strings.HasPrefix(s, "x") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("isa: unknown register %q", s)
+}
+
+// ParseEReg parses an extended register name ("e0" ... "e31").
+func ParseEReg(s string) (EReg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if strings.HasPrefix(s, "e") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return EReg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("isa: unknown extended register %q", s)
+}
+
+// RegisterFileLayout renders the combined register file of paper
+// Figure 1: each base register x-k alongside its extended pair e-k, the
+// two together forming one 128-bit extended address.
+func RegisterFileLayout() string {
+	var b strings.Builder
+	b.WriteString("xBGAS extended register file (paper Figure 1)\n")
+	b.WriteString("128-bit extended address = e[k] (object ID) : x[k] (64-bit base address)\n\n")
+	b.WriteString("  idx  base   abi    extended\n")
+	for i := 0; i < NumRegs; i++ {
+		fmt.Fprintf(&b, "  %2d   x%-4d  %-5s  e%d\n", i, i, abiNames[i], i)
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package mem
+
+import "fmt"
+
+// LineSize is the cache line size in bytes for all cache levels.
+const LineSize = 64
+
+// Cache is a set-associative, write-allocate, write-back cache model
+// with true-LRU replacement within each set. Only tags are tracked: data
+// always lives in Memory (the functional simulator is store-through),
+// so the cache influences timing and statistics, never values.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	tags     [][]uint64 // [set][way] line tag; ^0 = invalid
+	dirty    [][]bool
+	lru      [][]uint64 // [set][way] last-use tick
+	tick     uint64
+	hits     uint64
+	misses   uint64
+	evicts   uint64
+	wbBytes  uint64
+	sizeByte int
+}
+
+// NewCache builds a cache of size bytes with the given associativity.
+// size must be a multiple of ways*LineSize.
+func NewCache(name string, size, ways int) (*Cache, error) {
+	if size <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("mem: cache %s: non-positive geometry", name)
+	}
+	lines := size / LineSize
+	if lines*LineSize != size || lines%ways != 0 {
+		return nil, fmt.Errorf("mem: cache %s: size %d not divisible into %d-way sets of %d-byte lines",
+			name, size, ways, LineSize)
+	}
+	sets := lines / ways
+	c := &Cache{name: name, sets: sets, ways: ways, sizeByte: size}
+	c.tags = make([][]uint64, sets)
+	c.dirty = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for s := 0; s < sets; s++ {
+		c.tags[s] = make([]uint64, ways)
+		c.dirty[s] = make([]bool, ways)
+		c.lru[s] = make([]uint64, ways)
+		for w := 0; w < ways; w++ {
+			c.tags[s][w] = ^uint64(0)
+		}
+	}
+	return c, nil
+}
+
+// MustCache is NewCache for static configurations; it panics on error.
+func MustCache(name string, size, ways int) *Cache {
+	c, err := NewCache(name, size, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// access probes a single line. write marks the line dirty on presence.
+func (c *Cache) access(lineAddr uint64, write bool) (hit bool) {
+	set := int(lineAddr % uint64(c.sets))
+	c.tick++
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set][w] == lineAddr {
+			c.lru[set][w] = c.tick
+			if write {
+				c.dirty[set][w] = true
+			}
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	// Fill: choose an invalid way, else the LRU way.
+	victim := 0
+	oldest := ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set][w] == ^uint64(0) {
+			victim = w
+			oldest = 0
+			break
+		}
+		if c.lru[set][w] < oldest {
+			oldest = c.lru[set][w]
+			victim = w
+		}
+	}
+	if c.tags[set][victim] != ^uint64(0) {
+		c.evicts++
+		if c.dirty[set][victim] {
+			c.wbBytes += LineSize
+		}
+	}
+	c.tags[set][victim] = lineAddr
+	c.dirty[set][victim] = write
+	c.lru[set][victim] = c.tick
+	return false
+}
+
+// Access touches every line covered by [addr, addr+size) and reports
+// whether all of them hit. Statistics count one probe per line.
+func (c *Cache) Access(addr uint64, size int, write bool) (allHit bool) {
+	if size <= 0 {
+		return true
+	}
+	first := addr / LineSize
+	last := (addr + uint64(size) - 1) / LineSize
+	allHit = true
+	for line := first; line <= last; line++ {
+		if !c.access(line, write) {
+			allHit = false
+		}
+	}
+	return allHit
+}
+
+// Flush invalidates every line, counting dirty lines as written back.
+func (c *Cache) Flush() {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			if c.tags[s][w] != ^uint64(0) && c.dirty[s][w] {
+				c.wbBytes += LineSize
+			}
+			c.tags[s][w] = ^uint64(0)
+			c.dirty[s][w] = false
+		}
+	}
+}
+
+// Hits returns the number of line probes that hit.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of line probes that missed.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Evictions returns the number of valid lines replaced.
+func (c *Cache) Evictions() uint64 { return c.evicts }
+
+// WritebackBytes returns the number of dirty bytes written back.
+func (c *Cache) WritebackBytes() uint64 { return c.wbBytes }
+
+// Size returns the capacity in bytes.
+func (c *Cache) Size() int { return c.sizeByte }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// HitRate returns hits/(hits+misses), or 0 with no traffic.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

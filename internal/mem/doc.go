@@ -1,0 +1,18 @@
+// Package mem models the per-node memory system of the xBGAS simulation
+// environment described in paper §5.1: each simulated RISC-V core is
+// "configured with a 256-Entry TLB and 8-way set associative L1 (16KB)
+// and L2 (8MB) caches".
+//
+// The package provides three composable pieces:
+//
+//   - Memory: a sparse, byte-addressable 64-bit physical memory,
+//   - TLB: a fully-associative, LRU translation look-aside buffer,
+//   - Cache: a set-associative, write-allocate, write-back LRU cache,
+//
+// and a Hierarchy that stacks TLB → L1 → L2 → DRAM, charging a cycle
+// cost per access and keeping hit/miss statistics. The hierarchy is the
+// source of the local-memory component of the performance model used by
+// the runtime and the benchmarks; the absolute latencies are nominal
+// (Config documents them), but the capacity and associativity behaviour
+// follows the paper's configuration exactly.
+package mem

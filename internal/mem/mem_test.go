@@ -1,0 +1,318 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryReadWriteRoundTrip(t *testing.T) {
+	m := NewMemory()
+	for _, size := range []int{1, 2, 4, 8} {
+		addr := uint64(0x1000 + size*64)
+		want := uint64(0x1122334455667788) & (1<<(8*size) - 1)
+		m.WriteUint(addr, size, want)
+		if got := m.ReadUint(addr, size); got != want {
+			t.Errorf("size %d: got %#x, want %#x", size, got, want)
+		}
+	}
+}
+
+func TestMemoryZeroFill(t *testing.T) {
+	m := NewMemory()
+	if v := m.Uint64(0xDEADBEEF000); v != 0 {
+		t.Errorf("unwritten memory = %#x, want 0", v)
+	}
+	var buf [16]byte
+	m.ReadBytes(0x12345, buf[:])
+	for i, b := range buf {
+		if b != 0 {
+			t.Errorf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestMemoryCrossPageAccess(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(PageSize - 3) // straddles the first page boundary
+	m.WriteUint(addr, 8, 0x0102030405060708)
+	if got := m.ReadUint(addr, 8); got != 0x0102030405060708 {
+		t.Errorf("cross-page read = %#x", got)
+	}
+	if m.Footprint() != 2 {
+		t.Errorf("footprint = %d, want 2 pages", m.Footprint())
+	}
+}
+
+func TestMemoryQuickRoundTrip(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint64, v uint64, szSel uint8) bool {
+		size := []int{1, 2, 4, 8}[szSel%4]
+		addr %= 1 << 40 // keep the page map small-ish
+		want := v & (1<<(8*size) - 1)
+		m.WriteUint(addr, size, v)
+		return m.ReadUint(addr, size) == want
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryLittleEndianLayout(t *testing.T) {
+	m := NewMemory()
+	m.PutUint32(0x100, 0x11223344)
+	if b := m.ReadUint(0x100, 1); b != 0x44 {
+		t.Errorf("LSB = %#x, want 0x44", b)
+	}
+	if b := m.ReadUint(0x103, 1); b != 0x11 {
+		t.Errorf("MSB = %#x, want 0x11", b)
+	}
+}
+
+func TestTLBHitMissLRU(t *testing.T) {
+	tlb := NewTLB(2)
+	if tlb.Lookup(0 * PageSize) {
+		t.Error("first touch must miss")
+	}
+	if !tlb.Lookup(0 * PageSize) {
+		t.Error("second touch must hit")
+	}
+	tlb.Lookup(1 * PageSize) // miss, fills
+	tlb.Lookup(0 * PageSize) // hit, refreshes page 0
+	tlb.Lookup(2 * PageSize) // miss, evicts LRU page 1
+	if tlb.Lookup(1 * PageSize) {
+		t.Error("page 1 should have been evicted (LRU)")
+	}
+	// That probe itself filled page 1, evicting LRU page 0.
+	if !tlb.Lookup(2 * PageSize) {
+		t.Error("page 2 should still be resident")
+	}
+	if tlb.Hits() == 0 || tlb.Misses() == 0 {
+		t.Error("statistics not recorded")
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tlb := NewTLB(4)
+	tlb.Lookup(0)
+	tlb.Flush()
+	if tlb.Lookup(0) {
+		t.Error("flush must empty the TLB")
+	}
+}
+
+func TestCacheGeometryValidation(t *testing.T) {
+	if _, err := NewCache("bad", 1000, 8); err == nil {
+		t.Error("expected geometry error for non-line-multiple size")
+	}
+	if _, err := NewCache("bad", 0, 8); err == nil {
+		t.Error("expected geometry error for zero size")
+	}
+	c := MustCache("L1", 16<<10, 8)
+	if c.Sets() != 32 || c.Ways() != 8 || c.Size() != 16<<10 {
+		t.Errorf("paper L1 geometry: sets=%d ways=%d size=%d", c.Sets(), c.Ways(), c.Size())
+	}
+	l2 := MustCache("L2", 8<<20, 8)
+	if l2.Sets() != (8<<20)/LineSize/8 {
+		t.Errorf("paper L2 geometry: sets=%d", l2.Sets())
+	}
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := MustCache("c", 4096, 4)
+	if c.Access(0x1000, 8, false) {
+		t.Error("cold access must miss")
+	}
+	if !c.Access(0x1000, 8, false) {
+		t.Error("warm access must hit")
+	}
+	if !c.Access(0x1004, 4, true) {
+		t.Error("same line must hit")
+	}
+}
+
+func TestCacheLRUWithinSet(t *testing.T) {
+	// 2-way, line 64: lines mapping to the same set are spaced sets*64.
+	c := MustCache("c", 2*2*LineSize, 2) // 2 sets, 2 ways
+	stride := uint64(c.Sets() * LineSize)
+	a, b, d := uint64(0), stride, 2*stride // all set 0
+	c.Access(a, 1, false)                  // miss, fill
+	c.Access(b, 1, false)                  // miss, fill
+	c.Access(a, 1, false)                  // hit, refresh a
+	c.Access(d, 1, false)                  // miss, evict b (LRU)
+	if c.Access(b, 1, false) {
+		t.Error("b should have been evicted")
+	}
+	// That probe filled b again, evicting LRU line a; d stays resident.
+	if !c.Access(d, 1, false) {
+		t.Error("d should still be resident")
+	}
+	if c.Evictions() == 0 {
+		t.Error("evictions not counted")
+	}
+}
+
+func TestCacheWritebackAccounting(t *testing.T) {
+	c := MustCache("c", 2*LineSize, 1) // direct-mapped, 2 sets
+	c.Access(0, 8, true)               // dirty line 0
+	c.Access(uint64(2*LineSize*1), 8, false)
+	// line 0 and line 2 map to set 0; second access evicts dirty line.
+	if c.WritebackBytes() != LineSize {
+		t.Errorf("writeback bytes = %d, want %d", c.WritebackBytes(), LineSize)
+	}
+	c2 := MustCache("c2", 2*LineSize, 1)
+	c2.Access(0, 8, true)
+	c2.Flush()
+	if c2.WritebackBytes() != LineSize {
+		t.Errorf("flush writeback = %d", c2.WritebackBytes())
+	}
+}
+
+func TestCacheMultiLineAccess(t *testing.T) {
+	c := MustCache("c", 4096, 4)
+	// 128-byte access spans two lines: both must be probed.
+	c.Access(0, 128, false)
+	if c.Misses() != 2 {
+		t.Errorf("misses = %d, want 2", c.Misses())
+	}
+	if !c.Access(0, 128, false) {
+		t.Error("both lines should now hit")
+	}
+}
+
+func TestHierarchyCosts(t *testing.T) {
+	cfg := DefaultConfig()
+	h := MustHierarchy(cfg)
+
+	// Cold access: TLB miss + L1 miss + L2 miss.
+	cold := h.Touch(0x10000, 8, false)
+	want := cfg.L1Latency + cfg.TLBMissCost + cfg.L2Latency + cfg.MemLatency
+	if cold != want {
+		t.Errorf("cold cost = %d, want %d", cold, want)
+	}
+	// Warm access: pure L1 hit.
+	warm := h.Touch(0x10000, 8, false)
+	if warm != cfg.L1Latency {
+		t.Errorf("warm cost = %d, want %d", warm, cfg.L1Latency)
+	}
+	if h.Accesses() != 2 || h.Cycles() != cold+warm {
+		t.Errorf("stats: accesses=%d cycles=%d", h.Accesses(), h.Cycles())
+	}
+}
+
+func TestHierarchyL2HitCost(t *testing.T) {
+	cfg := DefaultConfig()
+	h := MustHierarchy(cfg)
+	base := uint64(0)
+	// Stream a working set bigger than L1 (16 KB) but within L2: lines
+	// re-touched after L1 eviction should cost L1+L2 only.
+	span := uint64(64 << 10) // 64 KB > L1, << L2
+	for a := base; a < base+span; a += LineSize {
+		h.Touch(a, 8, false)
+	}
+	// Second pass: TLB covers 64 KB (16 pages of 256 entries), L1 misses,
+	// L2 hits.
+	cost := h.Touch(base, 8, false)
+	want := cfg.L1Latency + cfg.L2Latency
+	if cost != want {
+		t.Errorf("L2-hit cost = %d, want %d", cost, want)
+	}
+}
+
+func TestHierarchyReadWriteData(t *testing.T) {
+	h := MustHierarchy(DefaultConfig())
+	h.Write(0x2000, 8, 0xCAFEBABE12345678)
+	v, _ := h.Read(0x2000, 8)
+	if v != 0xCAFEBABE12345678 {
+		t.Errorf("read = %#x", v)
+	}
+	if h.RAM().Uint64(0x2000) != 0xCAFEBABE12345678 {
+		t.Error("backing RAM must hold the data")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.TLBEntries != 256 {
+		t.Errorf("TLB entries = %d, paper says 256", cfg.TLBEntries)
+	}
+	if cfg.L1Size != 16<<10 || cfg.L1Ways != 8 {
+		t.Errorf("L1 = %d bytes %d-way, paper says 16KB 8-way", cfg.L1Size, cfg.L1Ways)
+	}
+	if cfg.L2Size != 8<<20 || cfg.L2Ways != 8 {
+		t.Errorf("L2 = %d bytes %d-way, paper says 8MB 8-way", cfg.L2Size, cfg.L2Ways)
+	}
+}
+
+func TestCacheCapacityEffect(t *testing.T) {
+	// The mechanism behind the paper's superlinear per-PE scaling: a
+	// working set that thrashes a small cache fits after halving.
+	c := MustCache("c", 1<<10, 8) // 1 KB
+	working := uint64(2 << 10)    // 2 KB: thrashes
+	for pass := 0; pass < 4; pass++ {
+		for a := uint64(0); a < working; a += LineSize {
+			c.Access(a, 8, false)
+		}
+	}
+	thrashRate := c.HitRate()
+
+	c2 := MustCache("c2", 1<<10, 8)
+	working = 512 // fits
+	for pass := 0; pass < 4; pass++ {
+		for a := uint64(0); a < working; a += LineSize {
+			c2.Access(a, 8, false)
+		}
+	}
+	if c2.HitRate() <= thrashRate {
+		t.Errorf("fitting working set must hit more: fit=%.2f thrash=%.2f",
+			c2.HitRate(), thrashRate)
+	}
+}
+
+func TestStreamPrefetcher(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Prefetch = true
+	h := MustHierarchy(cfg)
+	// A sequential sweep: after the detector warms up (two adjacent
+	// misses), subsequent lines are prefetched and hit in L1.
+	var cold, warm uint64
+	for a := uint64(0); a < 64*LineSize; a += LineSize {
+		c := h.Touch(a, 8, false)
+		if a < 2*LineSize {
+			cold += c
+		} else {
+			warm += c
+		}
+	}
+	if h.Prefetches() == 0 {
+		t.Fatal("prefetcher never fired on a sequential sweep")
+	}
+	// Average warm cost must be far below a full miss chain.
+	avgWarm := warm / 62
+	full := cfg.L1Latency + cfg.L2Latency + cfg.MemLatency
+	if avgWarm >= full {
+		t.Errorf("prefetch ineffective: avg warm cost %d vs miss chain %d", avgWarm, full)
+	}
+
+	// Random access: the detector must not fire.
+	h2 := MustHierarchy(cfg)
+	x := uint64(12345)
+	for i := 0; i < 256; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		h2.Touch((x%(1<<26))&^7, 8, false)
+	}
+	if h2.Prefetches() > 8 {
+		t.Errorf("prefetcher fired %d times on random access", h2.Prefetches())
+	}
+}
+
+func TestPrefetchOffByDefault(t *testing.T) {
+	h := MustHierarchy(DefaultConfig())
+	for a := uint64(0); a < 32*LineSize; a += LineSize {
+		h.Touch(a, 8, false)
+	}
+	if h.Prefetches() != 0 {
+		t.Error("prefetcher must be off by default (paper §5.1 config)")
+	}
+}

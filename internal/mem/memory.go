@@ -1,0 +1,126 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the granularity of the sparse backing store and of TLB
+// translations.
+const PageSize = 4096
+
+// Memory is a sparse byte-addressable physical memory. The zero value is
+// an empty memory ready for use. Memory performs no synchronisation; the
+// owner (a simulated node) serialises access.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[PageSize]byte {
+	if m.pages == nil {
+		if !create {
+			return nil
+		}
+		m.pages = make(map[uint64]*[PageSize]byte)
+	}
+	pn := addr / PageSize
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst. Unwritten
+// memory reads as zero.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		off := addr % PageSize
+		chunk := PageSize - off
+		if uint64(len(dst)) < chunk {
+			chunk = uint64(len(dst))
+		}
+		if p := m.page(addr, false); p != nil {
+			copy(dst[:chunk], p[off:off+chunk])
+		} else {
+			for i := uint64(0); i < chunk; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[chunk:]
+		addr += chunk
+	}
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, src []byte) {
+	for len(src) > 0 {
+		off := addr % PageSize
+		chunk := PageSize - off
+		if uint64(len(src)) < chunk {
+			chunk = uint64(len(src))
+		}
+		p := m.page(addr, true)
+		copy(p[off:off+chunk], src[:chunk])
+		src = src[chunk:]
+		addr += chunk
+	}
+}
+
+// ReadUint reads a size-byte little-endian unsigned integer at addr.
+// size must be 1, 2, 4, or 8.
+func (m *Memory) ReadUint(addr uint64, size int) uint64 {
+	var buf [8]byte
+	m.ReadBytes(addr, buf[:size])
+	switch size {
+	case 1:
+		return uint64(buf[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(buf[:2]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(buf[:4]))
+	case 8:
+		return binary.LittleEndian.Uint64(buf[:8])
+	}
+	panic(fmt.Sprintf("mem: bad access size %d", size))
+}
+
+// WriteUint writes a size-byte little-endian unsigned integer at addr.
+// size must be 1, 2, 4, or 8.
+func (m *Memory) WriteUint(addr uint64, size int, v uint64) {
+	var buf [8]byte
+	switch size {
+	case 1:
+		buf[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(buf[:2], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(buf[:4], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(buf[:8], v)
+	default:
+		panic(fmt.Sprintf("mem: bad access size %d", size))
+	}
+	m.WriteBytes(addr, buf[:size])
+}
+
+// Uint64 reads an 8-byte value at addr.
+func (m *Memory) Uint64(addr uint64) uint64 { return m.ReadUint(addr, 8) }
+
+// PutUint64 writes an 8-byte value at addr.
+func (m *Memory) PutUint64(addr uint64, v uint64) { m.WriteUint(addr, 8, v) }
+
+// Uint32 reads a 4-byte value at addr.
+func (m *Memory) Uint32(addr uint64) uint32 { return uint32(m.ReadUint(addr, 4)) }
+
+// PutUint32 writes a 4-byte value at addr.
+func (m *Memory) PutUint32(addr uint64, v uint32) { m.WriteUint(addr, 4, uint64(v)) }
+
+// Footprint reports the number of resident (ever-written) pages.
+func (m *Memory) Footprint() int { return len(m.pages) }

@@ -1,0 +1,65 @@
+package mem
+
+// TLB is a fully-associative translation look-aside buffer with LRU
+// replacement, matching the paper's 256-entry per-core configuration.
+// The simulation uses identity translation (physical == virtual within a
+// node), so the TLB exists purely for its timing behaviour: a miss adds
+// a page-walk penalty to the access cost.
+type TLB struct {
+	entries  int
+	slots    map[uint64]uint64 // page number -> last-use tick
+	tick     uint64
+	hits     uint64
+	misses   uint64
+	capacity int
+}
+
+// NewTLB returns a TLB with the given number of entries.
+func NewTLB(entries int) *TLB {
+	if entries <= 0 {
+		entries = 1
+	}
+	return &TLB{
+		entries: entries,
+		slots:   make(map[uint64]uint64, entries),
+	}
+}
+
+// Lookup translates the page containing addr, returning true on a hit.
+// On a miss the entry is filled, evicting the least recently used entry
+// if the TLB is full.
+func (t *TLB) Lookup(addr uint64) bool {
+	pn := addr / PageSize
+	t.tick++
+	if _, ok := t.slots[pn]; ok {
+		t.slots[pn] = t.tick
+		t.hits++
+		return true
+	}
+	t.misses++
+	if len(t.slots) >= t.entries {
+		var victim uint64
+		oldest := ^uint64(0)
+		for p, used := range t.slots {
+			if used < oldest {
+				oldest = used
+				victim = p
+			}
+		}
+		delete(t.slots, victim)
+	}
+	t.slots[pn] = t.tick
+	return false
+}
+
+// Flush empties the TLB, keeping statistics.
+func (t *TLB) Flush() { t.slots = make(map[uint64]uint64, t.entries) }
+
+// Hits returns the number of lookups that hit.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the number of lookups that missed.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Entries returns the configured capacity.
+func (t *TLB) Entries() int { return t.entries }

@@ -1,0 +1,118 @@
+package olb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterAndTranslate(t *testing.T) {
+	o := New(4)
+	if err := o.Register(1, Entry{Node: 0, Base: 0x10000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Register(2, Entry{Node: 1, Base: 0x10000}); err != nil {
+		t.Fatal(err)
+	}
+	e, hit, err := o.Translate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first translation must be a cache miss")
+	}
+	if e.Node != 1 || e.Base != 0x10000 {
+		t.Errorf("entry = %+v", e)
+	}
+	_, hit, err = o.Translate(2)
+	if err != nil || !hit {
+		t.Errorf("second translation must hit: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestLocalIDReserved(t *testing.T) {
+	o := New(4)
+	if err := o.Register(LocalID, Entry{}); err == nil {
+		t.Error("registering ID 0 must fail")
+	}
+	if _, _, err := o.Translate(LocalID); err == nil {
+		t.Error("translating ID 0 must fail: it is local by definition")
+	}
+}
+
+func TestUnmappedIDFaults(t *testing.T) {
+	o := New(4)
+	if _, _, err := o.Translate(99); err == nil {
+		t.Error("unmapped ID must fault")
+	}
+	if o.Faults() != 1 {
+		t.Errorf("faults = %d, want 1", o.Faults())
+	}
+}
+
+func TestNegativeNodeRejected(t *testing.T) {
+	o := New(4)
+	if err := o.Register(1, Entry{Node: -1}); err == nil {
+		t.Error("negative node must be rejected")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	o := New(2)
+	for id := uint64(1); id <= 3; id++ {
+		if err := o.Register(id, Entry{Node: int(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Translate(1) // miss, fill
+	o.Translate(2) // miss, fill
+	o.Translate(3) // miss, evict 1
+	if _, hit, _ := o.Translate(1); hit {
+		t.Error("ID 1 should have been evicted")
+	}
+	// Backing table still resolves correctly after eviction.
+	e, _, err := o.Translate(3)
+	if err != nil || e.Node != 3 {
+		t.Errorf("backing table lost entry: %+v %v", e, err)
+	}
+	if o.Hits() == 0 || o.Misses() == 0 {
+		t.Error("statistics not recorded")
+	}
+}
+
+func TestTranslationIsStable(t *testing.T) {
+	o := New(8)
+	f := func(idRaw uint64, node uint8, base uint64) bool {
+		id := idRaw%1000 + 1 // nonzero
+		want := Entry{Node: int(node), Base: base}
+		if err := o.Register(id, want); err != nil {
+			return false
+		}
+		for i := 0; i < 3; i++ {
+			e, _, err := o.Translate(id)
+			if err != nil || e != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	o := New(4)
+	for _, id := range []uint64{5, 1, 3} {
+		o.Register(id, Entry{Node: int(id)})
+	}
+	ids := o.IDs()
+	want := []uint64{1, 3, 5}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package shmem is an OpenSHMEM-style collective library built on the
+// same runtime substrate as the xBGAS collectives, reproducing the
+// comparison surface of paper §4.7:
+//
+//   - calls are "distinguished by the underlying data type size"
+//     (Broadcast32/Broadcast64, Collect64, ...) rather than by explicit
+//     type name;
+//   - broadcast and reduction take no stride argument (OpenSHMEM "does
+//     not support a non-default stride size for these operations");
+//   - there is no scatter ("this functionality is not provided in the
+//     OpenSHMEM API");
+//   - reductions and collect/fcollect deliver their results to every PE
+//     in the calling set, where the xBGAS library delivers to the root
+//     and "must instead ... use ... a broadcast operation following the
+//     original call".
+//
+// Matching OpenSHMEM ≤ 1.4 semantics, Broadcast32/Broadcast64 do NOT
+// write the root's own dest buffer.
+//
+// The quantitative §4.7/§3.1 comparison — microarchitectural one-sided
+// transfers versus a software message-passing transport — is expressed
+// through the fabric cost model: benchmarks run this same library over
+// fabric.DefaultConfig (xBGAS-style user-space injection) and
+// fabric.MessageConfig (two-sided software stack overheads).
+package shmem
+
+import (
+	"fmt"
+
+	"xbgas/internal/core"
+	"xbgas/internal/xbrtime"
+)
+
+// dtypeForWidth returns the raw-bits element type for a size-
+// distinguished call.
+func dtypeForWidth(bits int) (xbrtime.DType, error) {
+	switch bits {
+	case 32:
+		return xbrtime.TypeUint32, nil
+	case 64:
+		return xbrtime.TypeUint64, nil
+	}
+	return xbrtime.DType{}, fmt.Errorf("shmem: unsupported element size %d bits", bits)
+}
+
+// broadcastSized implements shmem_broadcast32/64: the root's source
+// buffer is copied to dest on every PE except the root.
+func broadcastSized(pe *xbrtime.PE, bits int, dest, src uint64, nelems, root int) error {
+	dt, err := dtypeForWidth(bits)
+	if err != nil {
+		return err
+	}
+	// Stage through a symmetric scratch so the root's dest stays
+	// untouched (the OpenSHMEM quirk).
+	w := uint64(dt.Width)
+	n := uint64(nelems) * w
+	if n == 0 {
+		n = w
+	}
+	stage, err := pe.Malloc(n)
+	if err != nil {
+		return err
+	}
+	if err := core.Broadcast(pe, dt, stage, src, nelems, 1, root); err != nil {
+		pe.Free(stage) //nolint:errcheck
+		return err
+	}
+	if pe.MyPE() != root {
+		for i := 0; i < nelems; i++ {
+			v := pe.ReadElem(dt, stage+uint64(i)*w)
+			pe.WriteElem(dt, dest+uint64(i)*w, v)
+		}
+	}
+	if err := pe.Barrier(); err != nil {
+		pe.Free(stage) //nolint:errcheck
+		return err
+	}
+	return pe.Free(stage)
+}
+
+// Broadcast32 is shmem_broadcast32.
+func Broadcast32(pe *xbrtime.PE, dest, src uint64, nelems, root int) error {
+	return broadcastSized(pe, 32, dest, src, nelems, root)
+}
+
+// Broadcast64 is shmem_broadcast64.
+func Broadcast64(pe *xbrtime.PE, dest, src uint64, nelems, root int) error {
+	return broadcastSized(pe, 64, dest, src, nelems, root)
+}
+
+// collectSized implements collect (varying contribution sizes) and
+// fcollect (fixed sizes): the concatenation of every PE's contribution,
+// in rank order, lands at dest on every PE.
+func collectSized(pe *xbrtime.PE, bits int, dest, src uint64, myElems int) error {
+	dt, err := dtypeForWidth(bits)
+	if err != nil {
+		return err
+	}
+	if myElems < 0 {
+		return fmt.Errorf("shmem: negative element count %d", myElems)
+	}
+	n := pe.NumPEs()
+	w := uint64(dt.Width)
+
+	// Exchange contribution counts (an fcollect of one value), then
+	// gather to PE 0 and broadcast the concatenation — the standard
+	// two-phase realisation.
+	counts := make([]int, n)
+	cntBuf, err := pe.Malloc(uint64(n) * 8)
+	if err != nil {
+		return err
+	}
+	ones := make([]int, n)
+	disps := make([]int, n)
+	for i := range ones {
+		ones[i] = 1
+		disps[i] = i
+	}
+	myCnt, err := pe.PrivateAlloc(8)
+	if err != nil {
+		pe.Free(cntBuf) //nolint:errcheck
+		return err
+	}
+	pe.Poke(xbrtime.TypeInt64, myCnt, uint64(int64(myElems)))
+	if err := core.Gather(pe, xbrtime.TypeInt64, cntBuf, myCnt, ones, disps, n, 0); err != nil {
+		pe.Free(cntBuf) //nolint:errcheck
+		return err
+	}
+	if err := core.Broadcast(pe, xbrtime.TypeInt64, cntBuf, cntBuf, n, 1, 0); err != nil {
+		pe.Free(cntBuf) //nolint:errcheck
+		return err
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		counts[i] = int(int64(pe.Peek(xbrtime.TypeInt64, cntBuf+uint64(i)*8)))
+		if counts[i] < 0 {
+			pe.Free(cntBuf) //nolint:errcheck
+			return fmt.Errorf("shmem: PE %d advertised negative count %d", i, counts[i])
+		}
+		total += counts[i]
+	}
+	if err := pe.Free(cntBuf); err != nil {
+		return err
+	}
+
+	gatherDisp := make([]int, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		gatherDisp[i] = off
+		off += counts[i]
+	}
+	stage, err := pe.Malloc(uint64(max(total, 1)) * w)
+	if err != nil {
+		return err
+	}
+	if err := core.Gather(pe, dt, stage, src, counts, gatherDisp, total, 0); err != nil {
+		pe.Free(stage) //nolint:errcheck
+		return err
+	}
+	if err := core.Broadcast(pe, dt, stage, stage, total, 1, 0); err != nil {
+		pe.Free(stage) //nolint:errcheck
+		return err
+	}
+	for i := 0; i < total; i++ {
+		v := pe.ReadElem(dt, stage+uint64(i)*w)
+		pe.WriteElem(dt, dest+uint64(i)*w, v)
+	}
+	if err := pe.Barrier(); err != nil {
+		pe.Free(stage) //nolint:errcheck
+		return err
+	}
+	return pe.Free(stage)
+}
+
+// Collect32 is shmem_collect32: concatenates varying-size 32-bit
+// contributions onto every PE.
+func Collect32(pe *xbrtime.PE, dest, src uint64, myElems int) error {
+	return collectSized(pe, 32, dest, src, myElems)
+}
+
+// Collect64 is shmem_collect64.
+func Collect64(pe *xbrtime.PE, dest, src uint64, myElems int) error {
+	return collectSized(pe, 64, dest, src, myElems)
+}
+
+// FCollect32 is shmem_fcollect32: like Collect32 with the same element
+// count on every PE.
+func FCollect32(pe *xbrtime.PE, dest, src uint64, nelems int) error {
+	return collectSized(pe, 32, dest, src, nelems)
+}
+
+// FCollect64 is shmem_fcollect64.
+func FCollect64(pe *xbrtime.PE, dest, src uint64, nelems int) error {
+	return collectSized(pe, 64, dest, src, nelems)
+}
+
+// toAll reduces src into dest on every PE: reduce to PE 0, then
+// broadcast — the composition the paper notes an xBGAS user must write
+// by hand, packaged as the single OpenSHMEM-style call.
+func toAll(pe *xbrtime.PE, dt xbrtime.DType, op core.ReduceOp, dest, src uint64, nelems int) error {
+	w := uint64(dt.Width)
+	n := uint64(nelems) * w
+	if n == 0 {
+		n = w
+	}
+	stage, err := pe.Malloc(n)
+	if err != nil {
+		return err
+	}
+	if err := core.Reduce(pe, dt, op, stage, src, nelems, 1, 0); err != nil {
+		pe.Free(stage) //nolint:errcheck
+		return err
+	}
+	if err := core.Broadcast(pe, dt, stage, stage, nelems, 1, 0); err != nil {
+		pe.Free(stage) //nolint:errcheck
+		return err
+	}
+	for i := 0; i < nelems; i++ {
+		v := pe.ReadElem(dt, stage+uint64(i)*w)
+		pe.WriteElem(dt, dest+uint64(i)*w, v)
+	}
+	if err := pe.Barrier(); err != nil {
+		pe.Free(stage) //nolint:errcheck
+		return err
+	}
+	return pe.Free(stage)
+}
+
+// LongSumToAll is shmem_long_sum_to_all.
+func LongSumToAll(pe *xbrtime.PE, dest, src uint64, nelems int) error {
+	return toAll(pe, xbrtime.TypeLong, core.OpSum, dest, src, nelems)
+}
+
+// LongProdToAll is shmem_long_prod_to_all.
+func LongProdToAll(pe *xbrtime.PE, dest, src uint64, nelems int) error {
+	return toAll(pe, xbrtime.TypeLong, core.OpProd, dest, src, nelems)
+}
+
+// LongMinToAll is shmem_long_min_to_all.
+func LongMinToAll(pe *xbrtime.PE, dest, src uint64, nelems int) error {
+	return toAll(pe, xbrtime.TypeLong, core.OpMin, dest, src, nelems)
+}
+
+// LongMaxToAll is shmem_long_max_to_all.
+func LongMaxToAll(pe *xbrtime.PE, dest, src uint64, nelems int) error {
+	return toAll(pe, xbrtime.TypeLong, core.OpMax, dest, src, nelems)
+}
+
+// LongAndToAll is shmem_long_and_to_all.
+func LongAndToAll(pe *xbrtime.PE, dest, src uint64, nelems int) error {
+	return toAll(pe, xbrtime.TypeLong, core.OpBand, dest, src, nelems)
+}
+
+// LongOrToAll is shmem_long_or_to_all.
+func LongOrToAll(pe *xbrtime.PE, dest, src uint64, nelems int) error {
+	return toAll(pe, xbrtime.TypeLong, core.OpBor, dest, src, nelems)
+}
+
+// LongXorToAll is shmem_long_xor_to_all.
+func LongXorToAll(pe *xbrtime.PE, dest, src uint64, nelems int) error {
+	return toAll(pe, xbrtime.TypeLong, core.OpBxor, dest, src, nelems)
+}
+
+// IntSumToAll is shmem_int_sum_to_all.
+func IntSumToAll(pe *xbrtime.PE, dest, src uint64, nelems int) error {
+	return toAll(pe, xbrtime.TypeInt, core.OpSum, dest, src, nelems)
+}
+
+// DoubleSumToAll is shmem_double_sum_to_all.
+func DoubleSumToAll(pe *xbrtime.PE, dest, src uint64, nelems int) error {
+	return toAll(pe, xbrtime.TypeDouble, core.OpSum, dest, src, nelems)
+}
+
+// DoubleMinToAll is shmem_double_min_to_all.
+func DoubleMinToAll(pe *xbrtime.PE, dest, src uint64, nelems int) error {
+	return toAll(pe, xbrtime.TypeDouble, core.OpMin, dest, src, nelems)
+}
+
+// DoubleMaxToAll is shmem_double_max_to_all.
+func DoubleMaxToAll(pe *xbrtime.PE, dest, src uint64, nelems int) error {
+	return toAll(pe, xbrtime.TypeDouble, core.OpMax, dest, src, nelems)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Alltoall64 is shmem_alltoall64: every PE contributes nelems 64-bit
+// elements for every other PE; block j of source on PE i arrives as
+// block i of dest on PE j. Both buffers must be symmetric and hold
+// nelems*NumPEs elements.
+func Alltoall64(pe *xbrtime.PE, dest, src uint64, nelems int) error {
+	return core.Alltoall(pe, xbrtime.TypeUint64, dest, src, nelems)
+}
+
+// Alltoall32 is shmem_alltoall32.
+func Alltoall32(pe *xbrtime.PE, dest, src uint64, nelems int) error {
+	return core.Alltoall(pe, xbrtime.TypeUint32, dest, src, nelems)
+}
+
+// BarrierAll is shmem_barrier_all.
+func BarrierAll(pe *xbrtime.PE) error { return pe.Barrier() }

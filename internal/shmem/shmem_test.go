@@ -1,0 +1,370 @@
+package shmem
+
+import (
+	"testing"
+
+	"xbgas/internal/xbrtime"
+)
+
+func runSPMD(t *testing.T, nPEs int, fn func(pe *xbrtime.PE) error) {
+	t.Helper()
+	rt, err := xbrtime.New(xbrtime.Config{NumPEs: nPEs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcast64SkipsRootDest(t *testing.T) {
+	// OpenSHMEM <= 1.4 semantics: the root's dest is not written.
+	const nPEs, root = 4, 1
+	runSPMD(t, nPEs, func(pe *xbrtime.PE) error {
+		dt := xbrtime.TypeUint64
+		dest, err := pe.Malloc(8 * 4)
+		if err != nil {
+			return err
+		}
+		src, err := pe.PrivateAlloc(8 * 4)
+		if err != nil {
+			return err
+		}
+		pe.Poke(dt, dest, 0xDEAD) // sentinel
+		if pe.MyPE() == root {
+			for i := 0; i < 4; i++ {
+				pe.Poke(dt, src+uint64(i*8), uint64(70+i))
+			}
+		}
+		if err := Broadcast64(pe, dest, src, 4, root); err != nil {
+			return err
+		}
+		if pe.MyPE() == root {
+			if got := pe.Peek(dt, dest); got != 0xDEAD {
+				t.Errorf("root dest overwritten: %#x", got)
+			}
+		} else {
+			for i := 0; i < 4; i++ {
+				if got := pe.Peek(dt, dest+uint64(i*8)); got != uint64(70+i) {
+					t.Errorf("PE %d elem %d = %d", pe.MyPE(), i, got)
+				}
+			}
+		}
+		return pe.Free(dest)
+	})
+}
+
+func TestBroadcast32(t *testing.T) {
+	runSPMD(t, 3, func(pe *xbrtime.PE) error {
+		dt := xbrtime.TypeUint32
+		dest, err := pe.Malloc(4 * 2)
+		if err != nil {
+			return err
+		}
+		src, err := pe.PrivateAlloc(4 * 2)
+		if err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			pe.Poke(dt, src, 123)
+			pe.Poke(dt, src+4, 456)
+		}
+		if err := Broadcast32(pe, dest, src, 2, 0); err != nil {
+			return err
+		}
+		if pe.MyPE() != 0 {
+			if pe.Peek(dt, dest) != 123 || pe.Peek(dt, dest+4) != 456 {
+				t.Errorf("PE %d: %d %d", pe.MyPE(), pe.Peek(dt, dest), pe.Peek(dt, dest+4))
+			}
+		}
+		return pe.Free(dest)
+	})
+}
+
+func TestFCollect64DistributesToAll(t *testing.T) {
+	// Paper §4.7: the results of collect/fcollect "are automatically
+	// distributed to each PE within the calling set".
+	const nPEs, per = 4, 3
+	runSPMD(t, nPEs, func(pe *xbrtime.PE) error {
+		dt := xbrtime.TypeUint64
+		dest, err := pe.Malloc(8 * nPEs * per)
+		if err != nil {
+			return err
+		}
+		src, err := pe.Malloc(8 * per)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < per; i++ {
+			pe.Poke(dt, src+uint64(i*8), uint64(100*pe.MyPE()+i))
+		}
+		if err := FCollect64(pe, dest, src, per); err != nil {
+			return err
+		}
+		for p := 0; p < nPEs; p++ {
+			for i := 0; i < per; i++ {
+				want := uint64(100*p + i)
+				got := pe.Peek(dt, dest+uint64((p*per+i)*8))
+				if got != want {
+					t.Errorf("PE %d slot (%d,%d) = %d, want %d", pe.MyPE(), p, i, got, want)
+				}
+			}
+		}
+		if err := pe.Free(dest); err != nil {
+			return err
+		}
+		return pe.Free(src)
+	})
+}
+
+func TestCollect64VaryingSizes(t *testing.T) {
+	const nPEs = 3
+	sizes := []int{2, 0, 3}
+	runSPMD(t, nPEs, func(pe *xbrtime.PE) error {
+		dt := xbrtime.TypeUint64
+		dest, err := pe.Malloc(8 * 8)
+		if err != nil {
+			return err
+		}
+		src, err := pe.Malloc(8 * 4)
+		if err != nil {
+			return err
+		}
+		mine := sizes[pe.MyPE()]
+		for i := 0; i < mine; i++ {
+			pe.Poke(dt, src+uint64(i*8), uint64(10*pe.MyPE()+i))
+		}
+		if err := Collect64(pe, dest, src, mine); err != nil {
+			return err
+		}
+		want := []uint64{0, 1, 20, 21, 22} // PE0: 0,1; PE1: none; PE2: 20,21,22
+		for i, w := range want {
+			if got := pe.Peek(dt, dest+uint64(i*8)); got != w {
+				t.Errorf("PE %d slot %d = %d, want %d", pe.MyPE(), i, got, w)
+			}
+		}
+		if err := pe.Free(dest); err != nil {
+			return err
+		}
+		return pe.Free(src)
+	})
+}
+
+func TestToAllReductions(t *testing.T) {
+	const nPEs = 4
+	runSPMD(t, nPEs, func(pe *xbrtime.PE) error {
+		dtL := xbrtime.TypeLong
+		dest, err := pe.Malloc(8 * 2)
+		if err != nil {
+			return err
+		}
+		src, err := pe.Malloc(8 * 2)
+		if err != nil {
+			return err
+		}
+		me := int64(pe.MyPE())
+		pe.Poke(dtL, src, uint64(me+1))
+		pe.Poke(dtL, src+8, uint64(2*(me+1)))
+
+		if err := LongSumToAll(pe, dest, src, 2); err != nil {
+			return err
+		}
+		// Result must land on EVERY PE (1+2+3+4=10, 2+4+6+8=20).
+		if got := int64(pe.Peek(dtL, dest)); got != 10 {
+			t.Errorf("PE %d sum[0] = %d, want 10", pe.MyPE(), got)
+		}
+		if got := int64(pe.Peek(dtL, dest+8)); got != 20 {
+			t.Errorf("PE %d sum[1] = %d, want 20", pe.MyPE(), got)
+		}
+
+		if err := LongMaxToAll(pe, dest, src, 2); err != nil {
+			return err
+		}
+		if got := int64(pe.Peek(dtL, dest)); got != 4 {
+			t.Errorf("PE %d max = %d, want 4", pe.MyPE(), got)
+		}
+		if err := LongMinToAll(pe, dest, src, 1); err != nil {
+			return err
+		}
+		if got := int64(pe.Peek(dtL, dest)); got != 1 {
+			t.Errorf("PE %d min = %d, want 1", pe.MyPE(), got)
+		}
+		if err := LongProdToAll(pe, dest, src, 1); err != nil {
+			return err
+		}
+		if got := int64(pe.Peek(dtL, dest)); got != 24 {
+			t.Errorf("PE %d prod = %d, want 24", pe.MyPE(), got)
+		}
+
+		// Bitwise: or of 1<<me over 4 PEs is 0b1111.
+		pe.Poke(dtL, src, 1<<uint(pe.MyPE()))
+		if err := LongOrToAll(pe, dest, src, 1); err != nil {
+			return err
+		}
+		if got := pe.Peek(dtL, dest); got != 0b1111 {
+			t.Errorf("PE %d or = %#b", pe.MyPE(), got)
+		}
+		if err := LongAndToAll(pe, dest, src, 1); err != nil {
+			return err
+		}
+		if got := pe.Peek(dtL, dest); got != 0 {
+			t.Errorf("PE %d and = %#b, want 0", pe.MyPE(), got)
+		}
+		if err := LongXorToAll(pe, dest, src, 1); err != nil {
+			return err
+		}
+		if got := pe.Peek(dtL, dest); got != 0b1111 {
+			t.Errorf("PE %d xor = %#b", pe.MyPE(), got)
+		}
+
+		dtD := xbrtime.TypeDouble
+		pe.Poke(dtD, src, dtD.FromFloat(float64(pe.MyPE())+0.5))
+		if err := DoubleSumToAll(pe, dest, src, 1); err != nil {
+			return err
+		}
+		if got := dtD.Float(pe.Peek(dtD, dest)); got != 8 { // 0.5+1.5+2.5+3.5
+			t.Errorf("PE %d double sum = %v, want 8", pe.MyPE(), got)
+		}
+		if err := DoubleMaxToAll(pe, dest, src, 1); err != nil {
+			return err
+		}
+		if got := dtD.Float(pe.Peek(dtD, dest)); got != 3.5 {
+			t.Errorf("PE %d double max = %v", pe.MyPE(), got)
+		}
+		if err := DoubleMinToAll(pe, dest, src, 1); err != nil {
+			return err
+		}
+		if got := dtD.Float(pe.Peek(dtD, dest)); got != 0.5 {
+			t.Errorf("PE %d double min = %v", pe.MyPE(), got)
+		}
+
+		dtI := xbrtime.TypeInt
+		pe.Poke(dtI, src, uint64(pe.MyPE()))
+		if err := IntSumToAll(pe, dest, src, 1); err != nil {
+			return err
+		}
+		if got := int64(pe.Peek(dtI, dest)); got != 6 {
+			t.Errorf("PE %d int sum = %d, want 6", pe.MyPE(), got)
+		}
+
+		if err := pe.Free(dest); err != nil {
+			return err
+		}
+		return pe.Free(src)
+	})
+}
+
+func TestSizeValidation(t *testing.T) {
+	runSPMD(t, 2, func(pe *xbrtime.PE) error {
+		if err := broadcastSized(pe, 17, 0, 0, 1, 0); err == nil {
+			t.Error("unsupported element size must fail")
+		}
+		if pe.MyPE() == 0 {
+			if err := Collect64(pe, 0, 0, -1); err == nil {
+				t.Error("negative count must fail")
+			}
+		}
+		return nil
+	})
+}
+
+func TestAlltoall64(t *testing.T) {
+	const nPEs, nelems = 3, 2
+	runSPMD(t, nPEs, func(pe *xbrtime.PE) error {
+		dt := xbrtime.TypeUint64
+		block := uint64(nelems * 8)
+		src, err := pe.Malloc(uint64(nPEs) * block)
+		if err != nil {
+			return err
+		}
+		dest, err := pe.Malloc(uint64(nPEs) * block)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < nPEs; j++ {
+			for e := 0; e < nelems; e++ {
+				pe.Poke(dt, src+uint64(j)*block+uint64(e*8), uint64(100*pe.MyPE()+10*j+e))
+			}
+		}
+		if err := Alltoall64(pe, dest, src, nelems); err != nil {
+			return err
+		}
+		for i := 0; i < nPEs; i++ {
+			for e := 0; e < nelems; e++ {
+				want := uint64(100*i + 10*pe.MyPE() + e)
+				got := pe.Peek(dt, dest+uint64(i)*block+uint64(e*8))
+				if got != want {
+					t.Errorf("PE %d block %d elem %d = %d, want %d", pe.MyPE(), i, e, got, want)
+				}
+			}
+		}
+		if err := BarrierAll(pe); err != nil {
+			return err
+		}
+		if err := pe.Free(src); err != nil {
+			return err
+		}
+		return pe.Free(dest)
+	})
+}
+
+func TestThirtyTwoBitVariants(t *testing.T) {
+	const nPEs = 3
+	runSPMD(t, nPEs, func(pe *xbrtime.PE) error {
+		dt := xbrtime.TypeUint32
+		dest, err := pe.Malloc(4 * 16)
+		if err != nil {
+			return err
+		}
+		src, err := pe.Malloc(4 * 8)
+		if err != nil {
+			return err
+		}
+		pe.Poke(dt, src, uint64(pe.MyPE()+40))
+		if err := FCollect32(pe, dest, src, 1); err != nil {
+			return err
+		}
+		for p := 0; p < nPEs; p++ {
+			if got := pe.Peek(dt, dest+uint64(p*4)); got != uint64(p+40) {
+				t.Errorf("PE %d fcollect32 slot %d = %d", pe.MyPE(), p, got)
+			}
+		}
+		if err := pe.Barrier(); err != nil { // checks done before reuse
+			return err
+		}
+		// Varying-size 32-bit collect.
+		mine := pe.MyPE() // 0, 1, 2 elements
+		for i := 0; i < mine; i++ {
+			pe.Poke(dt, src+uint64(i*4), uint64(100*pe.MyPE()+i))
+		}
+		if err := Collect32(pe, dest, src, mine); err != nil {
+			return err
+		}
+		want := []uint64{100, 200, 201}
+		for i, w := range want {
+			if got := pe.Peek(dt, dest+uint64(i*4)); got != w {
+				t.Errorf("PE %d collect32 slot %d = %d, want %d", pe.MyPE(), i, got, w)
+			}
+		}
+		if err := pe.Barrier(); err != nil { // checks done before reuse
+			return err
+		}
+		// 32-bit all-to-all.
+		for j := 0; j < nPEs; j++ {
+			pe.Poke(dt, src+uint64(j*4), uint64(10*pe.MyPE()+j))
+		}
+		if err := Alltoall32(pe, dest, src, 1); err != nil {
+			return err
+		}
+		for i := 0; i < nPEs; i++ {
+			want := uint64(10*i + pe.MyPE())
+			if got := pe.Peek(dt, dest+uint64(i*4)); got != want {
+				t.Errorf("PE %d alltoall32 block %d = %d, want %d", pe.MyPE(), i, got, want)
+			}
+		}
+		if err := pe.Free(dest); err != nil {
+			return err
+		}
+		return pe.Free(src)
+	})
+}

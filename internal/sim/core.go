@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"xbgas/internal/isa"
+)
+
+// Architectural cost-model constants (cycles). The base cost applies to
+// every instruction; the others are additive.
+const (
+	costBase        = 1
+	costMul         = 3
+	costDiv         = 20
+	costBranchTaken = 1
+	costOLBMiss     = 20 // translation-cache fill on a remote access
+)
+
+// Default stack placement for cores created by Machine.Load.
+const (
+	// StackTop is the initial stack pointer: the stack grows down from
+	// here, well clear of the default code base.
+	StackTop uint64 = 0x0040_0000
+)
+
+// ErrHalted is returned by Step and Run once the core has exited.
+var ErrHalted = errors.New("sim: core halted")
+
+// Fault is an execution fault: a decode error, an unmapped object ID, or
+// an ecall failure, annotated with the faulting pc.
+type Fault struct {
+	PC     uint64
+	Node   int
+	Reason error
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("sim: node %d pc=%#x: %v", f.Node, f.PC, f.Reason)
+}
+
+func (f *Fault) Unwrap() error { return f.Reason }
+
+// Core is one hardware thread's architectural state. A Core is driven by
+// a single goroutine; remote memory it touches is synchronised by the
+// owning Node's lock.
+type Core struct {
+	m    *Machine
+	node int
+
+	X  [isa.NumRegs]uint64 // base integer registers, X[0] pinned to 0
+	E  [isa.NumRegs]uint64 // xBGAS extended registers
+	PC uint64
+
+	Cycles  uint64 // simulated time
+	Instret uint64 // retired instruction count
+
+	Halted   bool
+	ExitCode uint64
+
+	// Output accumulates bytes written by the write ecall.
+	Output bytes.Buffer
+
+	// Ecall, when non-nil, replaces the default environment-call
+	// handler. The handler may halt the core or write registers.
+	Ecall func(*Core) error
+
+	// Remote-access statistics.
+	RemoteLoads  uint64
+	RemoteStores uint64
+
+	trace TraceFunc
+
+	// spmdBarrier is set by Machine.RunSPMD and serves the barrier
+	// environment call.
+	spmdBarrier *coreBarrier
+}
+
+// NewCore returns a core bound to node with sp initialised to StackTop.
+func NewCore(m *Machine, node int) *Core {
+	c := &Core{m: m, node: node}
+	c.X[isa.SP] = StackTop
+	return c
+}
+
+// Machine returns the cluster the core executes in.
+func (c *Core) Machine() *Machine { return c.m }
+
+// NodeID returns the node the core executes on.
+func (c *Core) NodeID() int { return c.node }
+
+// Node returns the core's node.
+func (c *Core) Node() *Node { return c.m.Nodes[c.node] }
+
+func (c *Core) fault(reason error) error {
+	return &Fault{PC: c.PC, Node: c.node, Reason: reason}
+}
+
+// setX writes a base register, preserving the hardwired zero.
+func (c *Core) setX(r isa.Reg, v uint64) {
+	if r != isa.Zero {
+		c.X[r] = v
+	}
+}
+
+// Run executes instructions until the core halts, faults, or maxInsts
+// instructions retire (0 means no limit). Reaching the limit without
+// halting returns an error, which keeps runaway kernels from hanging
+// tests.
+func (c *Core) Run(maxInsts uint64) error {
+	for {
+		if c.Halted {
+			return nil
+		}
+		if maxInsts > 0 && c.Instret >= maxInsts {
+			return c.fault(fmt.Errorf("instruction budget of %d exhausted", maxInsts))
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package sim implements a Spike-like functional simulator for the
+// RV64I(+M subset) + xBGAS instruction set modelled by internal/isa.
+//
+// The paper's evaluation environment (§5.1) extends the RISC-V Spike ISA
+// simulator with the xBGAS instructions and uses MPICH to connect the
+// per-node simulator instances. This package reproduces that structure
+// natively:
+//
+//   - a Machine is the cluster: a set of Nodes joined by a
+//     fabric.Fabric network model;
+//   - a Node is one processing element: a mem.Hierarchy (RAM + 256-entry
+//     TLB + 8-way 16KB L1 / 8MB L2 caches, the paper's configuration)
+//     plus an olb.OLB for object-ID translation;
+//   - a Core is the architectural state (x0–x31, e0–e31, pc) executing
+//     on a node.
+//
+// Like Spike, the simulator is functional: instructions execute with
+// exact ISA semantics, while time is accounted through a cycle cost
+// model (1 cycle base per instruction, memory-hierarchy cost on local
+// accesses, fabric cost on remote accesses). Remote accesses resolve
+// their object ID through the node's OLB exactly as paper §3.2
+// describes: ID 0 short-circuits to a local access; any other ID
+// translates to a remote node, and the access is performed there
+// DMA-style (bypassing the remote caches — the remote core is not
+// involved, which is the defining property of one-sided communication).
+package sim

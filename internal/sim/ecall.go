@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"fmt"
+
+	"xbgas/internal/isa"
+)
+
+// Environment-call numbers, following the RISC-V Linux ABI convention of
+// passing the call number in a7.
+const (
+	// EcallWrite writes a2 bytes from address a1 (a0 is the descriptor,
+	// ignored) to the core's Output buffer; returns a2 in a0.
+	EcallWrite uint64 = 64
+	// EcallExit halts the core with exit code a0.
+	EcallExit uint64 = 93
+	// EcallMyPE returns the core's node ID in a0. It mirrors the
+	// xbrtime_mype() runtime call for bare-metal kernels.
+	EcallMyPE uint64 = 500
+	// EcallNumPEs returns the cluster size in a0, mirroring
+	// xbrtime_num_pes().
+	EcallNumPEs uint64 = 501
+	// EcallCycles returns the core's current cycle count in a0.
+	EcallCycles uint64 = 502
+	// EcallBarrier synchronises all cores of an SPMD run (see
+	// Machine.RunSPMD), mirroring xbrtime_barrier() for bare-metal
+	// kernels.
+	EcallBarrier uint64 = 503
+)
+
+// defaultEcall implements the standard environment calls.
+func defaultEcall(c *Core) error {
+	switch num := c.X[isa.A7]; num {
+	case EcallExit:
+		c.Halted = true
+		c.ExitCode = c.X[isa.A0]
+		return nil
+	case EcallWrite:
+		addr := c.X[isa.A1]
+		n := c.X[isa.A2]
+		if n > 1<<20 {
+			return fmt.Errorf("ecall write: unreasonable length %d", n)
+		}
+		buf := make([]byte, n)
+		c.Node().LockedReadBytes(addr, buf)
+		c.Output.Write(buf)
+		c.setX(isa.A0, n)
+		return nil
+	case EcallMyPE:
+		c.setX(isa.A0, uint64(c.node))
+		return nil
+	case EcallNumPEs:
+		c.setX(isa.A0, uint64(c.m.NumNodes()))
+		return nil
+	case EcallCycles:
+		c.setX(isa.A0, c.Cycles)
+		return nil
+	case EcallBarrier:
+		return ecallBarrier(c)
+	default:
+		return fmt.Errorf("ecall: unknown call number %d", num)
+	}
+}

@@ -1,0 +1,45 @@
+package sim_test
+
+import (
+	"fmt"
+	"log"
+
+	"xbgas/internal/asm"
+	"xbgas/internal/sim"
+)
+
+// Example executes a remote store and load through the xBGAS
+// instructions on a two-node machine.
+func Example() {
+	m, err := sim.NewMachine(sim.DefaultConfig(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := asm.Assemble(`
+		li     t0, 0x5000
+		li     t1, 99
+		li     t2, 2          # object ID of node 1
+		eaddie e7, t2, 0
+		ersd   t1, t0, e7     # remote store to node 1
+		erld   a0, t0, e7     # remote load back
+		li     a7, 93
+		ecall
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	core, err := m.Load(0, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.Run(1000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exit code:", core.ExitCode)
+	fmt.Println("node 1 memory:", m.Nodes[1].LockedRead(0x5000, 8))
+	fmt.Println("remote ops:", core.RemoteLoads+core.RemoteStores)
+	// Output:
+	// exit code: 99
+	// node 1 memory: 99
+	// remote ops: 2
+}

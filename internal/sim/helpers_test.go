@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"xbgas/internal/asm"
+)
+
+func mustProg(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runSPMDText assembles src and runs it on every node of m.
+func runSPMDText(m *Machine, src string) ([]SPMDResult, error) {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunSPMD(p, 1_000_000)
+}
+
+// loadAndRunErr runs a program expecting a fault; it returns the core
+// if Run failed, nil otherwise.
+func loadAndRunErr(t *testing.T, m *Machine, node int, src string) *Core {
+	t.Helper()
+	p := mustProg(t, src)
+	c, err := m.Load(node, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(1000); err != nil {
+		return c
+	}
+	return nil
+}
+
+type traceBuf struct{ strings.Builder }
+
+func containsStr(s, sub string) bool { return strings.Contains(s, sub) }

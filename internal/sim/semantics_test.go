@@ -1,0 +1,387 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"xbgas/internal/isa"
+)
+
+// refALU is an independent statement of the RV64 register-register and
+// register-immediate semantics, written against the architecture
+// manual rather than against exec.go, so that the two implementations
+// check each other.
+func refALU(op isa.Op, rs1, rs2 uint64, imm int64) (uint64, bool) {
+	w32 := func(v uint64) uint64 { return uint64(int64(int32(uint32(v)))) }
+	b2u := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case isa.ADDI:
+		return rs1 + uint64(imm), true
+	case isa.SLTI:
+		return b2u(int64(rs1) < imm), true
+	case isa.SLTIU:
+		return b2u(rs1 < uint64(imm)), true
+	case isa.XORI:
+		return rs1 ^ uint64(imm), true
+	case isa.ORI:
+		return rs1 | uint64(imm), true
+	case isa.ANDI:
+		return rs1 & uint64(imm), true
+	case isa.SLLI:
+		return rs1 << uint64(imm), true
+	case isa.SRLI:
+		return rs1 >> uint64(imm), true
+	case isa.SRAI:
+		return uint64(int64(rs1) >> uint64(imm)), true
+	case isa.ADDIW:
+		return w32(rs1 + uint64(imm)), true
+	case isa.SLLIW:
+		return w32(rs1 << uint64(imm)), true
+	case isa.SRLIW:
+		return w32(uint64(uint32(rs1) >> uint64(imm))), true
+	case isa.SRAIW:
+		return uint64(int64(int32(uint32(rs1)) >> uint64(imm))), true
+	case isa.ADD:
+		return rs1 + rs2, true
+	case isa.SUB:
+		return rs1 - rs2, true
+	case isa.SLL:
+		return rs1 << (rs2 & 63), true
+	case isa.SLT:
+		return b2u(int64(rs1) < int64(rs2)), true
+	case isa.SLTU:
+		return b2u(rs1 < rs2), true
+	case isa.XOR:
+		return rs1 ^ rs2, true
+	case isa.SRL:
+		return rs1 >> (rs2 & 63), true
+	case isa.SRA:
+		return uint64(int64(rs1) >> (rs2 & 63)), true
+	case isa.OR:
+		return rs1 | rs2, true
+	case isa.AND:
+		return rs1 & rs2, true
+	case isa.ADDW:
+		return w32(rs1 + rs2), true
+	case isa.SUBW:
+		return w32(rs1 - rs2), true
+	case isa.SLLW:
+		return w32(uint64(uint32(rs1) << (rs2 & 31))), true
+	case isa.SRLW:
+		return w32(uint64(uint32(rs1) >> (rs2 & 31))), true
+	case isa.SRAW:
+		return uint64(int64(int32(uint32(rs1)) >> (rs2 & 31))), true
+	case isa.MUL:
+		return rs1 * rs2, true
+	case isa.DIV:
+		if rs2 == 0 {
+			return ^uint64(0), true
+		}
+		if int64(rs1) == -1<<63 && int64(rs2) == -1 {
+			return rs1, true
+		}
+		return uint64(int64(rs1) / int64(rs2)), true
+	case isa.DIVU:
+		if rs2 == 0 {
+			return ^uint64(0), true
+		}
+		return rs1 / rs2, true
+	case isa.REM:
+		if rs2 == 0 {
+			return rs1, true
+		}
+		if int64(rs1) == -1<<63 && int64(rs2) == -1 {
+			return 0, true
+		}
+		return uint64(int64(rs1) % int64(rs2)), true
+	case isa.REMU:
+		if rs2 == 0 {
+			return rs1, true
+		}
+		return rs1 % rs2, true
+	case isa.MULW:
+		return w32(rs1 * rs2), true
+	case isa.DIVW:
+		a, b := int32(rs1), int32(rs2)
+		if b == 0 {
+			return w32(^uint64(0)), true
+		}
+		if a == -1<<31 && b == -1 {
+			return w32(uint64(uint32(a))), true
+		}
+		return w32(uint64(uint32(a / b))), true
+	case isa.DIVUW:
+		a, b := uint32(rs1), uint32(rs2)
+		if b == 0 {
+			return w32(uint64(^uint32(0))), true
+		}
+		return w32(uint64(a / b)), true
+	case isa.REMW:
+		a, b := int32(rs1), int32(rs2)
+		if b == 0 {
+			return w32(uint64(uint32(a))), true
+		}
+		if a == -1<<31 && b == -1 {
+			return 0, true
+		}
+		return w32(uint64(uint32(a % b))), true
+	case isa.REMUW:
+		a, b := uint32(rs1), uint32(rs2)
+		if b == 0 {
+			return w32(uint64(a)), true
+		}
+		return w32(uint64(a % b)), true
+	}
+	return 0, false
+}
+
+// execOne runs a single instruction on a fresh core with preset
+// registers and returns rd's value.
+func execOne(t *testing.T, m *Machine, inst isa.Inst, rs1, rs2 uint64) uint64 {
+	t.Helper()
+	c := NewCore(m, 0)
+	c.PC = 0x1000
+	c.X[inst.Rs1] = rs1
+	c.X[inst.Rs2] = rs2
+	if inst.Rs1 == isa.Zero {
+		c.X[inst.Rs1] = 0
+	}
+	if inst.Rs2 == isa.Zero {
+		c.X[inst.Rs2] = 0
+	}
+	m.Nodes[0].LockedWrite(0x1000, 4, uint64(inst.MustEncode()))
+	if err := c.Step(); err != nil {
+		t.Fatalf("%s: %v", inst.Disasm(), err)
+	}
+	return c.X[inst.Rd]
+}
+
+func TestALUSemanticsAgainstReference(t *testing.T) {
+	m := MustMachine(DefaultConfig(1))
+	rng := rand.New(rand.NewSource(99))
+	aluOps := []isa.Op{
+		isa.ADDI, isa.SLTI, isa.SLTIU, isa.XORI, isa.ORI, isa.ANDI,
+		isa.SLLI, isa.SRLI, isa.SRAI, isa.ADDIW, isa.SLLIW, isa.SRLIW, isa.SRAIW,
+		isa.ADD, isa.SUB, isa.SLL, isa.SLT, isa.SLTU, isa.XOR, isa.SRL,
+		isa.SRA, isa.OR, isa.AND, isa.ADDW, isa.SUBW, isa.SLLW, isa.SRLW,
+		isa.SRAW, isa.MUL, isa.DIV, isa.DIVU, isa.REM, isa.REMU,
+		isa.MULW, isa.DIVW, isa.DIVUW, isa.REMW, isa.REMUW,
+	}
+	interesting := []uint64{
+		0, 1, 2, 0x7FF, 0x800, ^uint64(0), 1 << 31, 1 << 63,
+		uint64(1<<63 - 1), 0xFFFFFFFF, 0x80000000, 0x123456789ABCDEF0,
+	}
+	for _, op := range aluOps {
+		format := op.Format()
+		for trial := 0; trial < 120; trial++ {
+			var rs1, rs2 uint64
+			if trial < len(interesting)*len(interesting)/12 {
+				rs1 = interesting[trial%len(interesting)]
+				rs2 = interesting[(trial*7+3)%len(interesting)]
+			} else {
+				rs1, rs2 = rng.Uint64(), rng.Uint64()
+			}
+			inst := isa.Inst{Op: op, Rd: isa.A0, Rs1: isa.A1, Rs2: isa.A2}
+			var imm int64
+			if format == isa.FormatI {
+				switch op {
+				case isa.SLLI, isa.SRLI, isa.SRAI:
+					imm = rng.Int63n(64)
+				case isa.SLLIW, isa.SRLIW, isa.SRAIW:
+					imm = rng.Int63n(32)
+				default:
+					imm = rng.Int63n(4096) - 2048
+				}
+				inst.Imm = imm
+				inst.Rs2 = 0
+			}
+			want, ok := refALU(op, rs1, rs2, imm)
+			if !ok {
+				t.Fatalf("reference missing op %s", op)
+			}
+			got := execOne(t, m, inst, rs1, rs2)
+			if got != want {
+				t.Fatalf("%s rs1=%#x rs2=%#x imm=%d: sim=%#x ref=%#x",
+					op, rs1, rs2, imm, got, want)
+			}
+		}
+	}
+}
+
+func TestLUIAUIPCSemantics(t *testing.T) {
+	m := MustMachine(DefaultConfig(1))
+	got := execOne(t, m, isa.Inst{Op: isa.LUI, Rd: isa.A0, Imm: 0xFFFFF}, 0, 0)
+	minusPage := int64(-4096)
+	if got != uint64(minusPage) {
+		t.Errorf("lui 0xFFFFF = %#x, want sign-extended -4096", got)
+	}
+	got = execOne(t, m, isa.Inst{Op: isa.AUIPC, Rd: isa.A0, Imm: 1}, 0, 0)
+	if got != 0x1000+4096 {
+		t.Errorf("auipc 1 at pc 0x1000 = %#x", got)
+	}
+}
+
+func TestSPMDBarrierAndRemoteExchange(t *testing.T) {
+	// Every core writes its rank to the left neighbour's mailbox, waits
+	// at the SPMD barrier, then reads its own mailbox: a full
+	// assembly-level neighbour exchange.
+	const n = 4
+	m := MustMachine(DefaultConfig(n))
+	src := `
+		li   a7, 500
+		ecall                 # a0 = my pe
+		mv   s0, a0           # s0 = rank
+		li   a7, 501
+		ecall                 # a0 = num pes
+		mv   s1, a0
+
+		# object ID of left neighbour = ((rank+n-1) mod n) + 1
+		add  t0, s0, s1
+		addi t0, t0, -1
+		rem  t0, t0, s1
+		addi t0, t0, 1
+		eaddie e30, t0, 0
+		li   t5, 0x8000
+		esd  s0, 0(t5)        # deposit my rank remotely
+
+		li   a7, 503
+		ecall                 # SPMD barrier
+
+		li   t1, 0x8000       # read my own mailbox locally
+		ld   a0, 0(t1)
+		li   a7, 93
+		ecall
+	`
+	results, err := runSPMDText(m, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, r := range results {
+		want := uint64((rank + 1) % n) // right neighbour wrote its rank
+		if r.Core.ExitCode != want {
+			t.Errorf("core %d mailbox = %d, want %d", rank, r.Core.ExitCode, want)
+		}
+	}
+}
+
+func TestSPMDBarrierAlignsClocks(t *testing.T) {
+	const n = 3
+	m := MustMachine(DefaultConfig(n))
+	src := `
+		li   a7, 500
+		ecall
+		# Skew: rank r spins r*100 iterations.
+		li   t0, 100
+		mul  t0, t0, a0
+	spin:
+		beqz t0, go
+		addi t0, t0, -1
+		j    spin
+	go:
+		li   a7, 503
+		ecall                 # barrier aligns virtual clocks
+		li   a7, 502
+		ecall                 # a0 = cycles
+		li   a7, 93
+		ecall
+	`
+	results, err := runSPMDText(m, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post-barrier cycle counts must all be >= the slowest arrival.
+	var max uint64
+	for _, r := range results {
+		if r.Core.ExitCode > max {
+			max = r.Core.ExitCode
+		}
+	}
+	for rank, r := range results {
+		if r.Core.ExitCode != max {
+			t.Errorf("core %d released at %d, slowest was %d", rank, r.Core.ExitCode, max)
+		}
+	}
+}
+
+func TestSPMDFaultBreaksBarrier(t *testing.T) {
+	const n = 2
+	m := MustMachine(DefaultConfig(n))
+	src := `
+		li   a7, 500
+		ecall
+		bnez a0, wait
+		li   a7, 9999      # core 0 faults on an unknown ecall
+		ecall
+	wait:
+		li   a7, 503
+		ecall              # would deadlock without barrier abort
+		li   a7, 93
+		ecall
+	`
+	_, err := runSPMDText(m, src)
+	if err == nil {
+		t.Fatal("expected SPMD run to fail")
+	}
+}
+
+func TestBarrierEcallOutsideSPMDFaults(t *testing.T) {
+	m := MustMachine(DefaultConfig(1))
+	c := loadAndRunErr(t, m, 0, `
+		li a7, 503
+		ecall
+	`)
+	if c == nil {
+		t.Fatal("expected fault")
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	m := MustMachine(DefaultConfig(1))
+	var pcs []uint64
+	var ops []isa.Op
+	p := mustProg(t, `
+		addi a0, zero, 1
+		addi a0, a0, 1
+		li   a7, 93
+		ecall
+	`)
+	c, err := m.Load(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTrace(func(c *Core, pc uint64, inst isa.Inst) {
+		pcs = append(pcs, pc)
+		ops = append(ops, inst.Op)
+	})
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(pcs) != 4 {
+		t.Fatalf("traced %d instructions, want 4", len(pcs))
+	}
+	if pcs[0] != p.Base || pcs[1] != p.Base+4 {
+		t.Errorf("trace pcs = %#x", pcs)
+	}
+	if ops[3] != isa.ECALL {
+		t.Errorf("last op = %s", ops[3])
+	}
+}
+
+func TestWriterTrace(t *testing.T) {
+	m := MustMachine(DefaultConfig(1))
+	p := mustProg(t, "li a7, 93\necall")
+	c, _ := m.Load(0, p)
+	var sb traceBuf
+	c.SetTrace(NewWriterTrace(&sb))
+	if err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() == "" || !containsStr(sb.String(), "ecall") {
+		t.Errorf("trace output: %q", sb.String())
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"xbgas/internal/asm"
+)
+
+// coreBarrier synchronises the machine's SPMD cores at the barrier
+// environment call: a sense-reversing barrier that also aligns the
+// cores' virtual clocks to the slowest arrival.
+type coreBarrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	sense  bool
+	maxCyc uint64
+	relCyc uint64
+}
+
+func newCoreBarrier(n int) *coreBarrier {
+	b := &coreBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all cores arrive; it reports false if the barrier
+// was aborted (a peer faulted) before or during the wait.
+func (b *coreBarrier) wait(c *Core) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.n < 0 {
+		return false
+	}
+	localSense := !b.sense
+	b.count++
+	if c.Cycles > b.maxCyc {
+		b.maxCyc = c.Cycles
+	}
+	if b.count == b.n {
+		b.relCyc = b.maxCyc
+		b.count = 0
+		b.maxCyc = 0
+		b.sense = localSense
+		b.cond.Broadcast()
+	} else {
+		for b.sense != localSense && b.n >= 0 {
+			b.cond.Wait()
+		}
+		if b.n < 0 {
+			return false
+		}
+	}
+	if b.relCyc > c.Cycles {
+		c.Cycles = b.relCyc
+	}
+	return true
+}
+
+// SPMDResult carries one core's outcome from RunSPMD.
+type SPMDResult struct {
+	Core *Core
+	Err  error
+}
+
+// RunSPMD loads the same program on every node and executes one core
+// per node concurrently — the bare-metal analogue of launching the same
+// binary on each processing element, as the paper's Spike+MPICH
+// environment does. The barrier environment call (EcallBarrier)
+// synchronises all cores and aligns their virtual clocks. maxInsts
+// bounds each core (0 = unlimited).
+//
+// A core that faults breaks the barrier so the others cannot deadlock;
+// their barrier ecall then faults too.
+func (m *Machine) RunSPMD(p *asm.Program, maxInsts uint64) ([]SPMDResult, error) {
+	n := len(m.Nodes)
+	barrier := newCoreBarrier(n)
+	results := make([]SPMDResult, n)
+	cores := make([]*Core, n)
+	for i := 0; i < n; i++ {
+		c, err := m.Load(i, p)
+		if err != nil {
+			return nil, err
+		}
+		c.spmdBarrier = barrier
+		cores[i] = c
+	}
+	var wg sync.WaitGroup
+	for i, c := range cores {
+		wg.Add(1)
+		go func(idx int, core *Core) {
+			defer wg.Done()
+			err := core.Run(maxInsts)
+			if err != nil {
+				barrier.abort()
+			}
+			results[idx] = SPMDResult{Core: core, Err: err}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.Err != nil {
+			return results, r.Err
+		}
+	}
+	return results, nil
+}
+
+// abort releases all waiters permanently (used when a peer faults).
+func (b *coreBarrier) abort() {
+	b.mu.Lock()
+	b.n = -1 // no count can ever reach it
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// ecallBarrier implements the barrier environment call for SPMD cores.
+func ecallBarrier(c *Core) error {
+	if c.spmdBarrier == nil {
+		return fmt.Errorf("ecall barrier: core is not part of an SPMD run")
+	}
+	if !c.spmdBarrier.wait(c) {
+		return fmt.Errorf("ecall barrier: aborted because a peer core faulted")
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"xbgas/internal/isa"
+)
+
+// TraceFunc observes one retired instruction. pc is the instruction's
+// own address (not the next one); the core's registers reflect the
+// post-execution state.
+type TraceFunc func(c *Core, pc uint64, inst isa.Inst)
+
+// SetTrace installs a per-instruction trace hook (nil disables). The
+// hook runs synchronously on the core's goroutine.
+func (c *Core) SetTrace(fn TraceFunc) { c.trace = fn }
+
+// NewWriterTrace returns a TraceFunc that renders a classic simulator
+// trace line per instruction to w.
+func NewWriterTrace(w io.Writer) TraceFunc {
+	return func(c *Core, pc uint64, inst isa.Inst) {
+		fmt.Fprintf(w, "core %d %10d %#010x: %s\n", c.node, c.Cycles, pc, inst.Disasm())
+	}
+}

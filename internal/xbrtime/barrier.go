@@ -1,0 +1,209 @@
+package xbrtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBarrierBroken is returned from Barrier when another PE failed and
+// the runtime released the barrier to avoid deadlocking the survivors.
+var ErrBarrierBroken = errors.New("xbrtime: barrier broken by failing PE")
+
+// barrierCPU is the local bookkeeping cost charged per barrier call.
+const barrierCPU = 30
+
+// barrierState implements a sense-reversing centralised barrier over an
+// arbitrary member set: every member reports arrival to the first
+// member, which releases the group. The paper's runtime ships "a simple
+// barrier" (§3.3); the centralised barrier is the simplest correct
+// choice and its cost model (gather to root, then a staggered release
+// fan-out) matches that structure. The world barrier is the instance
+// over all PEs; teams (paper §7 future work) get their own instances.
+type barrierState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	members []int // global PE ranks; members[0] collects arrivals
+	count   int
+	sense   bool
+	maxArr  uint64
+	rel     map[int]uint64 // global rank -> release time
+	broken  bool
+}
+
+func newBarrierState(n int) *barrierState {
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	return newTeamBarrierState(members)
+}
+
+func newTeamBarrierState(members []int) *barrierState {
+	b := &barrierState{members: members, rel: make(map[int]uint64, len(members))}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrierState) breakBarrier() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Barrier synchronises all PEs: xbrtime_barrier(). On return, every
+// PE's virtual clock is at or after the latest arrival time plus the
+// release cost of the configured algorithm.
+func (pe *PE) Barrier() error {
+	if pe.rt.cfg.Barrier == BarrierDissemination {
+		pe.barriers++
+		pe.Advance(barrierCPU)
+		if pe.rt.cfg.NumPEs == 1 {
+			return nil
+		}
+		return pe.dissemBarrier()
+	}
+	return pe.barrierOn(pe.rt.barrier)
+}
+
+// barrierOn runs the sense-reversing protocol on one barrier instance.
+// The calling PE must be a member.
+func (pe *PE) barrierOn(b *barrierState) error {
+	pe.barriers++
+	pe.Advance(barrierCPU)
+	n := len(b.members)
+	if n == 1 {
+		return nil
+	}
+	coordinator := b.members[0]
+
+	fab := pe.rt.machine.Fabric
+	// Arrival notification to the coordinating PE.
+	arrive := pe.clock
+	if pe.rank != coordinator {
+		t, err := fab.Send(pe.rank, coordinator, 8, pe.clock)
+		if err != nil {
+			return err
+		}
+		arrive = t
+	}
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		return ErrBarrierBroken
+	}
+	localSense := !b.sense
+	b.count++
+	if arrive > b.maxArr {
+		b.maxArr = arrive
+	}
+	if b.count == n {
+		// The coordinator releases everyone; the fan-out staggers at
+		// its injection rate and each release message pays fabric
+		// transit.
+		inject := fab.Config().InjectionOverhead
+		release := b.maxArr
+		b.rel[coordinator] = release
+		for i, m := range b.members {
+			if m == coordinator {
+				continue
+			}
+			t, err := fab.Send(coordinator, m, 8, release+uint64(i)*inject)
+			if err != nil {
+				return err
+			}
+			b.rel[m] = t
+		}
+		b.count = 0
+		b.maxArr = 0
+		b.sense = localSense
+		b.cond.Broadcast()
+	} else {
+		for b.sense != localSense && !b.broken {
+			b.cond.Wait()
+		}
+		if b.broken {
+			return ErrBarrierBroken
+		}
+	}
+	pe.advanceTo(b.rel[pe.rank])
+	return nil
+}
+
+// Team is an ordered subset of PEs that can synchronise and communicate
+// collectively among themselves — the "integration of collective
+// functionality between a subset of PEs" the paper lists as future work
+// (§7). Team rank i is the PE at Members()[i]; team rank 0 coordinates
+// the team barrier.
+type Team struct {
+	rt      *Runtime
+	members []int
+	index   map[int]int // global rank -> team rank
+	barrier *barrierState
+}
+
+// NewTeam creates a team from the given global PE ranks. Ranks must be
+// unique and valid; order defines team ranks.
+func (rt *Runtime) NewTeam(members []int) (*Team, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("xbrtime: team needs at least one member")
+	}
+	index := make(map[int]int, len(members))
+	for i, m := range members {
+		if m < 0 || m >= rt.cfg.NumPEs {
+			return nil, fmt.Errorf("xbrtime: team member %d outside 0..%d", m, rt.cfg.NumPEs-1)
+		}
+		if _, dup := index[m]; dup {
+			return nil, fmt.Errorf("xbrtime: duplicate team member %d", m)
+		}
+		index[m] = i
+	}
+	return &Team{
+		rt:      rt,
+		members: append([]int(nil), members...),
+		index:   index,
+		barrier: newTeamBarrierState(append([]int(nil), members...)),
+	}, nil
+}
+
+// WorldTeam returns a team containing every PE in rank order.
+func (rt *Runtime) WorldTeam() *Team {
+	members := make([]int, rt.cfg.NumPEs)
+	for i := range members {
+		members[i] = i
+	}
+	t, err := rt.NewTeam(members)
+	if err != nil {
+		panic(err) // full member set is always valid
+	}
+	return t
+}
+
+// Size returns the number of team members.
+func (t *Team) Size() int { return len(t.members) }
+
+// Member returns the global PE rank of team rank i.
+func (t *Team) Member(i int) int { return t.members[i] }
+
+// Rank returns pe's team rank, or false if pe is not a member.
+func (t *Team) Rank(pe *PE) (int, bool) {
+	r, ok := t.index[pe.rank]
+	return r, ok
+}
+
+// Contains reports whether the global rank is a team member.
+func (t *Team) Contains(globalRank int) bool {
+	_, ok := t.index[globalRank]
+	return ok
+}
+
+// TeamBarrier synchronises the team's members. Only members may call
+// it, and every member must.
+func (pe *PE) TeamBarrier(t *Team) error {
+	if _, ok := t.Rank(pe); !ok {
+		return fmt.Errorf("xbrtime: PE %d is not a member of the team", pe.rank)
+	}
+	return pe.barrierOn(t.barrier)
+}

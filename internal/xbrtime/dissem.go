@@ -1,0 +1,103 @@
+package xbrtime
+
+import (
+	"sync"
+)
+
+// BarrierAlgorithm selects the world-barrier implementation.
+type BarrierAlgorithm uint8
+
+// Barrier algorithms.
+const (
+	// BarrierCentral is the paper's "simple barrier": arrivals gather
+	// at PE 0, which releases the group (default).
+	BarrierCentral BarrierAlgorithm = iota
+	// BarrierDissemination is the classic ⌈log₂N⌉-round dissemination
+	// barrier: in round k every PE signals the peer 2^k ranks ahead and
+	// waits for the peer 2^k ranks behind. No central bottleneck; an
+	// ablation benchmark compares the two.
+	BarrierDissemination
+)
+
+// String names the algorithm.
+func (a BarrierAlgorithm) String() string {
+	switch a {
+	case BarrierCentral:
+		return "central"
+	case BarrierDissemination:
+		return "dissemination"
+	}
+	return "unknown"
+}
+
+// dissemKey identifies one rendezvous slot: the receiver's rank and
+// barrier epoch plus the round.
+type dissemKey struct {
+	epoch uint64
+	round int
+	dst   int
+}
+
+// dissemState carries the rendezvous slots of the dissemination
+// barrier. Senders post their signal's arrival time; receivers wait for
+// their slot and consume it.
+type dissemState struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	slots  map[dissemKey]uint64
+	broken bool
+}
+
+func newDissemState() *dissemState {
+	d := &dissemState{slots: make(map[dissemKey]uint64)}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+func (d *dissemState) breakBarrier() {
+	d.mu.Lock()
+	d.broken = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// dissemBarrier runs one dissemination barrier for pe.
+func (pe *PE) dissemBarrier() error {
+	d := pe.rt.dissem
+	n := pe.rt.cfg.NumPEs
+	fab := pe.rt.machine.Fabric
+
+	rounds := 0
+	for (1 << rounds) < n {
+		rounds++
+	}
+	epoch := pe.dissemEpoch
+	pe.dissemEpoch++
+
+	for k := 0; k < rounds; k++ {
+		dst := (pe.rank + (1 << k)) % n
+		arrive, err := fab.Send(pe.rank, dst, 8, pe.clock)
+		if err != nil {
+			return err
+		}
+		d.mu.Lock()
+		d.slots[dissemKey{epoch, k, dst}] = arrive
+		d.cond.Broadcast()
+		// Wait for the signal addressed to us in this round and epoch.
+		me := dissemKey{epoch, k, pe.rank}
+		for {
+			if d.broken {
+				d.mu.Unlock()
+				return ErrBarrierBroken
+			}
+			if t, ok := d.slots[me]; ok {
+				delete(d.slots, me)
+				d.mu.Unlock()
+				pe.advanceTo(t)
+				break
+			}
+			d.cond.Wait()
+		}
+	}
+	return nil
+}

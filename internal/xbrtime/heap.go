@@ -1,0 +1,102 @@
+package xbrtime
+
+import (
+	"fmt"
+	"sort"
+)
+
+// heapAlign is the allocation granularity of the symmetric heap.
+const heapAlign = 16
+
+// span is a free region [addr, addr+size).
+type span struct {
+	addr, size uint64
+}
+
+// heap is a deterministic first-fit allocator. Every PE runs its own
+// instance over identical initial state, so identical call sequences
+// yield identical offsets on every PE — that is how the runtime keeps
+// the shared data segment "fully symmetric with that of its peers"
+// (paper §3.3) without any communication, the same trick used by the
+// SHMEM-style symmetric heaps the paper builds on.
+type heap struct {
+	base, size uint64
+	free       []span            // sorted by address
+	allocs     map[uint64]uint64 // live allocation -> size
+	inUse      uint64
+}
+
+func newHeap(base, size uint64) *heap {
+	return &heap{
+		base:   base,
+		size:   size,
+		free:   []span{{base, size}},
+		allocs: make(map[uint64]uint64),
+	}
+}
+
+func alignUp(n uint64) uint64 {
+	return (n + heapAlign - 1) &^ (heapAlign - 1)
+}
+
+// alloc reserves n bytes and returns the address.
+func (h *heap) alloc(n uint64) (uint64, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("xbrtime: zero-byte allocation")
+	}
+	n = alignUp(n)
+	for i, s := range h.free {
+		if s.size < n {
+			continue
+		}
+		addr := s.addr
+		if s.size == n {
+			h.free = append(h.free[:i], h.free[i+1:]...)
+		} else {
+			h.free[i] = span{s.addr + n, s.size - n}
+		}
+		h.allocs[addr] = n
+		h.inUse += n
+		return addr, nil
+	}
+	return 0, fmt.Errorf("xbrtime: symmetric heap exhausted (want %d bytes, %d in use of %d)",
+		n, h.inUse, h.size)
+}
+
+// release frees a previous allocation, coalescing adjacent free spans.
+func (h *heap) release(addr uint64) error {
+	n, ok := h.allocs[addr]
+	if !ok {
+		return fmt.Errorf("xbrtime: free of unallocated address %#x", addr)
+	}
+	delete(h.allocs, addr)
+	h.inUse -= n
+	i := sort.Search(len(h.free), func(i int) bool { return h.free[i].addr >= addr })
+	h.free = append(h.free, span{})
+	copy(h.free[i+1:], h.free[i:])
+	h.free[i] = span{addr, n}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(h.free) && h.free[i].addr+h.free[i].size == h.free[i+1].addr {
+		h.free[i].size += h.free[i+1].size
+		h.free = append(h.free[:i+1], h.free[i+2:]...)
+	}
+	if i > 0 && h.free[i-1].addr+h.free[i-1].size == h.free[i].addr {
+		h.free[i-1].size += h.free[i].size
+		h.free = append(h.free[:i], h.free[i+1:]...)
+	}
+	return nil
+}
+
+// used returns the number of bytes currently allocated.
+func (h *heap) used() uint64 { return h.inUse }
+
+// liveAllocs returns the live allocations sorted by address, for the
+// Figure 2 segment-map rendering.
+func (h *heap) liveAllocs() []span {
+	out := make([]span, 0, len(h.allocs))
+	for a, n := range h.allocs {
+		out = append(out, span{a, n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].addr < out[j].addr })
+	return out
+}

@@ -1,0 +1,84 @@
+package xbrtime
+
+import "fmt"
+
+// loadCPU is the pipeline cost of one local load/store instruction on
+// top of the memory-hierarchy cost.
+const loadCPU = 1
+
+// ReadElem performs a timed local read of one element, returning its
+// canonical value (sign-/zero-extended integer or raw IEEE bits).
+func (pe *PE) ReadElem(dt DType, addr uint64) uint64 {
+	cost := pe.node.Hier.Touch(addr, dt.Width, false)
+	raw := pe.node.LockedRead(addr, dt.Width)
+	pe.Advance(cost + loadCPU)
+	return dt.Canon(raw)
+}
+
+// WriteElem performs a timed local write of one element.
+func (pe *PE) WriteElem(dt DType, addr uint64, canon uint64) {
+	cost := pe.node.Hier.Touch(addr, dt.Width, true)
+	pe.node.LockedWrite(addr, dt.Width, canon&dt.mask())
+	pe.Advance(cost + loadCPU)
+}
+
+// Peek reads one element functionally (no cycle charge, no cache
+// perturbation). Benchmarks use it for setup and verification.
+func (pe *PE) Peek(dt DType, addr uint64) uint64 {
+	return dt.Canon(pe.node.LockedRead(addr, dt.Width))
+}
+
+// Poke writes one element functionally (no cycle charge).
+func (pe *PE) Poke(dt DType, addr uint64, canon uint64) {
+	pe.node.LockedWrite(addr, dt.Width, canon&dt.mask())
+}
+
+// PeekBytes copies len(dst) bytes out of the PE's memory functionally.
+func (pe *PE) PeekBytes(addr uint64, dst []byte) { pe.node.LockedReadBytes(addr, dst) }
+
+// PokeBytes copies src into the PE's memory functionally.
+func (pe *PE) PokeBytes(addr uint64, src []byte) { pe.node.LockedWriteBytes(addr, src) }
+
+// TraceEvent describes one remote transfer issued by a PE, as observed
+// by a communication trace hook.
+type TraceEvent struct {
+	Kind   string // "put" or "get"
+	Target int    // peer PE rank
+	Nelems int
+}
+
+// SetCommTrace installs a hook observing every remote put/get the PE
+// issues (nil disables). PE-local transfers and barrier traffic are not
+// reported. The hook runs synchronously on the PE's goroutine; the
+// schedule-conformance tests use it to check that collectives perform
+// exactly the communication their algorithms specify.
+func (pe *PE) SetCommTrace(fn func(TraceEvent)) { pe.commTrace = fn }
+
+func (pe *PE) traceComm(kind string, target, nelems int) {
+	if pe.commTrace != nil {
+		pe.commTrace(TraceEvent{Kind: kind, Target: target, Nelems: nelems})
+	}
+}
+
+// checkTarget validates a peer rank.
+func (pe *PE) checkTarget(target int) error {
+	if target < 0 || target >= pe.rt.cfg.NumPEs {
+		return fmt.Errorf("xbrtime: PE %d addressed invalid peer %d of %d",
+			pe.rank, target, pe.rt.cfg.NumPEs)
+	}
+	return nil
+}
+
+// checkTransfer validates the common put/get argument contract.
+func checkTransfer(dt DType, nelems, stride int) error {
+	if !dt.Valid() {
+		return fmt.Errorf("xbrtime: invalid data type %+v", dt)
+	}
+	if nelems < 0 {
+		return fmt.Errorf("xbrtime: negative element count %d", nelems)
+	}
+	if stride < 1 {
+		return fmt.Errorf("xbrtime: stride %d; must be >= 1 element", stride)
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package xbrtime
+
+import (
+	"xbgas/internal/fabric"
+	"xbgas/internal/sim"
+)
+
+// olbHitCost and olbMissCost charge the object-ID translation performed
+// once per transfer when the stub loads the target's object ID into an
+// e register.
+const (
+	olbHitCost  = 2
+	olbMissCost = 20
+)
+
+// Handle identifies an outstanding non-blocking transfer.
+type Handle struct {
+	completeAt uint64
+	active     bool
+}
+
+// Pending reports whether the handle still has an unwaited transfer.
+func (h Handle) Pending() bool { return h.active }
+
+// Wait blocks (in virtual time) until the transfer behind h completes:
+// the clock advances to the transfer's completion time if it is later
+// than now.
+func (pe *PE) Wait(h Handle) {
+	if h.active {
+		pe.advanceTo(h.completeAt)
+	}
+}
+
+// Put copies nelems elements of type dt from local address src to
+// address dest on PE target, reading and writing every stride-th
+// element (stride 1 = contiguous; the stride applies at both ends,
+// paper §3.3). Put blocks until the last element is delivered.
+func (pe *PE) Put(dt DType, dest, src uint64, nelems, stride int, target int) error {
+	h, err := pe.put(dt, dest, src, nelems, stride, target, false)
+	if err != nil {
+		return err
+	}
+	pe.Wait(h)
+	return nil
+}
+
+// PutNB is the non-blocking form of Put: it returns once the last
+// element has been issued; Wait completes the transfer.
+func (pe *PE) PutNB(dt DType, dest, src uint64, nelems, stride int, target int) (Handle, error) {
+	return pe.put(dt, dest, src, nelems, stride, target, true)
+}
+
+// Get copies nelems elements of type dt from address src on PE target
+// to local address dest, with the same stride contract as Put. Get
+// blocks until the last element has arrived.
+func (pe *PE) Get(dt DType, dest, src uint64, nelems, stride int, target int) error {
+	h, err := pe.get(dt, dest, src, nelems, stride, target, false)
+	if err != nil {
+		return err
+	}
+	pe.Wait(h)
+	return nil
+}
+
+// GetNB is the non-blocking form of Get.
+func (pe *PE) GetNB(dt DType, dest, src uint64, nelems, stride int, target int) (Handle, error) {
+	return pe.get(dt, dest, src, nelems, stride, target, true)
+}
+
+func (pe *PE) put(dt DType, dest, src uint64, nelems, stride int, target int, nonblocking bool) (Handle, error) {
+	if err := checkTransfer(dt, nelems, stride); err != nil {
+		return Handle{}, err
+	}
+	if err := pe.checkTarget(target); err != nil {
+		return Handle{}, err
+	}
+	if nelems == 0 {
+		return Handle{}, nil
+	}
+	pe.puts++
+	pe.putElems += uint64(nelems)
+	if target != pe.rank {
+		pe.traceComm("put", target, nelems)
+	}
+
+	if pe.rt.cfg.Transport == TransportSpike {
+		return pe.spikePut(dt, dest, src, nelems, stride, target)
+	}
+
+	w := dt.Width
+	step := uint64(stride * w)
+
+	if target == pe.rank {
+		// PE-local put: plain loads and stores through the hierarchy.
+		for i := 0; i < nelems; i++ {
+			off := uint64(i) * step
+			v := pe.ReadElem(dt, src+off)
+			pe.WriteElem(dt, dest+off, v)
+		}
+		return Handle{completeAt: pe.clock, active: true}, nil
+	}
+
+	fab := pe.rt.machine.Fabric
+	targetNode := pe.rt.machine.Nodes[target]
+	pe.chargeOLB(target)
+
+	unrolled := nonblocking || nelems >= pe.rt.cfg.UnrollThreshold
+	gap := issueGap(fab.Config())
+	transit := fab.TransitCost(pe.rank, target, 8+w)
+	window := uint64(pe.rt.cfg.InflightDepth) * gap
+	issue := pe.clock
+	var lastArrive uint64
+	for i := 0; i < nelems; i++ {
+		off := uint64(i) * step
+		// Source element read on the local hierarchy.
+		cost := pe.node.Hier.Touch(src+off, w, false)
+		raw := pe.node.LockedRead(src+off, w)
+		issue += cost + loadCPU
+
+		arrive, err := fab.Send(pe.rank, target, 8+w, issue)
+		if err != nil {
+			return Handle{}, err
+		}
+		if arrive > lastArrive {
+			lastArrive = arrive
+		}
+		targetNode.LockedWrite(dest+off, w, raw)
+
+		if unrolled {
+			// Pipelined (unrolled) issue: the next store leaves as soon
+			// as the NIC accepts another message — unless flow control
+			// throttles the stream because more than InflightDepth
+			// element stores are backed up in the network.
+			issue += gap
+			if backlog := arrive - transit; backlog > issue+window {
+				issue = backlog - window
+			}
+		} else {
+			// Strictly ordered element stores below the threshold.
+			issue = arrive
+		}
+	}
+	pe.advanceTo(issue)
+	return Handle{completeAt: lastArrive, active: true}, nil
+}
+
+func (pe *PE) get(dt DType, dest, src uint64, nelems, stride int, target int, nonblocking bool) (Handle, error) {
+	if err := checkTransfer(dt, nelems, stride); err != nil {
+		return Handle{}, err
+	}
+	if err := pe.checkTarget(target); err != nil {
+		return Handle{}, err
+	}
+	if nelems == 0 {
+		return Handle{}, nil
+	}
+	pe.gets++
+	pe.getElems += uint64(nelems)
+	if target != pe.rank {
+		pe.traceComm("get", target, nelems)
+	}
+
+	if pe.rt.cfg.Transport == TransportSpike {
+		return pe.spikeGet(dt, dest, src, nelems, stride, target)
+	}
+
+	w := dt.Width
+	step := uint64(stride * w)
+
+	if target == pe.rank {
+		for i := 0; i < nelems; i++ {
+			off := uint64(i) * step
+			v := pe.ReadElem(dt, src+off)
+			pe.WriteElem(dt, dest+off, v)
+		}
+		return Handle{completeAt: pe.clock, active: true}, nil
+	}
+
+	fab := pe.rt.machine.Fabric
+	targetNode := pe.rt.machine.Nodes[target]
+	pe.chargeOLB(target)
+
+	unrolled := nonblocking || nelems >= pe.rt.cfg.UnrollThreshold
+	gap := issueGap(fab.Config())
+	transit := fab.TransitCost(pe.rank, target, 8) + fab.TransitCost(target, pe.rank, w)
+	window := uint64(pe.rt.cfg.InflightDepth) * gap
+	issue := pe.clock
+	var lastArrive uint64
+	for i := 0; i < nelems; i++ {
+		off := uint64(i) * step
+		// Request out, data back.
+		req, err := fab.Send(pe.rank, target, 8, issue+loadCPU)
+		if err != nil {
+			return Handle{}, err
+		}
+		data, err := fab.Send(target, pe.rank, w, req)
+		if err != nil {
+			return Handle{}, err
+		}
+		raw := targetNode.LockedRead(src+off, w)
+		// Destination element write on the local hierarchy.
+		cost := pe.node.Hier.Touch(dest+off, w, true)
+		pe.node.LockedWrite(dest+off, w, raw)
+		done := data + cost
+		if done > lastArrive {
+			lastArrive = done
+		}
+		if unrolled {
+			// Pipelined requests with the same flow-control window as
+			// the put path.
+			issue += gap
+			if backlog := data - transit; backlog > issue+window {
+				issue = backlog - window
+			}
+		} else {
+			issue = done
+		}
+	}
+	pe.advanceTo(issue)
+	return Handle{completeAt: lastArrive, active: true}, nil
+}
+
+// chargeOLB models the object-ID translation for a remote transfer.
+func (pe *PE) chargeOLB(target int) {
+	_, hit, err := pe.node.OLB.Translate(sim.ObjectID(target))
+	switch {
+	case err != nil:
+		// Machine construction registers every peer; a fault here is a
+		// runtime bug, not a user error.
+		panic(err)
+	case hit:
+		pe.Advance(olbHitCost)
+	default:
+		pe.Advance(olbMissCost)
+	}
+}
+
+// issueGap returns the pipelined per-element sender occupancy,
+// defaulting to the injection overhead when the fabric model does not
+// set a separate throughput gap.
+func issueGap(cfg fabric.Config) uint64 {
+	if cfg.IssueGap > 0 {
+		return cfg.IssueGap
+	}
+	return cfg.InjectionOverhead
+}
+
+// WaitAll completes every pending transfer in hs: the clock advances to
+// the latest completion time.
+func (pe *PE) WaitAll(hs []Handle) {
+	for _, h := range hs {
+		pe.Wait(h)
+	}
+}

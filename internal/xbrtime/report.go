@@ -1,0 +1,43 @@
+package xbrtime
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StatsReport renders a cluster-wide summary after a run: per-PE
+// communication counters and virtual clocks, per-node memory-system hit
+// rates, and fabric totals. Benchmarks and examples print it for
+// observability; it allocates nothing on the simulation side.
+func (rt *Runtime) StatsReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "runtime: %d PEs, topology %s, makespan %d cycles (%.3f ms at 1 GHz)\n",
+		rt.cfg.NumPEs, rt.machine.Fabric.Topology().Name(),
+		rt.MaxClock(), float64(rt.MaxClock())/1e6)
+
+	fmt.Fprintf(&b, "%-4s %-12s %-10s %-10s %-10s %-10s %-9s\n",
+		"PE", "cycles", "puts", "putElems", "gets", "getElems", "barriers")
+	for _, pe := range rt.pes {
+		s := pe.Stats()
+		fmt.Fprintf(&b, "%-4d %-12d %-10d %-10d %-10d %-10d %-9d\n",
+			pe.rank, s.Cycles, s.Puts, s.PutElems, s.Gets, s.GetElems, s.Barriers)
+	}
+
+	fmt.Fprintf(&b, "%-4s %-10s %-10s %-10s %-12s %-10s\n",
+		"node", "L1 hit%", "L2 hit%", "TLB hit%", "OLB hits", "OLB miss")
+	for i, n := range rt.machine.Nodes {
+		tlb := n.Hier.TLB()
+		tlbRate := 0.0
+		if total := tlb.Hits() + tlb.Misses(); total > 0 {
+			tlbRate = float64(tlb.Hits()) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-4d %-10.1f %-10.1f %-10.1f %-12d %-10d\n",
+			i, 100*n.Hier.L1().HitRate(), 100*n.Hier.L2().HitRate(),
+			100*tlbRate, n.OLB.Hits(), n.OLB.Misses())
+	}
+
+	fab := rt.machine.Fabric
+	fmt.Fprintf(&b, "fabric: %d messages, %d payload bytes, %d contention cycles\n",
+		fab.Messages(), fab.Bytes(), fab.ContentionCycles())
+	return b.String()
+}

@@ -1,0 +1,215 @@
+package xbrtime
+
+import (
+	"fmt"
+	"strings"
+
+	"xbgas/internal/asm"
+	"xbgas/internal/sim"
+)
+
+// spikeEngine executes put/get transfers as real xBGAS instruction
+// sequences on an internal/sim core bound to the PE's node. It is the
+// ISA-fidelity transport: every transfer runs through instruction
+// decode, e-register management, and the OLB exactly as the C runtime's
+// assembly stubs do on Spike (paper §5.1). Timing follows the core's
+// instruction-level cost model, so it differs in detail from the native
+// transport's pipelined model; memory contents are identical (asserted
+// by the transport-equivalence tests).
+type spikeEngine struct {
+	core *sim.Core
+}
+
+// spikeCodeBase is where transfer stubs are assembled. It lies well
+// below the private and shared segments.
+const spikeCodeBase uint64 = 0x0000_1000
+
+func (pe *PE) spikeEngineLazy() *spikeEngine {
+	if pe.spike == nil {
+		pe.spike = &spikeEngine{core: sim.NewCore(pe.rt.machine, pe.rank)}
+	}
+	return pe.spike
+}
+
+// loadOp returns the local load mnemonic that moves one element of
+// width w bit-exactly (zero-extending variants: transfers copy raw
+// bits, extension is irrelevant once stored back).
+func loadOp(w int) string {
+	switch w {
+	case 1:
+		return "lbu"
+	case 2:
+		return "lhu"
+	case 4:
+		return "lwu"
+	default:
+		return "ld"
+	}
+}
+
+// extStoreOp returns the xBGAS base-class store mnemonic for width w.
+func extStoreOp(w int) string {
+	switch w {
+	case 1:
+		return "esb"
+	case 2:
+		return "esh"
+	case 4:
+		return "esw"
+	default:
+		return "esd"
+	}
+}
+
+// extLoadOp returns the xBGAS base-class load mnemonic for width w.
+func extLoadOp(w int) string {
+	switch w {
+	case 1:
+		return "elbu"
+	case 2:
+		return "elhu"
+	case 4:
+		return "elwu"
+	default:
+		return "eld"
+	}
+}
+
+// storeOp returns the local store mnemonic for width w.
+func storeOp(w int) string {
+	switch w {
+	case 1:
+		return "sb"
+	case 2:
+		return "sh"
+	case 4:
+		return "sw"
+	default:
+		return "sd"
+	}
+}
+
+// rawLoadOp returns the xBGAS raw-class load mnemonic for width w.
+func rawLoadOp(w int) string {
+	switch w {
+	case 1:
+		return "erlbu"
+	case 2:
+		return "erlhu"
+	case 4:
+		return "erlwu"
+	default:
+		return "erld"
+	}
+}
+
+// rawStoreOp returns the xBGAS raw-class store mnemonic for width w.
+func rawStoreOp(w int) string {
+	switch w {
+	case 1:
+		return "ersb"
+	case 2:
+		return "ersh"
+	case 4:
+		return "ersw"
+	default:
+		return "ersd"
+	}
+}
+
+// spikeStub builds the transfer stub. By default the remote cursor
+// lives in t5 (x30) whose paired extended register e30 carries the
+// object ID — the exact register discipline of the xbrtime assembly
+// stubs' base-class accesses. With Config.SpikeRawClass the stub uses
+// the raw-class instructions instead, naming e7 explicitly (paper
+// §3.2's second instruction class). isPut selects local-load +
+// extended-store versus extended-load + local-store. The loop body is
+// unrolled by four when nelems meets the runtime's threshold (§3.3).
+func (pe *PE) spikeStub(dt DType, remote, local uint64, nelems, stride, target int, isPut bool) string {
+	w := dt.Width
+	step := stride * w
+	objID := sim.ObjectID(target)
+	if target == pe.rank {
+		objID = 0 // architectural local short-circuit
+	}
+	raw := pe.rt.cfg.SpikeRawClass
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "\tli   t0, %d\n", local)  // local cursor
+	fmt.Fprintf(&b, "\tli   t5, %d\n", remote) // remote cursor (pairs e30)
+	fmt.Fprintf(&b, "\tli   t1, %d\n", objID)
+	if raw {
+		fmt.Fprintf(&b, "\teaddie e7, t1, 0\n")
+	} else {
+		fmt.Fprintf(&b, "\teaddie e30, t1, 0\n")
+	}
+	fmt.Fprintf(&b, "\tli   t2, %d\n", nelems)
+
+	body := func() {
+		switch {
+		case isPut && raw:
+			fmt.Fprintf(&b, "\t%s t3, 0(t0)\n", loadOp(w))
+			fmt.Fprintf(&b, "\t%s t3, t5, e7\n", rawStoreOp(w))
+		case isPut:
+			fmt.Fprintf(&b, "\t%s t3, 0(t0)\n", loadOp(w))
+			fmt.Fprintf(&b, "\t%s t3, 0(t5)\n", extStoreOp(w))
+		case raw:
+			fmt.Fprintf(&b, "\t%s t3, t5, e7\n", rawLoadOp(w))
+			fmt.Fprintf(&b, "\t%s t3, 0(t0)\n", storeOp(w))
+		default:
+			fmt.Fprintf(&b, "\t%s t3, 0(t5)\n", extLoadOp(w))
+			fmt.Fprintf(&b, "\t%s t3, 0(t0)\n", storeOp(w))
+		}
+		fmt.Fprintf(&b, "\taddi t0, t0, %d\n", step)
+		fmt.Fprintf(&b, "\taddi t5, t5, %d\n", step)
+	}
+
+	unroll := 1
+	if nelems >= pe.rt.cfg.UnrollThreshold {
+		unroll = 4
+	}
+	main := nelems / unroll * unroll
+	if main > 0 {
+		fmt.Fprintf(&b, "\tli   t4, %d\n", main)
+		fmt.Fprintf(&b, "main_loop:\n")
+		for u := 0; u < unroll; u++ {
+			body()
+		}
+		fmt.Fprintf(&b, "\taddi t4, t4, %d\n", -unroll)
+		fmt.Fprintf(&b, "\tbnez t4, main_loop\n")
+	}
+	for r := 0; r < nelems-main; r++ {
+		body()
+	}
+	fmt.Fprintf(&b, "\tli   a7, %d\n", sim.EcallExit)
+	fmt.Fprintf(&b, "\tecall\n")
+	return b.String()
+}
+
+// runStub assembles and executes a stub, carrying the PE clock through
+// the core.
+func (pe *PE) runStub(src string) (Handle, error) {
+	eng := pe.spikeEngineLazy()
+	prog, err := asm.AssembleAt(src, spikeCodeBase)
+	if err != nil {
+		return Handle{}, fmt.Errorf("xbrtime: spike transport: %w", err)
+	}
+	pe.node.LockedWriteBytes(prog.Base, prog.Bytes())
+	core := eng.core
+	core.Halted = false
+	core.PC = prog.Base
+	core.Cycles = pe.clock
+	if err := core.Run(0); err != nil {
+		return Handle{}, fmt.Errorf("xbrtime: spike transport: %w", err)
+	}
+	pe.advanceTo(core.Cycles)
+	return Handle{completeAt: core.Cycles, active: true}, nil
+}
+
+func (pe *PE) spikePut(dt DType, dest, src uint64, nelems, stride, target int) (Handle, error) {
+	return pe.runStub(pe.spikeStub(dt, dest, src, nelems, stride, target, true))
+}
+
+func (pe *PE) spikeGet(dt DType, dest, src uint64, nelems, stride, target int) (Handle, error) {
+	return pe.runStub(pe.spikeStub(dt, src, dest, nelems, stride, target, false))
+}

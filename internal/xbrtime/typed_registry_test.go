@@ -1,0 +1,90 @@
+package xbrtime
+
+import (
+	"testing"
+)
+
+// TestEveryGeneratedPutGetWrapper drives all 96 generated typed
+// transfer wrappers (Put/Get and their non-blocking forms for every
+// Table 1 type) through a remote round trip.
+func TestEveryGeneratedPutGetWrapper(t *testing.T) {
+	if len(typedPuts) != 24 || len(typedGets) != 24 ||
+		len(typedPutNBs) != 24 || len(typedGetNBs) != 24 {
+		t.Fatalf("registry sizes %d/%d/%d/%d, want 24 each",
+			len(typedPuts), len(typedGets), len(typedPutNBs), len(typedGetNBs))
+	}
+	for name := range typedPuts {
+		name := name
+		dt, ok := TypeByName(name)
+		if !ok {
+			t.Fatalf("registry names unknown type %q", name)
+		}
+		put, get := typedPuts[name], typedGets[name]
+		putNB, getNB := typedPutNBs[name], typedGetNBs[name]
+		t.Run(name, func(t *testing.T) {
+			rt := MustNew(Config{NumPEs: 2})
+			defer rt.Close()
+			w := uint64(dt.Width)
+			err := rt.Run(func(pe *PE) error {
+				buf, err := pe.Malloc(w * 8)
+				if err != nil {
+					return err
+				}
+				if err := pe.Barrier(); err != nil {
+					return err
+				}
+				if pe.MyPE() != 0 {
+					return nil
+				}
+				src, err := pe.PrivateAlloc(w * 8)
+				if err != nil {
+					return err
+				}
+				val := func(k int) uint64 {
+					if dt.Kind == KindFloat {
+						return dt.FromFloat(float64(k) + 0.5)
+					}
+					return dt.Canon(uint64(2*k + 1))
+				}
+				for i := 0; i < 4; i++ {
+					pe.Poke(dt, src+uint64(i)*w, val(i))
+				}
+				// Blocking put to PE 1, blocking get back.
+				if err := put(pe, buf, src, 4, 1, 1); err != nil {
+					return err
+				}
+				back, err := pe.PrivateAlloc(w * 8)
+				if err != nil {
+					return err
+				}
+				if err := get(pe, back, buf, 4, 1, 1); err != nil {
+					return err
+				}
+				for i := 0; i < 4; i++ {
+					if got := pe.Peek(dt, back+uint64(i)*w); got != val(i) {
+						t.Errorf("%s round trip elem %d: %s, want %s",
+							name, i, dt.FormatValue(got), dt.FormatValue(val(i)))
+					}
+				}
+				// Non-blocking forms.
+				h1, err := putNB(pe, buf+4*w, src, 2, 1, 1)
+				if err != nil {
+					return err
+				}
+				pe.Wait(h1)
+				h2, err := getNB(pe, back, buf+4*w, 2, 1, 1)
+				if err != nil {
+					return err
+				}
+				pe.Wait(h2)
+				if got := pe.Peek(dt, back+w); got != val(1) {
+					t.Errorf("%s NB round trip: %s", name, dt.FormatValue(got))
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

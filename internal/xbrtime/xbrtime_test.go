@@ -1,0 +1,869 @@
+package xbrtime
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func newRT(t *testing.T, n int) *Runtime {
+	t.Helper()
+	rt, err := New(Config{NumPEs: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestInitValidation(t *testing.T) {
+	if _, err := New(Config{NumPEs: 0}); err == nil {
+		t.Error("zero PEs must fail")
+	}
+	if _, err := New(Config{NumPEs: -3}); err == nil {
+		t.Error("negative PEs must fail")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	rt := newRT(t, 4)
+	defer rt.Close()
+	seen := make([]bool, 4)
+	err := rt.Run(func(pe *PE) error {
+		if pe.NumPEs() != 4 {
+			t.Errorf("NumPEs = %d", pe.NumPEs())
+		}
+		seen[pe.MyPE()] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, ok := range seen {
+		if !ok {
+			t.Errorf("rank %d never ran", rank)
+		}
+	}
+}
+
+func TestMallocSymmetry(t *testing.T) {
+	rt := newRT(t, 4)
+	addrs := make([]uint64, 4)
+	err := rt.Run(func(pe *PE) error {
+		a, err := pe.Malloc(128)
+		if err != nil {
+			return err
+		}
+		b, err := pe.Malloc(64)
+		if err != nil {
+			return err
+		}
+		if err := pe.Free(a); err != nil {
+			return err
+		}
+		c, err := pe.Malloc(32) // reuses the freed span deterministically
+		if err != nil {
+			return err
+		}
+		_ = b
+		addrs[pe.MyPE()] = c
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 1; rank < 4; rank++ {
+		if addrs[rank] != addrs[0] {
+			t.Errorf("asymmetric allocation: PE %d got %#x, PE 0 got %#x",
+				rank, addrs[rank], addrs[0])
+		}
+	}
+	if !rt.PE(0).IsShared(addrs[0]) {
+		t.Error("allocation must fall in the shared segment")
+	}
+}
+
+func TestMallocSymmetryQuick(t *testing.T) {
+	// Property: any identical sequence of alloc/free operations yields
+	// identical addresses on independent heap instances.
+	f := func(ops []uint16) bool {
+		h1 := newHeap(SharedBase, 1<<20)
+		h2 := newHeap(SharedBase, 1<<20)
+		var live1, live2 []uint64
+		for _, op := range ops {
+			if op%3 != 0 || len(live1) == 0 {
+				n := uint64(op%1024) + 1
+				a1, e1 := h1.alloc(n)
+				a2, e2 := h2.alloc(n)
+				if (e1 == nil) != (e2 == nil) || a1 != a2 {
+					return false
+				}
+				if e1 == nil {
+					live1 = append(live1, a1)
+					live2 = append(live2, a2)
+				}
+			} else {
+				i := int(op) % len(live1)
+				if h1.release(live1[i]) != nil || h2.release(live2[i]) != nil {
+					return false
+				}
+				live1 = append(live1[:i], live1[i+1:]...)
+				live2 = append(live2[:i], live2[i+1:]...)
+			}
+		}
+		return h1.used() == h2.used()
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapExhaustionAndMisuse(t *testing.T) {
+	h := newHeap(SharedBase, 256)
+	if _, err := h.alloc(512); err == nil {
+		t.Error("oversized alloc must fail")
+	}
+	if _, err := h.alloc(0); err == nil {
+		t.Error("zero alloc must fail")
+	}
+	a, err := h.alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.release(a + 4); err == nil {
+		t.Error("freeing an interior pointer must fail")
+	}
+	if err := h.release(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.release(a); err == nil {
+		t.Error("double free must fail")
+	}
+	// After coalescing, the full segment is allocatable again.
+	if _, err := h.alloc(256); err != nil {
+		t.Errorf("coalescing failed: %v", err)
+	}
+}
+
+func TestHeapCoalescing(t *testing.T) {
+	h := newHeap(0, 4096)
+	a, _ := h.alloc(1024)
+	b, _ := h.alloc(1024)
+	c, _ := h.alloc(1024)
+	// Free middle, then neighbours: all must coalesce into one span.
+	if err := h.release(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.release(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.release(c); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.free) != 1 || h.free[0].size != 4096 {
+		t.Errorf("free list = %+v", h.free)
+	}
+}
+
+func TestBarrierSynchronisesClocks(t *testing.T) {
+	rt := newRT(t, 4)
+	clocks := make([]uint64, 4)
+	err := rt.Run(func(pe *PE) error {
+		// Skew the clocks wildly.
+		pe.Advance(uint64(pe.MyPE()) * 100_000)
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		clocks[pe.MyPE()] = pe.Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every PE must be released at or after the slowest arrival.
+	for rank, c := range clocks {
+		if c < 300_000 {
+			t.Errorf("PE %d released at %d, before slowest arrival", rank, c)
+		}
+	}
+}
+
+func TestBarrierSinglePE(t *testing.T) {
+	rt := newRT(t, 1)
+	err := rt.Run(func(pe *PE) error { return pe.Barrier() })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrokenBarrierReleasesSurvivors(t *testing.T) {
+	rt := newRT(t, 3)
+	sentinel := errors.New("injected failure")
+	err := rt.Run(func(pe *PE) error {
+		if pe.MyPE() == 1 {
+			return sentinel // dies without entering the barrier
+		}
+		err := pe.Barrier()
+		if !errors.Is(err, ErrBarrierBroken) {
+			t.Errorf("PE %d: barrier returned %v, want ErrBarrierBroken", pe.MyPE(), err)
+		}
+		return err
+	})
+	if !errors.Is(err, sentinel) && !errors.Is(err, ErrBarrierBroken) {
+		t.Fatalf("Run = %v", err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	rt := newRT(t, 2)
+	err := rt.Run(func(pe *PE) error {
+		buf, err := pe.Malloc(8 * 16)
+		if err != nil {
+			return err
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			src, _ := pe.PrivateAlloc(8 * 16)
+			for i := 0; i < 16; i++ {
+				pe.Poke(TypeUint64, src+uint64(i*8), uint64(1000+i))
+			}
+			if err := pe.Put(TypeUint64, buf, src, 16, 1, 1); err != nil {
+				return err
+			}
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 1 {
+			for i := 0; i < 16; i++ {
+				if got := pe.Peek(TypeUint64, buf+uint64(i*8)); got != uint64(1000+i) {
+					t.Errorf("elem %d = %d", i, got)
+				}
+			}
+			// And get it back from PE 0? PE 0 never wrote its own copy;
+			// instead get our own values into private space.
+			dst, _ := pe.PrivateAlloc(8 * 16)
+			if err := pe.Get(TypeUint64, dst, buf, 16, 1, 1); err != nil {
+				return err
+			}
+			if got := pe.Peek(TypeUint64, dst+8); got != 1001 {
+				t.Errorf("self get elem 1 = %d", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutWithStride(t *testing.T) {
+	rt := newRT(t, 2)
+	err := rt.Run(func(pe *PE) error {
+		buf, err := pe.Malloc(4 * 32)
+		if err != nil {
+			return err
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			src, _ := pe.PrivateAlloc(4 * 32)
+			for i := 0; i < 8; i++ {
+				pe.Poke(TypeInt32, src+uint64(i*3*4), uint64(int64(-5-i)))
+			}
+			// stride 3: every third int32 at both ends.
+			if err := pe.Put(TypeInt32, buf, src, 8, 3, 1); err != nil {
+				return err
+			}
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 1 {
+			for i := 0; i < 8; i++ {
+				got := int64(pe.Peek(TypeInt32, buf+uint64(i*3*4)))
+				if got != int64(-5-i) {
+					t.Errorf("strided elem %d = %d, want %d", i, got, -5-i)
+				}
+			}
+			// Gaps must stay zero.
+			if gap := pe.Peek(TypeInt32, buf+4); gap != 0 {
+				t.Errorf("stride gap clobbered: %d", gap)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetFromRemote(t *testing.T) {
+	rt := newRT(t, 3)
+	err := rt.Run(func(pe *PE) error {
+		buf, err := pe.Malloc(64)
+		if err != nil {
+			return err
+		}
+		pe.Poke(TypeInt64, buf, uint64(int64(100*pe.MyPE())))
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		dst, _ := pe.PrivateAlloc(64)
+		peer := (pe.MyPE() + 1) % 3
+		if err := pe.Get(TypeInt64, dst, buf, 1, 1, peer); err != nil {
+			return err
+		}
+		if got := int64(pe.Peek(TypeInt64, dst)); got != int64(100*peer) {
+			t.Errorf("PE %d got %d from peer %d", pe.MyPE(), got, peer)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfPut(t *testing.T) {
+	rt := newRT(t, 2)
+	err := rt.Run(func(pe *PE) error {
+		buf, err := pe.Malloc(16)
+		if err != nil {
+			return err
+		}
+		src, _ := pe.PrivateAlloc(16)
+		pe.Poke(TypeUint64, src, 77)
+		if err := pe.Put(TypeUint64, buf, src, 1, 1, pe.MyPE()); err != nil {
+			return err
+		}
+		if got := pe.Peek(TypeUint64, buf); got != 77 {
+			t.Errorf("self put = %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	rt := newRT(t, 2)
+	err := rt.Run(func(pe *PE) error {
+		if pe.MyPE() != 0 {
+			return nil
+		}
+		if err := pe.Put(TypeInt, 0, 0, 1, 1, 9); err == nil {
+			t.Error("put to invalid PE must fail")
+		}
+		if err := pe.Put(TypeInt, 0, 0, -1, 1, 1); err == nil {
+			t.Error("negative nelems must fail")
+		}
+		if err := pe.Put(TypeInt, 0, 0, 1, 0, 1); err == nil {
+			t.Error("zero stride must fail")
+		}
+		if err := pe.Get(TypeInt, 0, 0, 1, -2, 1); err == nil {
+			t.Error("negative stride must fail")
+		}
+		bad := DType{Name: "bad", Width: 3}
+		if err := pe.Put(bad, 0, 0, 1, 1, 1); err == nil {
+			t.Error("invalid dtype must fail")
+		}
+		// Zero-element transfers are legal no-ops.
+		if err := pe.Put(TypeInt, 0, 0, 0, 1, 1); err != nil {
+			t.Errorf("zero-element put: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonBlockingOverlap(t *testing.T) {
+	rt := newRT(t, 2)
+	err := rt.Run(func(pe *PE) error {
+		buf, err := pe.Malloc(8 * 64)
+		if err != nil {
+			return err
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			src, _ := pe.PrivateAlloc(8 * 64)
+			h, err := pe.PutNB(TypeUint64, buf, src, 64, 1, 1)
+			if err != nil {
+				return err
+			}
+			if !h.Pending() {
+				t.Error("handle must be pending")
+			}
+			issued := pe.Now()
+			pe.Wait(h)
+			completed := pe.Now()
+			if completed < issued {
+				t.Error("wait moved the clock backward")
+			}
+			// The blocking form must not complete before the
+			// non-blocking issue time.
+			if completed == issued {
+				// Acceptable only if delivery beat local issue; with
+				// 64 pipelined elements the last arrival is later.
+				t.Errorf("no overlap window: issue=%d complete=%d", issued, completed)
+			}
+		}
+		return pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnrolledFasterThanElementwise(t *testing.T) {
+	// Above the unroll threshold, transfers pipeline and the per-element
+	// cost drops — the effect the paper's §3.3 optimisation targets.
+	run := func(threshold int) uint64 {
+		rt := MustNew(Config{NumPEs: 2, UnrollThreshold: threshold})
+		var cycles uint64
+		err := rt.Run(func(pe *PE) error {
+			buf, err := pe.Malloc(8 * 256)
+			if err != nil {
+				return err
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+			if pe.MyPE() == 0 {
+				src, _ := pe.PrivateAlloc(8 * 256)
+				start := pe.Now()
+				if err := pe.Put(TypeUint64, buf, src, 256, 1, 1); err != nil {
+					return err
+				}
+				cycles = pe.Now() - start
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	unrolled := run(8)          // 256 >= 8: pipelined
+	elementwise := run(100_000) // never unrolls: strict ordering
+	if unrolled >= elementwise {
+		t.Errorf("unrolled put (%d cyc) should beat element-wise (%d cyc)",
+			unrolled, elementwise)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rt := newRT(t, 2)
+	err := rt.Run(func(pe *PE) error {
+		buf, err := pe.Malloc(80)
+		if err != nil {
+			return err
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			src, _ := pe.PrivateAlloc(80)
+			if err := pe.Put(TypeUint64, buf, src, 10, 1, 1); err != nil {
+				return err
+			}
+			if err := pe.Get(TypeUint64, src, buf, 5, 1, 1); err != nil {
+				return err
+			}
+			s := pe.Stats()
+			if s.Puts != 1 || s.PutElems != 10 || s.Gets != 1 || s.GetElems != 5 {
+				t.Errorf("stats = %+v", s)
+			}
+			if s.Barriers != 1 || s.Cycles == 0 {
+				t.Errorf("stats = %+v", s)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDTypeTable1(t *testing.T) {
+	if len(Types) != 24 {
+		t.Fatalf("Table 1 lists 24 types, have %d", len(Types))
+	}
+	// Spot-check the mapping of paper Table 1.
+	checks := map[string]string{
+		"float": "float", "double": "double", "longdouble": "long double",
+		"uchar": "unsigned char", "ulonglong": "unsigned long long",
+		"size": "size_t", "ptrdiff": "ptrdiff_t", "int32": "int32_t",
+	}
+	for name, cname := range checks {
+		dt, ok := TypeByName(name)
+		if !ok || dt.CName != cname {
+			t.Errorf("TypeByName(%q) = %+v, %v", name, dt, ok)
+		}
+	}
+	if _, ok := TypeByName("quaternion"); ok {
+		t.Error("unknown type name must not resolve")
+	}
+	for _, dt := range Types {
+		if !dt.Valid() {
+			t.Errorf("%s: invalid descriptor", dt)
+		}
+	}
+}
+
+func TestDTypeCanonAndFloats(t *testing.T) {
+	if got := TypeChar.Canon(0xFF); int64(got) != -1 {
+		t.Errorf("char canon(0xFF) = %d, want -1", int64(got))
+	}
+	if got := TypeUChar.Canon(0xFF); got != 255 {
+		t.Errorf("uchar canon(0xFF) = %d, want 255", got)
+	}
+	if got := TypeInt16.Canon(0x8000); int64(got) != -32768 {
+		t.Errorf("int16 canon = %d", int64(got))
+	}
+	f := 3.25
+	if got := TypeDouble.Float(TypeDouble.FromFloat(f)); got != f {
+		t.Errorf("double round trip = %v", got)
+	}
+	f32 := float64(float32(1.5e-3))
+	if got := TypeFloat.Float(TypeFloat.Canon(TypeFloat.FromFloat(f32))); got != f32 {
+		t.Errorf("float round trip = %v", got)
+	}
+	if got := TypeFloat.Float(TypeFloat.FromFloat(math.Inf(1))); !math.IsInf(got, 1) {
+		t.Error("float inf lost")
+	}
+}
+
+func TestSegmentMapRendersFigure2(t *testing.T) {
+	rt := newRT(t, 2)
+	err := rt.Run(func(pe *PE) error {
+		if _, err := pe.Malloc(4096); err != nil {
+			return err
+		}
+		m := pe.SegmentMap()
+		for _, want := range []string{"private", "shared", "symmetric", "alloc"} {
+			if !strings.Contains(m, want) {
+				t.Errorf("segment map missing %q:\n%s", want, m)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrivateAllocExhaustion(t *testing.T) {
+	rt := MustNew(Config{NumPEs: 1, PrivateSize: 4096})
+	err := rt.Run(func(pe *PE) error {
+		if _, err := pe.PrivateAlloc(2048); err != nil {
+			return err
+		}
+		if _, err := pe.PrivateAlloc(4096); err == nil {
+			t.Error("private exhaustion must fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransportEquivalence(t *testing.T) {
+	// The Spike transport (real xBGAS instructions on internal/sim) and
+	// the native transport must leave identical memory contents.
+	results := make(map[Transport][]uint64)
+	for _, tr := range []Transport{TransportNative, TransportSpike} {
+		rt := MustNew(Config{NumPEs: 2, Transport: tr})
+		vals := make([]uint64, 0, 24)
+		err := rt.Run(func(pe *PE) error {
+			buf, err := pe.Malloc(8 * 32)
+			if err != nil {
+				return err
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+			if pe.MyPE() == 0 {
+				src, _ := pe.PrivateAlloc(8 * 32)
+				for i := 0; i < 12; i++ {
+					pe.Poke(TypeUint64, src+uint64(i*8), uint64(i*i+7))
+				}
+				// Above threshold (unrolled) and below (element loop).
+				if err := pe.Put(TypeUint64, buf, src, 12, 1, 1); err != nil {
+					return err
+				}
+				if err := pe.Put(TypeUint64, buf+8*16, src, 3, 2, 1); err != nil {
+					return err
+				}
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+			if pe.MyPE() == 1 {
+				dst, _ := pe.PrivateAlloc(8 * 32)
+				if err := pe.Get(TypeUint64, dst, buf, 12, 1, 0); err != nil {
+					return err
+				}
+				_ = dst
+				for i := 0; i < 12; i++ {
+					vals = append(vals, pe.Peek(TypeUint64, buf+uint64(i*8)))
+				}
+				for i := 0; i < 3; i++ {
+					vals = append(vals, pe.Peek(TypeUint64, buf+8*16+uint64(i*16)))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("transport %d: %v", tr, err)
+		}
+		results[tr] = vals
+	}
+	n, s := results[TransportNative], results[TransportSpike]
+	if len(n) != len(s) {
+		t.Fatalf("result lengths differ: %d vs %d", len(n), len(s))
+	}
+	for i := range n {
+		if n[i] != s[i] {
+			t.Errorf("elem %d: native=%d spike=%d", i, n[i], s[i])
+		}
+	}
+	// And the data is actually nonzero (the test moved something).
+	if n[0] != 7 || n[11] != 11*11+7 {
+		t.Errorf("unexpected data: %v", n)
+	}
+}
+
+func TestSpikeTransportAllWidths(t *testing.T) {
+	rt := MustNew(Config{NumPEs: 2, Transport: TransportSpike})
+	err := rt.Run(func(pe *PE) error {
+		for _, dt := range []DType{TypeUint8, TypeUint16, TypeUint32, TypeUint64} {
+			buf, err := pe.Malloc(uint64(dt.Width * 8))
+			if err != nil {
+				return err
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+			if pe.MyPE() == 0 {
+				src, _ := pe.PrivateAlloc(uint64(dt.Width * 8))
+				for i := 0; i < 8; i++ {
+					pe.Poke(dt, src+uint64(i*dt.Width), uint64(40+i))
+				}
+				if err := pe.Put(dt, buf, src, 8, 1, 1); err != nil {
+					return err
+				}
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+			if pe.MyPE() == 1 {
+				for i := 0; i < 8; i++ {
+					if got := pe.Peek(dt, buf+uint64(i*dt.Width)); got != uint64(40+i) {
+						t.Errorf("%s elem %d = %d", dt, i, got)
+					}
+				}
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadWriteElemTimed(t *testing.T) {
+	rt := newRT(t, 1)
+	err := rt.Run(func(pe *PE) error {
+		addr, _ := pe.PrivateAlloc(8)
+		before := pe.Now()
+		minusNine := int64(-9)
+		pe.WriteElem(TypeInt64, addr, uint64(minusNine))
+		if got := int64(pe.ReadElem(TypeInt64, addr)); got != -9 {
+			t.Errorf("ReadElem = %d", got)
+		}
+		if pe.Now() == before {
+			t.Error("timed access did not advance the clock")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsReport(t *testing.T) {
+	rt := newRT(t, 2)
+	err := rt.Run(func(pe *PE) error {
+		buf, err := pe.Malloc(64)
+		if err != nil {
+			return err
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			src, _ := pe.PrivateAlloc(64)
+			if err := pe.PutInt64(buf, src, 8, 1, 1); err != nil {
+				return err
+			}
+		}
+		return pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := rt.StatsReport()
+	for _, want := range []string{"runtime: 2 PEs", "fully-connected", "L1 hit%", "OLB hits", "fabric:", "barriers"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRuntimeAccessorsAndTeamsLocal(t *testing.T) {
+	rt := newRT(t, 3)
+	defer rt.Close()
+	if rt.NumPEs() != 3 || rt.Machine() == nil || rt.Config().NumPEs != 3 {
+		t.Error("runtime accessors wrong")
+	}
+	world := rt.WorldTeam()
+	if world.Size() != 3 || world.Member(2) != 2 || !world.Contains(0) {
+		t.Error("world team wrong")
+	}
+	team, err := rt.NewTeam([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Run(func(pe *PE) error {
+		if r, ok := team.Rank(pe); pe.MyPE() == 2 && (!ok || r != 0) {
+			t.Errorf("PE 2 team rank = %d, %v", r, ok)
+		}
+		if pe.Runtime() != rt {
+			t.Error("Runtime() accessor wrong")
+		}
+		if team.Contains(pe.MyPE()) {
+			return pe.TeamBarrier(team)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScratchReuseAndGrowth(t *testing.T) {
+	rt := newRT(t, 1)
+	err := rt.Run(func(pe *PE) error {
+		a, err := pe.Scratch(64)
+		if err != nil {
+			return err
+		}
+		b, err := pe.Scratch(32) // fits: same region
+		if err != nil {
+			return err
+		}
+		if a != b {
+			t.Errorf("scratch not reused: %#x vs %#x", a, b)
+		}
+		c, err := pe.Scratch(1 << 12) // grows: new region
+		if err != nil {
+			return err
+		}
+		if c == a {
+			t.Error("scratch growth returned the old region")
+		}
+		if pe.SharedUsed() != 0 {
+			t.Error("scratch must come from private memory")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekPokeBytes(t *testing.T) {
+	rt := newRT(t, 1)
+	err := rt.Run(func(pe *PE) error {
+		addr, err := pe.PrivateAlloc(16)
+		if err != nil {
+			return err
+		}
+		pe.PokeBytes(addr, []byte("hello xbgas"))
+		buf := make([]byte, 11)
+		pe.PeekBytes(addr, buf)
+		if string(buf) != "hello xbgas" {
+			t.Errorf("PeekBytes = %q", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDTypeHelpers(t *testing.T) {
+	if TypeInt16.FromInt(-2) != 0xFFFE {
+		t.Errorf("FromInt(-2) = %#x", TypeInt16.FromInt(-2))
+	}
+	if got := TypeInt.FormatValue(TypeInt.Canon(0xFFFFFFFF)); got != "-1" {
+		t.Errorf("int format = %q", got)
+	}
+	if got := TypeUInt.FormatValue(5); got != "5" {
+		t.Errorf("uint format = %q", got)
+	}
+	if got := TypeDouble.FormatValue(TypeDouble.FromFloat(2.5)); got != "2.5" {
+		t.Errorf("double format = %q", got)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	rt := newRT(t, 2)
+	err := rt.Run(func(pe *PE) error {
+		buf, err := pe.Malloc(8 * 32)
+		if err != nil {
+			return err
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		if pe.MyPE() != 0 {
+			return nil
+		}
+		src, _ := pe.PrivateAlloc(8 * 32)
+		var hs []Handle
+		for i := 0; i < 4; i++ {
+			h, err := pe.PutNB(TypeUint64, buf+uint64(i*64), src, 8, 1, 1)
+			if err != nil {
+				return err
+			}
+			hs = append(hs, h)
+		}
+		before := pe.Now()
+		pe.WaitAll(hs)
+		if pe.Now() < before {
+			t.Error("WaitAll moved time backward")
+		}
+		// Waiting again is a no-op.
+		pe.WaitAll(hs)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package xbgas_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"xbgas/internal/core"
+	"xbgas/internal/xbrtime"
+)
+
+// TestSoakMixedWorkload drives a long, seeded, randomised sequence of
+// collectives, point-to-point transfers, and barriers on one runtime —
+// the kind of sustained mixed usage a real application produces. The
+// operation plan is generated once (identical on every PE, which is the
+// collective-call contract) and every operation's result is checked.
+func TestSoakMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const nPEs = 6
+	const ops = 120
+	rng := rand.New(rand.NewSource(0xB16B00B5))
+
+	type op struct {
+		kind   int // 0 bcast, 1 reduce, 2 scatter+gather, 3 put ring, 4 allreduce, 5 alltoall
+		root   int
+		nelems int
+		stride int
+		seed   int64
+	}
+	plan := make([]op, ops)
+	for i := range plan {
+		plan[i] = op{
+			kind:   rng.Intn(6),
+			root:   rng.Intn(nPEs),
+			nelems: 1 + rng.Intn(8),
+			stride: 1 + rng.Intn(2),
+			seed:   rng.Int63n(1 << 30),
+		}
+	}
+
+	rt, err := xbrtime.New(xbrtime.Config{NumPEs: nPEs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	dt := xbrtime.TypeInt64
+	const w = 8
+	err = rt.Run(func(pe *xbrtime.PE) error {
+		me := pe.MyPE()
+		// One generous arena per purpose, reused across the plan.
+		a, err := pe.Malloc(w * 64)
+		if err != nil {
+			return err
+		}
+		b, err := pe.Malloc(w * 64)
+		if err != nil {
+			return err
+		}
+		priv, err := pe.PrivateAlloc(w * 64)
+		if err != nil {
+			return err
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+
+		for i, o := range plan {
+			switch o.kind {
+			case 0: // broadcast from o.root
+				if me == o.root {
+					for e := 0; e < o.nelems; e++ {
+						pe.Poke(dt, priv+uint64(e*o.stride*w), uint64(o.seed)+uint64(e))
+					}
+				}
+				if err := core.Broadcast(pe, dt, a, priv, o.nelems, o.stride, o.root); err != nil {
+					return err
+				}
+				for e := 0; e < o.nelems; e++ {
+					want := uint64(o.seed) + uint64(e)
+					if got := pe.Peek(dt, a+uint64(e*o.stride*w)); got != want {
+						t.Errorf("op %d bcast: PE %d elem %d = %d, want %d", i, me, e, got, want)
+					}
+				}
+
+			case 1: // sum-reduce to o.root
+				for e := 0; e < o.nelems; e++ {
+					pe.Poke(dt, b+uint64(e*o.stride*w), uint64(int64(me)+o.seed%97))
+				}
+				if err := core.Reduce(pe, dt, core.OpSum, priv, b, o.nelems, o.stride, o.root); err != nil {
+					return err
+				}
+				if me == o.root {
+					want := int64(nPEs*(nPEs-1)/2) + int64(nPEs)*(o.seed%97)
+					for e := 0; e < o.nelems; e++ {
+						if got := int64(pe.Peek(dt, priv+uint64(e*o.stride*w))); got != want {
+							t.Errorf("op %d reduce: elem %d = %d, want %d", i, e, got, want)
+						}
+					}
+				}
+
+			case 2: // scatter then gather round trip
+				msgs := make([]int, nPEs)
+				disp := make([]int, nPEs)
+				off := 0
+				for p := range msgs {
+					msgs[p] = (int(o.seed)+p)%3 + 1
+					disp[p] = off
+					off += msgs[p]
+				}
+				if me == o.root {
+					for e := 0; e < off; e++ {
+						pe.Poke(dt, priv+uint64(e*8), uint64(o.seed)^uint64(e*7))
+					}
+				}
+				if err := core.Scatter(pe, dt, a, priv, msgs, disp, off, o.root); err != nil {
+					return err
+				}
+				if err := core.Gather(pe, dt, b, a, msgs, disp, off, o.root); err != nil {
+					return err
+				}
+				if me == o.root {
+					for e := 0; e < off; e++ {
+						want := uint64(o.seed) ^ uint64(e*7)
+						if got := pe.Peek(dt, b+uint64(e*8)); got != want {
+							t.Errorf("op %d scatter/gather: elem %d = %d, want %d", i, e, got, want)
+						}
+					}
+				}
+
+			case 3: // put to the right neighbour, check after barrier
+				pe.Poke(dt, priv, uint64(o.seed)+uint64(me))
+				if err := pe.Put(dt, b, priv, 1, 1, (me+1)%nPEs); err != nil {
+					return err
+				}
+				if err := pe.Barrier(); err != nil {
+					return err
+				}
+				want := uint64(o.seed) + uint64((me+nPEs-1)%nPEs)
+				if got := pe.Peek(dt, b); got != want {
+					t.Errorf("op %d put ring: PE %d got %d, want %d", i, me, got, want)
+				}
+
+			case 4: // allreduce max
+				pe.Poke(dt, a, uint64(int64(me)*o.seed%1001))
+				if err := core.AllReduce(pe, dt, core.OpMax, b, a, 1, 1); err != nil {
+					return err
+				}
+				want := int64(0)
+				for p := 0; p < nPEs; p++ {
+					if v := int64(p) * o.seed % 1001; v > want {
+						want = v
+					}
+				}
+				if got := int64(pe.Peek(dt, b)); got != want {
+					t.Errorf("op %d allreduce: PE %d got %d, want %d", i, me, got, want)
+				}
+
+			case 5: // alltoall of one element per peer
+				for p := 0; p < nPEs; p++ {
+					pe.Poke(dt, a+uint64(p*8), uint64(o.seed)+uint64(me*100+p))
+				}
+				if err := core.Alltoall(pe, dt, b, a, 1); err != nil {
+					return err
+				}
+				for p := 0; p < nPEs; p++ {
+					want := uint64(o.seed) + uint64(p*100+me)
+					if got := pe.Peek(dt, b+uint64(p*8)); got != want {
+						t.Errorf("op %d alltoall: PE %d block %d = %d, want %d", i, me, p, got, want)
+					}
+				}
+			}
+			// Fence between plan steps: no PE may start the next
+			// operation (whose one-sided writes land in the shared
+			// arenas) until every PE has finished checking this one.
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The runtime survived 120 mixed operations; spot-check bookkeeping.
+	if rt.MaxClock() == 0 {
+		t.Error("no virtual time elapsed")
+	}
+	for p := 0; p < nPEs; p++ {
+		if rt.PE(p).SharedUsed() == 0 {
+			t.Errorf("PE %d shared accounting lost", p)
+		}
+	}
+}
