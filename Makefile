@@ -13,8 +13,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Host-performance microbenchmarks (see docs/PERF.md). Writes the raw
+# `go test -bench` output to bench_current.txt and records it as
+# BENCH_<date>.json; set BENCH_BASELINE to a previous raw output to get
+# a speedup comparison in both the table and the JSON.
+BENCH_DATE := $(shell date +%F)
+BENCH_BASELINE ?=
+
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem -count=1 ./... > bench_current.txt || (cat bench_current.txt; exit 1)
+	$(GO) run ./tools/benchdiff $(if $(BENCH_BASELINE),-old $(BENCH_BASELINE)) -new bench_current.txt -json BENCH_$(BENCH_DATE).json
 
 figures:
 	$(GO) run ./cmd/xbgas-bench -all

@@ -12,8 +12,11 @@
 //	xbgas-bench -compare            # xBGAS vs message-passing transport
 //	xbgas-bench -ablation NAME      # tree|size|topology|unroll|root|olb
 //
+//	xbgas-bench -gups N             # one GUPS measurement on N PEs
+//
 // GUPS/IS parameters can be scaled with -gups-table, -gups-updates,
-// -is-keys, -is-maxkey, -is-iters.
+// -is-keys, -is-maxkey, -is-iters. Host hot paths can be profiled with
+// -cpuprofile/-memprofile (inspect with `go tool pprof`).
 package main
 
 import (
@@ -21,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"xbgas/internal/bench"
 )
@@ -44,12 +49,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		gupsTable   = fs.Uint64("gups-table", bench.DefaultGUPSParams().TableWords, "GUPS table size in 64-bit words (power of two)")
 		gupsUpdates = fs.Int("gups-updates", bench.DefaultGUPSParams().UpdatesPerPE, "GUPS updates per PE")
+		gupsPEs     = fs.Int("gups", 0, "run one GUPS measurement on this many PEs (beyond the paper's 8-PE sweep)")
 		isKeys      = fs.Int("is-keys", bench.DefaultISParams().TotalKeys, "IS total keys")
 		isMaxKey    = fs.Int("is-maxkey", bench.DefaultISParams().MaxKey, "IS maximum key value")
 		isIters     = fs.Int("is-iters", bench.DefaultISParams().Iterations, "IS iterations")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+		memprofile = fs.String("memprofile", "", "write a heap profile at exit to `file`")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "xbgas-bench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "xbgas-bench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "xbgas-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "xbgas-bench: %v\n", err)
+			}
+		}()
 	}
 
 	gups := bench.DefaultGUPSParams()
@@ -121,6 +158,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *traffic {
 		run("traffic matrix", bench.TrafficMatrix)
+		did = true
+	}
+	if *gupsPEs > 0 {
+		run(fmt.Sprintf("gups %d PEs", *gupsPEs), func(w io.Writer) error {
+			r, err := bench.RunGUPS(gups, *gupsPEs)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, r)
+			return err
+		})
 		did = true
 	}
 	ablations := map[string]func(io.Writer) error{

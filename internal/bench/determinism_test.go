@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"xbgas/internal/xbrtime"
+)
+
+// detKey is the full reproducibility signature of one run.
+type detKey struct {
+	Cycles, Ops, Errors               uint64
+	Messages, Bytes, ContentionCycles uint64
+}
+
+func keyOf(r Result) detKey {
+	return detKey{
+		Cycles: r.Cycles, Ops: r.Ops, Errors: r.Errors,
+		Messages: r.Messages, Bytes: r.Bytes, ContentionCycles: r.ContentionCycles,
+	}
+}
+
+// TestDeterministicGUPSReproducible guards the reproducibility contract
+// the perf work relies on: with Config.Deterministic set, identical
+// configuration and seed produce identical cycle totals, message counts,
+// and contention — across repeated runs and across host parallelism
+// levels (GOMAXPROCS=1 vs many).
+func TestDeterministicGUPSReproducible(t *testing.T) {
+	p := GUPSParams{
+		TableWords:   1 << 14,
+		UpdatesPerPE: 512,
+		Lookahead:    32,
+		Verify:       true,
+		Runtime:      xbrtime.Config{Deterministic: true},
+	}
+	const nPEs = 4
+
+	run := func() detKey {
+		r, err := RunGUPS(p, nPEs)
+		if err != nil {
+			t.Fatalf("RunGUPS: %v", err)
+		}
+		return keyOf(r)
+	}
+
+	want := run()
+	for rep := 0; rep < 2; rep++ {
+		if got := run(); got != want {
+			t.Fatalf("rep %d diverged: got %+v want %+v", rep, got, want)
+		}
+	}
+
+	old := runtime.GOMAXPROCS(1)
+	got := run()
+	runtime.GOMAXPROCS(old)
+	if got != want {
+		t.Fatalf("GOMAXPROCS=1 diverged: got %+v want %+v", got, want)
+	}
+}
+
+// TestDeterministicCollectiveReproducible runs a collective under both
+// barrier algorithms in deterministic mode and checks repeatability.
+func TestDeterministicCollectiveReproducible(t *testing.T) {
+	for _, algo := range []xbrtime.BarrierAlgorithm{
+		xbrtime.BarrierCentral, xbrtime.BarrierDissemination,
+	} {
+		spec := CollectiveSpec{
+			Op:     OpBroadcast,
+			PEs:    8,
+			Nelems: 256,
+			Iters:  3,
+			Runtime: xbrtime.Config{
+				Deterministic: true,
+				Barrier:       algo,
+			},
+		}
+		first, err := RunCollective(spec)
+		if err != nil {
+			t.Fatalf("barrier=%v: %v", algo, err)
+		}
+		for rep := 0; rep < 2; rep++ {
+			r, err := RunCollective(spec)
+			if err != nil {
+				t.Fatalf("barrier=%v rep %d: %v", algo, rep, err)
+			}
+			if keyOf(r) != keyOf(first) {
+				t.Fatalf("barrier=%v rep %d diverged: got %+v want %+v",
+					algo, rep, keyOf(r), keyOf(first))
+			}
+		}
+	}
+}

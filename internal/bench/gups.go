@@ -116,9 +116,11 @@ func RunGUPS(p GUPSParams, nPEs int) (Result, error) {
 		// Untimed initialisation: table[i] = global index (the HPCC
 		// initial condition), outside the timed section.
 		base := uint64(me) * perPE
-		for i := uint64(0); i < perPE; i++ {
-			pe.Poke(dt, table+i*8, base+i)
+		chunk := make([]uint64, perPE)
+		for i := range chunk {
+			chunk[i] = base + uint64(i)
 		}
+		pe.PokeElems(dt, table, chunk)
 
 		// Broadcast the run parameters from PE 0 (the benchmark's
 		// startup uses the broadcast collective, §5.2).
@@ -244,8 +246,9 @@ func RunGUPS(p GUPSParams, nPEs int) (Result, error) {
 				return err
 			}
 			// ...then every PE audits its own chunk functionally.
-			for i := uint64(0); i < perPE; i++ {
-				if pe.Peek(dt, table+i*8) != base+i {
+			pe.PeekElems(dt, table, chunk)
+			for i, v := range chunk {
+				if v != base+uint64(i) {
 					errCount++
 				}
 			}

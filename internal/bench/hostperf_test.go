@@ -1,0 +1,150 @@
+package bench
+
+// Host-performance microbenchmarks: these measure the *simulator's*
+// wall-clock cost per simulated operation (ns/op, allocs/op), not
+// simulated cycles. tools/benchdiff compares two `go test -bench`
+// outputs of this file and records the trajectory in BENCH_*.json.
+//
+// Everything here sticks to the public runtime API, so the same file
+// drops into older checkouts to produce comparable baselines.
+
+import (
+	"testing"
+
+	"xbgas/internal/core"
+	"xbgas/internal/xbrtime"
+)
+
+// benchRuntime builds a runtime for direct single-goroutine driving of
+// PE 0 (no Run, no barriers): the tightest loop over the native
+// transport hot path.
+func benchRuntime(b *testing.B, npes int) (*xbrtime.Runtime, uint64) {
+	b.Helper()
+	rt := xbrtime.MustNew(xbrtime.Config{NumPEs: npes})
+	addr, err := rt.PE(0).Malloc(8 * 8192 * 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt, addr
+}
+
+func benchPutStream(b *testing.B, nelems int) {
+	rt, buf := benchRuntime(b, 2)
+	defer rt.Close()
+	pe := rt.PE(0)
+	b.ReportAllocs()
+	b.SetBytes(int64(nelems) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pe.Put(xbrtime.TypeULong, buf+8*8192, buf, nelems, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchGetStream(b *testing.B, nelems int) {
+	rt, buf := benchRuntime(b, 2)
+	defer rt.Close()
+	pe := rt.PE(0)
+	b.ReportAllocs()
+	b.SetBytes(int64(nelems) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pe.Get(xbrtime.TypeULong, buf+8*8192, buf, nelems, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutElem(b *testing.B)       { benchPutStream(b, 1) }
+func BenchmarkPutStream64(b *testing.B)   { benchPutStream(b, 64) }
+func BenchmarkPutStream4096(b *testing.B) { benchPutStream(b, 4096) }
+func BenchmarkGetElem(b *testing.B)       { benchGetStream(b, 1) }
+func BenchmarkGetStream64(b *testing.B)   { benchGetStream(b, 64) }
+func BenchmarkGetStream4096(b *testing.B) { benchGetStream(b, 4096) }
+
+// benchCollective measures one collective call per iteration across a
+// live 8-PE runtime (goroutine spawn and barriers included, as a real
+// caller pays them).
+func benchCollective(b *testing.B, fn func(pe *xbrtime.PE, dest, src uint64) error) {
+	rt := xbrtime.MustNew(xbrtime.Config{NumPEs: 8})
+	defer rt.Close()
+	var dest, src uint64
+	err := rt.Run(func(pe *xbrtime.PE) error {
+		d, err := pe.Malloc(8 * 4096)
+		if err != nil {
+			return err
+		}
+		s, err := pe.Malloc(8 * 4096)
+		if err != nil {
+			return err
+		}
+		dest, src = d, s
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Run(func(pe *xbrtime.PE) error { return fn(pe, dest, src) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBroadcast(b *testing.B) {
+	benchCollective(b, func(pe *xbrtime.PE, dest, src uint64) error {
+		return core.Broadcast(pe, xbrtime.TypeULong, dest, src, 1024, 1, 0)
+	})
+}
+
+func BenchmarkReduce(b *testing.B) {
+	benchCollective(b, func(pe *xbrtime.PE, dest, src uint64) error {
+		return core.Reduce(pe, xbrtime.TypeULong, core.OpSum, dest, src, 1024, 1, 0)
+	})
+}
+
+func BenchmarkScatter(b *testing.B) {
+	benchCollective(b, func(pe *xbrtime.PE, dest, src uint64) error {
+		msgs := []int{128, 128, 128, 128, 128, 128, 128, 128}
+		disp := []int{0, 128, 256, 384, 512, 640, 768, 896}
+		return core.Scatter(pe, xbrtime.TypeULong, dest, src, msgs, disp, 1024, 0)
+	})
+}
+
+func BenchmarkGather(b *testing.B) {
+	benchCollective(b, func(pe *xbrtime.PE, dest, src uint64) error {
+		msgs := []int{128, 128, 128, 128, 128, 128, 128, 128}
+		disp := []int{0, 128, 256, 384, 512, 640, 768, 896}
+		return core.Gather(pe, xbrtime.TypeULong, dest, src, msgs, disp, 1024, 0)
+	})
+}
+
+func BenchmarkGUPS8PE(b *testing.B) {
+	p := GUPSParams{
+		TableWords:   1 << 18,
+		UpdatesPerPE: 1024,
+		Lookahead:    64,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunGUPS(p, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIS8PE(b *testing.B) {
+	p := DefaultISParams()
+	p.TotalKeys = 1 << 15
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunIS(p, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

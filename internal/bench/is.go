@@ -122,21 +122,21 @@ func RunIS(p ISParams, nPEs int) (Result, error) {
 		// the NPB average-of-four distribution is used (centre-heavy,
 		// deliberately imbalanced); otherwise keys are uniform.
 		x := uint64(me)*0x9E3779B97F4A7C15 + 0x123456789
-		for i := 0; i < keysPerPE; i++ {
-			var key uint64
+		initial := make([]uint64, keysPerPE)
+		for i := range initial {
 			if p.GaussianKeys {
 				sum := uint64(0)
 				for d := 0; d < 4; d++ {
 					x = gupsLCG(x)
 					sum += (x >> 17) % uint64(p.MaxKey)
 				}
-				key = sum / 4
+				initial[i] = sum / 4
 			} else {
 				x = gupsLCG(x)
-				key = (x >> 17) % uint64(p.MaxKey)
+				initial[i] = (x >> 17) % uint64(p.MaxKey)
 			}
-			pe.Poke(dt, keys+uint64(i)*w, key)
 		}
+		pe.PokeElems(dt, keys, initial)
 
 		if err := pe.Barrier(); err != nil {
 			return err

@@ -32,8 +32,10 @@ func BroadcastScatterAllgather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint6
 	// Chunking in virtual-rank order: chunk v lives at element offset
 	// disp[v] of the full payload and ends up owned by virtual rank v
 	// after the scatter.
-	msgs := make([]int, nPEs)
-	dispV := make([]int, nPEs) // indexed by virtual rank
+	msgs := pe.BorrowInts(nPEs)
+	defer pe.ReturnInts(msgs)
+	dispV := pe.BorrowInts(nPEs) // indexed by virtual rank
+	defer pe.ReturnInts(dispV)
 	per := nelems / nPEs
 	rem := nelems % nPEs
 	off := 0
@@ -46,8 +48,10 @@ func BroadcastScatterAllgather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint6
 		off += msgs[v]
 	}
 	// Scatter expects pe_msgs/pe_disp indexed by logical rank.
-	msgsL := make([]int, nPEs)
-	dispL := make([]int, nPEs)
+	msgsL := pe.BorrowInts(nPEs)
+	defer pe.ReturnInts(msgsL)
+	dispL := pe.BorrowInts(nPEs)
+	defer pe.ReturnInts(dispL)
 	for v := 0; v < nPEs; v++ {
 		l := LogicalRank(v, root, nPEs)
 		msgsL[l] = msgs[v]

@@ -48,9 +48,10 @@ func timedCopy(pe *xbrtime.PE, dt xbrtime.DType, dst, src uint64, n, dstStride, 
 // rank's block begins inside the reordered shared buffer. The returned
 // slice has length nPEs+1, with adj[nPEs] equal to the total element
 // count, so that the subtree block for virtual ranks [a, b) is
-// adj[b]-adj[a] elements at element offset adj[a].
-func adjustedDisplacements(peMsgs []int, root, nPEs int) []int {
-	adj := make([]int, nPEs+1)
+// adj[b]-adj[a] elements at element offset adj[a]. The slice comes
+// from the PE's workspace pool; callers must ReturnInts it.
+func adjustedDisplacements(pe *xbrtime.PE, peMsgs []int, root, nPEs int) []int {
+	adj := pe.BorrowInts(nPEs + 1)
 	for v := 0; v < nPEs; v++ {
 		adj[v+1] = adj[v] + peMsgs[LogicalRank(v, root, nPEs)]
 	}

@@ -60,7 +60,8 @@ func Alltoall(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems int) er
 	// Local block moves through the hierarchy like any other copy.
 	timedCopy(pe, dt, dest+uint64(me)*block, src+uint64(me)*block, nelems, 1, 1)
 
-	handles := make([]xbrtime.Handle, 0, n-1)
+	handles := pe.BorrowHandles(n - 1)
+	defer pe.ReturnHandles(handles)
 	for off := 1; off < n; off++ {
 		// Rotated start (me+off) spreads simultaneous senders across
 		// distinct receivers instead of all PEs hammering PE 0 first.

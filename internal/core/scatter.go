@@ -31,7 +31,8 @@ func Scatter(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp 
 	rounds := CeilLog2(nPEs)
 	w := uint64(dt.Width)
 
-	adj := adjustedDisplacements(peMsgs, root, nPEs)
+	adj := adjustedDisplacements(pe, peMsgs, root, nPEs)
+	defer pe.ReturnInts(adj)
 
 	bufBytes := uint64(nelems) * w
 	if nelems == 0 {

@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Config parameterises the network cost model. Times are in core cycles
@@ -83,6 +84,19 @@ func MessageConfig() Config {
 	}
 }
 
+// shard is the independently locked booking state of one destination
+// NIC. Sharding receivers (rather than one fabric-wide mutex) lets
+// streams to different destinations book concurrently; only traffic
+// that would physically contend serialises on the same lock.
+type shard struct {
+	mu  sync.Mutex
+	acc account
+	// Per-source traffic counters into this destination (the shard's
+	// column of the traffic matrix), owned by the shard lock.
+	matMsgs  []uint64
+	matBytes []uint64
+}
+
 // Fabric is a contention-aware network shared by all simulated nodes.
 // It is safe for concurrent use by per-PE goroutines.
 //
@@ -94,26 +108,30 @@ func MessageConfig() Config {
 // virtual timestamps, PEs whose virtual clocks have drifted apart do
 // not falsely contend, and the model is insensitive (up to window
 // granularity) to the real-time order in which goroutines issue sends.
+//
+// Booking state is sharded: each destination NIC has its own lock and
+// window-slot ring, and the shared switch has a separately locked
+// account. Global statistics are atomic counters. See docs/PERF.md for
+// the hot-path design.
 type Fabric struct {
-	mu       sync.Mutex
 	cfg      Config
 	topo     Topology
 	window   uint64
 	queueCap uint64
 
-	recvBusy   []map[uint64]uint64 // per node: window -> booked service
-	switchBusy map[uint64]uint64
-	downLinks  map[[2]int]bool // directed links taken down for fault injection
+	recv     []shard // one per destination node
+	switchMu sync.Mutex
+	switchAc account
 
-	messages uint64
-	bytes    uint64
-	stallCyc uint64 // cycles lost to queueing
-	dropped  uint64 // sends refused on down links
+	// downLinks holds the directed links taken down for fault
+	// injection. It is copy-on-write: the hot path pays one atomic
+	// load, and nil means "all links up".
+	downLinks atomic.Pointer[map[[2]int]bool]
 
-	// matrix[src*n+dst] counts messages and payload bytes per directed
-	// pair, for the traffic-matrix report.
-	matMsgs  []uint64
-	matBytes []uint64
+	messages atomic.Uint64
+	bytes    atomic.Uint64
+	stallCyc atomic.Uint64 // cycles lost to queueing
+	dropped  atomic.Uint64 // sends refused on down links
 }
 
 // New builds a fabric over the given topology.
@@ -131,17 +149,17 @@ func New(topo Topology, cfg Config) (*Fabric, error) {
 	}
 	n := topo.Nodes()
 	f := &Fabric{
-		cfg:        cfg,
-		topo:       topo,
-		window:     window,
-		queueCap:   qcap,
-		recvBusy:   make([]map[uint64]uint64, n),
-		switchBusy: make(map[uint64]uint64),
-		matMsgs:    make([]uint64, n*n),
-		matBytes:   make([]uint64, n*n),
+		cfg:      cfg,
+		topo:     topo,
+		window:   window,
+		queueCap: qcap,
+		recv:     make([]shard, n),
 	}
-	for i := range f.recvBusy {
-		f.recvBusy[i] = make(map[uint64]uint64)
+	f.switchAc.init()
+	for i := range f.recv {
+		f.recv[i].acc.init()
+		f.recv[i].matMsgs = make([]uint64, n)
+		f.recv[i].matBytes = make([]uint64, n)
 	}
 	return f, nil
 }
@@ -173,25 +191,31 @@ func (f *Fabric) TransitCost(src, dst int, n int) uint64 {
 	return f.cfg.InjectionOverhead + hops*f.cfg.HopLatency + uint64(n)*f.cfg.ByteCost
 }
 
-// book records service cycles in a window map and returns the delay a
-// new message experiences. The model is a fluid queue per window:
-// service booked earlier in the window drains at one cycle per cycle,
-// so a message queues only for the booked work that elapsed window time
-// has not yet covered. Arrivals spaced wider than their service time
-// therefore see no queue, while bursts and sustained overload do.
-func (f *Fabric) book(m map[uint64]uint64, now, service uint64) uint64 {
-	w := now / f.window
-	elapsed := now % f.window
-	booked := m[w]
-	m[w] = booked + service
-	if booked <= elapsed {
-		return 0
+// linkDown reports whether the directed link src→dst is down.
+func (f *Fabric) linkDown(src, dst int) bool {
+	m := f.downLinks.Load()
+	return m != nil && (*m)[[2]int{src, dst}]
+}
+
+// checkPair validates a src/dst pair against the topology.
+func (f *Fabric) checkPair(src, dst int) error {
+	if src < 0 || src >= f.topo.Nodes() || dst < 0 || dst >= f.topo.Nodes() {
+		return fmt.Errorf("fabric: send %d->%d outside topology of %d nodes",
+			src, dst, f.topo.Nodes())
 	}
-	queued := booked - elapsed
-	if limit := f.queueCap * f.window; queued > limit {
-		return limit
-	}
-	return queued
+	return nil
+}
+
+// recvService returns the receiver-side service time of an n-byte
+// message.
+func (f *Fabric) recvService(n int) uint64 {
+	return f.cfg.ReceiverGap + uint64(n)*f.cfg.ByteCost
+}
+
+// switchService returns the shared-switch service time of an n-byte
+// message.
+func (f *Fabric) switchService(n int) uint64 {
+	return f.cfg.SwitchGap + uint64(n)*f.cfg.SwitchByteCost
 }
 
 // Send models a message of n bytes leaving src at time now and returns
@@ -199,36 +223,41 @@ func (f *Fabric) book(m map[uint64]uint64, now, service uint64) uint64 {
 // congestion window queue behind each other at the destination NIC and
 // at the shared switch; the resulting delay is recorded in
 // ContentionCycles.
+//
+// Send is the single-message form; pipelined element streams should use
+// SendStream or FetchStream, which book a whole stream per critical
+// section.
 func (f *Fabric) Send(src, dst int, n int, now uint64) (arrive uint64, err error) {
-	if src < 0 || src >= f.topo.Nodes() || dst < 0 || dst >= f.topo.Nodes() {
-		return 0, fmt.Errorf("fabric: send %d->%d outside topology of %d nodes",
-			src, dst, f.topo.Nodes())
+	if err := f.checkPair(src, dst); err != nil {
+		return 0, err
 	}
 	if n < 0 {
 		return 0, fmt.Errorf("fabric: negative message size %d", n)
 	}
-	transit := f.TransitCost(src, dst, n)
-	recvSvc := f.cfg.ReceiverGap + uint64(n)*f.cfg.ByteCost
-
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.downLinks[[2]int{src, dst}] {
-		f.dropped++
+	if f.linkDown(src, dst) {
+		f.dropped.Add(1)
 		return 0, fmt.Errorf("fabric: link %d->%d is down", src, dst)
 	}
-	queue := f.book(f.recvBusy[dst], now, recvSvc)
+	transit := f.TransitCost(src, dst, n)
+
+	sh := &f.recv[dst]
+	sh.mu.Lock()
+	queue := sh.acc.book(f.window, f.queueCap, now, f.recvService(n))
+	sh.matMsgs[src]++
+	sh.matBytes[src] += uint64(n)
+	sh.mu.Unlock()
+
 	if f.cfg.SwitchGap > 0 {
-		switchSvc := f.cfg.SwitchGap + uint64(n)*f.cfg.SwitchByteCost
-		if qs := f.book(f.switchBusy, now, switchSvc); qs > queue {
+		f.switchMu.Lock()
+		if qs := f.switchAc.book(f.window, f.queueCap, now, f.switchService(n)); qs > queue {
 			queue = qs
 		}
+		f.switchMu.Unlock()
 	}
-	f.stallCyc += queue
-	f.messages++
-	f.bytes += uint64(n)
-	idx := src*f.topo.Nodes() + dst
-	f.matMsgs[idx]++
-	f.matBytes[idx] += uint64(n)
+
+	f.stallCyc.Add(queue)
+	f.messages.Add(1)
+	f.bytes.Add(uint64(n))
 	return now + queue + transit, nil
 }
 
@@ -237,43 +266,61 @@ func (f *Fabric) Send(src, dst int, n int, now uint64) (arrive uint64, err error
 // runtime and collective error paths propagate cleanly instead of
 // deadlocking.
 func (f *Fabric) SetLinkState(src, dst int, up bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.downLinks == nil {
-		f.downLinks = make(map[[2]int]bool)
-	}
-	if up {
-		delete(f.downLinks, [2]int{src, dst})
-	} else {
-		f.downLinks[[2]int{src, dst}] = true
+	for {
+		old := f.downLinks.Load()
+		next := make(map[[2]int]bool)
+		if old != nil {
+			for k, v := range *old {
+				next[k] = v
+			}
+		}
+		if up {
+			delete(next, [2]int{src, dst})
+		} else {
+			next[[2]int{src, dst}] = true
+		}
+		var p *map[[2]int]bool
+		if len(next) > 0 {
+			p = &next
+		}
+		if f.downLinks.CompareAndSwap(old, p) {
+			return
+		}
 	}
 }
 
 // Dropped returns the number of sends refused because the link was
 // down.
-func (f *Fabric) Dropped() uint64 { f.mu.Lock(); defer f.mu.Unlock(); return f.dropped }
+func (f *Fabric) Dropped() uint64 { return f.dropped.Load() }
 
 // Messages returns the number of messages sent.
-func (f *Fabric) Messages() uint64 { f.mu.Lock(); defer f.mu.Unlock(); return f.messages }
+func (f *Fabric) Messages() uint64 { return f.messages.Load() }
 
 // Bytes returns the total payload bytes sent.
-func (f *Fabric) Bytes() uint64 { f.mu.Lock(); defer f.mu.Unlock(); return f.bytes }
+func (f *Fabric) Bytes() uint64 { return f.bytes.Load() }
 
 // ContentionCycles returns the cumulative queueing delay experienced at
 // busy receivers and the shared switch.
-func (f *Fabric) ContentionCycles() uint64 { f.mu.Lock(); defer f.mu.Unlock(); return f.stallCyc }
+func (f *Fabric) ContentionCycles() uint64 { return f.stallCyc.Load() }
 
 // Traffic returns the per-directed-pair message and byte counts:
 // msgs[src][dst] and bytes[src][dst].
 func (f *Fabric) Traffic() (msgs, bytes [][]uint64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	n := f.topo.Nodes()
 	msgs = make([][]uint64, n)
 	bytes = make([][]uint64, n)
 	for s := 0; s < n; s++ {
-		msgs[s] = append([]uint64(nil), f.matMsgs[s*n:(s+1)*n]...)
-		bytes[s] = append([]uint64(nil), f.matBytes[s*n:(s+1)*n]...)
+		msgs[s] = make([]uint64, n)
+		bytes[s] = make([]uint64, n)
+	}
+	for d := 0; d < n; d++ {
+		sh := &f.recv[d]
+		sh.mu.Lock()
+		for s := 0; s < n; s++ {
+			msgs[s][d] = sh.matMsgs[s]
+			bytes[s][d] = sh.matBytes[s]
+		}
+		sh.mu.Unlock()
 	}
 	return msgs, bytes
 }
@@ -281,14 +328,20 @@ func (f *Fabric) Traffic() (msgs, bytes [][]uint64) {
 // Reset clears occupancy and statistics, for reuse between benchmark
 // repetitions.
 func (f *Fabric) Reset() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	for i := range f.recvBusy {
-		f.recvBusy[i] = make(map[uint64]uint64)
+	for d := range f.recv {
+		sh := &f.recv[d]
+		sh.mu.Lock()
+		sh.acc.init()
+		for s := range sh.matMsgs {
+			sh.matMsgs[s], sh.matBytes[s] = 0, 0
+		}
+		sh.mu.Unlock()
 	}
-	f.switchBusy = make(map[uint64]uint64)
-	f.messages, f.bytes, f.stallCyc, f.dropped = 0, 0, 0, 0
-	for i := range f.matMsgs {
-		f.matMsgs[i], f.matBytes[i] = 0, 0
-	}
+	f.switchMu.Lock()
+	f.switchAc.init()
+	f.switchMu.Unlock()
+	f.messages.Store(0)
+	f.bytes.Store(0)
+	f.stallCyc.Store(0)
+	f.dropped.Store(0)
 }

@@ -1,0 +1,301 @@
+package fabric
+
+import "fmt"
+
+// ringWindows is the number of congestion-window slots each booking
+// account keeps resident (a power of two). With the default 2048-cycle
+// window the ring spans ~8.4M cycles of virtual time — far wider than
+// the clock skew between free-running PEs, which only synchronise at
+// barriers (GUPS-style kernels drift by hundreds of thousands of
+// cycles between them). Bookings that fall off the ring are treated as
+// drained: a message timestamped more than ringWindows windows before
+// the newest booking in its slot's residue class sees an idle
+// resource. Each account costs 64 KiB; even a 64-node fabric stays
+// around 4 MiB.
+const ringWindows = 4096
+
+// emptyWindow marks an unused ring slot. Virtual time would need ~2^75
+// cycles to reach it.
+const emptyWindow = ^uint64(0)
+
+// account is the windowed fluid-queue occupancy of one contended
+// resource (a destination NIC or the shared switch). It replaces the
+// seed's map[window]uint64 with a fixed ring of window slots: booking
+// is two array reads and a write, allocation-free, and Reset is a
+// constant-size wipe.
+//
+// Callers must hold the lock that owns the account.
+type account struct {
+	wid    [ringWindows]uint64
+	booked [ringWindows]uint64
+}
+
+// init empties every slot.
+func (a *account) init() {
+	for i := range a.wid {
+		a.wid[i] = emptyWindow
+		a.booked[i] = 0
+	}
+}
+
+// book records service cycles against the window containing now and
+// returns the queueing delay the message experiences: the service
+// already booked in that window beyond the window's elapsed portion,
+// capped at queueCap windows. The math is identical to the seed's map
+// implementation for every window resident in the ring; claiming a slot
+// evicts the booking of an older window in the same residue class
+// (which forward-moving clocks will not revisit), and a message
+// arriving for a window older than the slot's resident sees the
+// resource as drained.
+func (a *account) book(window, queueCap, now, service uint64) uint64 {
+	w := now / window
+	idx := w % ringWindows
+	switch {
+	case a.wid[idx] == w:
+		// Resident window: accumulate below.
+	case a.wid[idx] == emptyWindow || a.wid[idx] < w:
+		a.wid[idx] = w
+		a.booked[idx] = 0
+	default:
+		// Older than the ring horizon: treat the window as drained and
+		// do not book (the resident, newer window keeps its occupancy).
+		return 0
+	}
+	elapsed := now % window
+	booked := a.booked[idx]
+	a.booked[idx] = booked + service
+	if booked <= elapsed {
+		return 0
+	}
+	queued := booked - elapsed
+	if limit := queueCap * window; queued > limit {
+		return limit
+	}
+	return queued
+}
+
+// Stream describes a pipelined one-way element stream for SendStream:
+// nelems = len(PreCost) messages of ElemBytes each from Src to Dst.
+// PreCost[i] is added to the issue clock before element i is sent (the
+// source-element read cost in a put). When Unrolled, consecutive sends
+// are Gap cycles apart with flow control throttling the stream once
+// more than FlowWindow cycles of arrivals back up in the network;
+// otherwise each send waits for the previous element's arrival.
+type Stream struct {
+	Src, Dst   int
+	ElemBytes  int
+	Start      uint64   // issue clock before the first element
+	PreCost    []uint64 // per-element pre-send cost; len = nelems
+	Gap        uint64   // per-element sender occupancy when unrolled
+	FlowWindow uint64   // flow-control backlog bound (depth · gap)
+	Unrolled   bool
+}
+
+// SendStream books an entire element stream in one critical section and
+// returns the sender's final issue clock and the latest arrival time.
+// Element i leaves at issue_i = issue_{i-1}+PreCost[i] (plus pipeline
+// spacing) and arrives at issue_i+queue+transit, exactly as if each
+// element had been passed to Send at the same timestamp — the per-window
+// booking the destination and switch accounts see is identical.
+//
+// On a down link the stream stops at the failing element, elements
+// already booked stay booked (they left the source), and an error is
+// returned.
+func (f *Fabric) SendStream(s Stream) (endIssue, lastArrive uint64, err error) {
+	if err := f.checkPair(s.Src, s.Dst); err != nil {
+		return 0, 0, err
+	}
+	if s.ElemBytes < 0 {
+		return 0, 0, fmt.Errorf("fabric: negative message size %d", s.ElemBytes)
+	}
+	n := len(s.PreCost)
+	if n == 0 {
+		return s.Start, 0, nil
+	}
+	transit := f.TransitCost(s.Src, s.Dst, s.ElemBytes)
+	recvSvc := f.recvService(s.ElemBytes)
+	swSvc := f.switchService(s.ElemBytes)
+	useSwitch := f.cfg.SwitchGap > 0
+
+	var sent, stall uint64
+	issue := s.Start
+
+	sh := &f.recv[s.Dst]
+	sh.mu.Lock()
+	if useSwitch {
+		f.switchMu.Lock()
+	}
+	for i := 0; i < n; i++ {
+		if f.linkDown(s.Src, s.Dst) {
+			f.dropped.Add(1)
+			err = fmt.Errorf("fabric: link %d->%d is down", s.Src, s.Dst)
+			break
+		}
+		issue += s.PreCost[i]
+		queue := sh.acc.book(f.window, f.queueCap, issue, recvSvc)
+		if useSwitch {
+			if qs := f.switchAc.book(f.window, f.queueCap, issue, swSvc); qs > queue {
+				queue = qs
+			}
+		}
+		stall += queue
+		sent++
+		arrive := issue + queue + transit
+		if arrive > lastArrive {
+			lastArrive = arrive
+		}
+		if s.Unrolled {
+			issue += s.Gap
+			if backlog := arrive - transit; backlog > issue+s.FlowWindow {
+				issue = backlog - s.FlowWindow
+			}
+		} else {
+			issue = arrive
+		}
+	}
+	sh.matMsgs[s.Src] += sent
+	sh.matBytes[s.Src] += sent * uint64(s.ElemBytes)
+	if useSwitch {
+		f.switchMu.Unlock()
+	}
+	sh.mu.Unlock()
+
+	f.messages.Add(sent)
+	f.bytes.Add(sent * uint64(s.ElemBytes))
+	f.stallCyc.Add(stall)
+	if err != nil {
+		return 0, 0, err
+	}
+	return issue, lastArrive, nil
+}
+
+// Fetch describes a pipelined request/response element stream for
+// FetchStream: nelems = len(PostCost) round trips in which Src sends a
+// ReqBytes request to Dst and Dst answers with RespBytes of data.
+// ReqCost is added to each request's departure timestamp (the local
+// instruction cost of issuing it); PostCost[i] is added after element
+// i's data arrives (the destination-element write cost in a get).
+type Fetch struct {
+	Src, Dst   int
+	ReqBytes   int
+	RespBytes  int
+	Start      uint64
+	ReqCost    uint64
+	PostCost   []uint64 // per-element post-arrival cost; len = nelems
+	Gap        uint64
+	FlowWindow uint64
+	Unrolled   bool
+}
+
+// FetchStream books an entire request/response stream in one critical
+// section and returns the requester's final issue clock and the latest
+// element completion time. Each round trip books the request at Dst's
+// NIC and the data at Src's NIC (plus the switch for both legs) with
+// timestamps identical to two chained Send calls.
+//
+// On a down link in either direction the stream stops at the failing
+// leg; messages already booked stay booked.
+func (f *Fabric) FetchStream(q Fetch) (endIssue, lastDone uint64, err error) {
+	if err := f.checkPair(q.Src, q.Dst); err != nil {
+		return 0, 0, err
+	}
+	if q.ReqBytes < 0 || q.RespBytes < 0 {
+		return 0, 0, fmt.Errorf("fabric: negative message size")
+	}
+	n := len(q.PostCost)
+	if n == 0 {
+		return q.Start, 0, nil
+	}
+	transitReq := f.TransitCost(q.Src, q.Dst, q.ReqBytes)
+	transitData := f.TransitCost(q.Dst, q.Src, q.RespBytes)
+	transit := transitReq + transitData
+	reqSvc := f.recvService(q.ReqBytes)
+	dataSvc := f.recvService(q.RespBytes)
+	swReqSvc := f.switchService(q.ReqBytes)
+	swDataSvc := f.switchService(q.RespBytes)
+	useSwitch := f.cfg.SwitchGap > 0
+
+	var reqSent, dataSent, stall uint64
+	issue := q.Start
+
+	// Two shards are involved: Dst receives the requests, Src receives
+	// the data. Lock in ascending index order (once if they coincide),
+	// then the switch — the same global order every fabric path uses.
+	shReq := &f.recv[q.Dst]
+	shData := &f.recv[q.Src]
+	lo, hi := shReq, shData
+	if q.Src < q.Dst {
+		lo, hi = shData, shReq
+	}
+	lo.mu.Lock()
+	if hi != lo {
+		hi.mu.Lock()
+	}
+	if useSwitch {
+		f.switchMu.Lock()
+	}
+	for i := 0; i < n; i++ {
+		if f.linkDown(q.Src, q.Dst) {
+			f.dropped.Add(1)
+			err = fmt.Errorf("fabric: link %d->%d is down", q.Src, q.Dst)
+			break
+		}
+		t := issue + q.ReqCost
+		qr := shReq.acc.book(f.window, f.queueCap, t, reqSvc)
+		if useSwitch {
+			if qs := f.switchAc.book(f.window, f.queueCap, t, swReqSvc); qs > qr {
+				qr = qs
+			}
+		}
+		stall += qr
+		reqSent++
+		req := t + qr + transitReq
+
+		if f.linkDown(q.Dst, q.Src) {
+			f.dropped.Add(1)
+			err = fmt.Errorf("fabric: link %d->%d is down", q.Dst, q.Src)
+			break
+		}
+		qd := shData.acc.book(f.window, f.queueCap, req, dataSvc)
+		if useSwitch {
+			if qs := f.switchAc.book(f.window, f.queueCap, req, swDataSvc); qs > qd {
+				qd = qs
+			}
+		}
+		stall += qd
+		dataSent++
+		data := req + qd + transitData
+
+		done := data + q.PostCost[i]
+		if done > lastDone {
+			lastDone = done
+		}
+		if q.Unrolled {
+			issue += q.Gap
+			if backlog := data - transit; backlog > issue+q.FlowWindow {
+				issue = backlog - q.FlowWindow
+			}
+		} else {
+			issue = done
+		}
+	}
+	shReq.matMsgs[q.Src] += reqSent
+	shReq.matBytes[q.Src] += reqSent * uint64(q.ReqBytes)
+	shData.matMsgs[q.Dst] += dataSent
+	shData.matBytes[q.Dst] += dataSent * uint64(q.RespBytes)
+	if useSwitch {
+		f.switchMu.Unlock()
+	}
+	if hi != lo {
+		hi.mu.Unlock()
+	}
+	lo.mu.Unlock()
+
+	f.messages.Add(reqSent + dataSent)
+	f.bytes.Add(reqSent*uint64(q.ReqBytes) + dataSent*uint64(q.RespBytes))
+	f.stallCyc.Add(stall)
+	if err != nil {
+		return 0, 0, err
+	}
+	return issue, lastDone, nil
+}

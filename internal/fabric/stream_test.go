@@ -1,0 +1,276 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+)
+
+// streamConfig is a deliberately small-window model so tests can cross
+// window boundaries and hit the queue cap with few messages.
+func streamConfig() Config {
+	return Config{
+		InjectionOverhead: 10,
+		IssueGap:          5,
+		HopLatency:        50,
+		ByteCost:          1,
+		ReceiverGap:       100,
+		CongestionWindow:  256,
+		QueueCap:          2,
+	}
+}
+
+// sendAll is the reference: the same element recurrence evaluated with
+// individual Send calls.
+func sendAll(t *testing.T, f *Fabric, s Stream) (endIssue, lastArrive uint64) {
+	t.Helper()
+	transit := f.TransitCost(s.Src, s.Dst, s.ElemBytes)
+	issue := s.Start
+	for _, pre := range s.PreCost {
+		issue += pre
+		arrive, err := f.Send(s.Src, s.Dst, s.ElemBytes, issue)
+		if err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		if arrive > lastArrive {
+			lastArrive = arrive
+		}
+		if s.Unrolled {
+			issue += s.Gap
+			if backlog := arrive - transit; backlog > issue+s.FlowWindow {
+				issue = backlog - s.FlowWindow
+			}
+		} else {
+			issue = arrive
+		}
+	}
+	return issue, lastArrive
+}
+
+func preCosts(n int, c uint64) []uint64 {
+	pc := make([]uint64, n)
+	for i := range pc {
+		pc[i] = c
+	}
+	return pc
+}
+
+// TestSendStreamMatchesSends checks the batched booking against the
+// message-at-a-time reference on two identical fabrics, for streams
+// that straddle many window boundaries in both pipelined and ordered
+// modes.
+func TestSendStreamMatchesSends(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		n        int
+		unrolled bool
+	}{
+		{"ordered-short", 3, false},
+		{"ordered-straddle", 40, false}, // recv gap 100 ≫ window 256: many windows
+		{"pipelined-straddle", 200, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := MustNew(FullyConnected{N: 4}, streamConfig())
+			fast := MustNew(FullyConnected{N: 4}, streamConfig())
+			s := Stream{
+				Src: 1, Dst: 2, ElemBytes: 16, Start: 100,
+				PreCost: preCosts(tc.n, 3), Gap: 5, FlowWindow: 80,
+				Unrolled: tc.unrolled,
+			}
+			wantIssue, wantArrive := sendAll(t, ref, s)
+			gotIssue, gotArrive, err := fast.SendStream(s)
+			if err != nil {
+				t.Fatalf("SendStream: %v", err)
+			}
+			if gotIssue != wantIssue || gotArrive != wantArrive {
+				t.Errorf("stream: issue=%d arrive=%d, reference issue=%d arrive=%d",
+					gotIssue, gotArrive, wantIssue, wantArrive)
+			}
+			if fast.Messages() != ref.Messages() || fast.Bytes() != ref.Bytes() ||
+				fast.ContentionCycles() != ref.ContentionCycles() {
+				t.Errorf("stats: stream msgs=%d bytes=%d cont=%d, reference msgs=%d bytes=%d cont=%d",
+					fast.Messages(), fast.Bytes(), fast.ContentionCycles(),
+					ref.Messages(), ref.Bytes(), ref.ContentionCycles())
+			}
+		})
+	}
+}
+
+// TestFetchStreamMatchesSends does the same for the request/response
+// round-trip form.
+func TestFetchStreamMatchesSends(t *testing.T) {
+	cfg := streamConfig()
+	ref := MustNew(FullyConnected{N: 4}, cfg)
+	fast := MustNew(FullyConnected{N: 4}, cfg)
+
+	post := preCosts(64, 7)
+	q := Fetch{
+		Src: 0, Dst: 3, ReqBytes: 8, RespBytes: 8, Start: 50,
+		ReqCost: 1, PostCost: post, Gap: 5, FlowWindow: 80, Unrolled: true,
+	}
+
+	// Reference: chained Sends.
+	transit := ref.TransitCost(0, 3, 8) + ref.TransitCost(3, 0, 8)
+	issue := q.Start
+	var wantDone uint64
+	for _, pc := range post {
+		req, err := ref.Send(0, 3, 8, issue+q.ReqCost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := ref.Send(3, 0, 8, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := data + pc
+		if done > wantDone {
+			wantDone = done
+		}
+		issue += q.Gap
+		if backlog := data - transit; backlog > issue+q.FlowWindow {
+			issue = backlog - q.FlowWindow
+		}
+	}
+
+	gotIssue, gotDone, err := fast.FetchStream(q)
+	if err != nil {
+		t.Fatalf("FetchStream: %v", err)
+	}
+	if gotIssue != issue || gotDone != wantDone {
+		t.Errorf("fetch: issue=%d done=%d, reference issue=%d done=%d",
+			gotIssue, gotDone, issue, wantDone)
+	}
+	if fast.Messages() != ref.Messages() || fast.ContentionCycles() != ref.ContentionCycles() {
+		t.Errorf("stats diverge: stream msgs=%d cont=%d, reference msgs=%d cont=%d",
+			fast.Messages(), fast.ContentionCycles(), ref.Messages(), ref.ContentionCycles())
+	}
+}
+
+// TestStreamQueueCapSaturation drives one window far past the queue
+// cap: per-message delay must plateau at QueueCap·window exactly as
+// with individual sends.
+func TestStreamQueueCapSaturation(t *testing.T) {
+	cfg := streamConfig() // cap = 2 windows of 256 cycles
+	f := MustNew(FullyConnected{N: 2}, cfg)
+	limit := cfg.QueueCap * cfg.CongestionWindow
+
+	// 50 zero-cost messages at the same timestamp: service 100+16 each,
+	// so booking blows through the cap almost immediately.
+	s := Stream{Src: 0, Dst: 1, ElemBytes: 16, Start: 512,
+		PreCost: preCosts(50, 0), Unrolled: true, Gap: 0, FlowWindow: 1 << 40}
+	_, lastArrive, err := f.SendStream(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMax := s.Start + limit + f.TransitCost(0, 1, 16)
+	if lastArrive != wantMax {
+		t.Errorf("saturated arrival %d, want cap-bounded %d", lastArrive, wantMax)
+	}
+	// Contention must reflect the cap, not unbounded backlog.
+	refTotal := f.ContentionCycles()
+	perMsgMax := limit * 50
+	if refTotal > perMsgMax {
+		t.Errorf("contention %d exceeds %d (cap × messages)", refTotal, perMsgMax)
+	}
+}
+
+// TestStreamDownLinkMidStream takes the link down between two streams:
+// the second stream must fail, count a drop, and leave earlier
+// bookings intact.
+func TestStreamDownLinkMidStream(t *testing.T) {
+	f := MustNew(FullyConnected{N: 3}, streamConfig())
+	if _, _, err := f.SendStream(Stream{Src: 0, Dst: 1, ElemBytes: 16, Start: 0,
+		PreCost: preCosts(4, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	before := f.Messages()
+
+	f.SetLinkState(0, 1, false)
+	_, _, err := f.SendStream(Stream{Src: 0, Dst: 1, ElemBytes: 16, Start: 1000,
+		PreCost: preCosts(4, 1)})
+	if err == nil || !strings.Contains(err.Error(), "down") {
+		t.Fatalf("want down-link error, got %v", err)
+	}
+	if f.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", f.Dropped())
+	}
+	if f.Messages() != before {
+		t.Errorf("messages %d changed by failed stream (was %d)", f.Messages(), before)
+	}
+
+	// Fetch direction: only the response leg is down.
+	f.SetLinkState(0, 1, true)
+	f.SetLinkState(1, 0, false)
+	_, _, err = f.FetchStream(Fetch{Src: 0, Dst: 1, ReqBytes: 8, RespBytes: 8,
+		Start: 2000, PostCost: preCosts(4, 1)})
+	if err == nil || !strings.Contains(err.Error(), "1->0") {
+		t.Fatalf("want response-leg error, got %v", err)
+	}
+	// The request left before the response leg failed.
+	if got := f.Messages(); got != before+1 {
+		t.Errorf("messages = %d, want %d (request booked before failure)", got, before+1)
+	}
+
+	f.SetLinkState(1, 0, true)
+	if _, _, err := f.SendStream(Stream{Src: 0, Dst: 1, ElemBytes: 16, Start: 3000,
+		PreCost: preCosts(2, 1)}); err != nil {
+		t.Fatalf("restored link: %v", err)
+	}
+}
+
+// TestStreamSelfSend books a self-directed stream: transit is the bare
+// injection overhead plus serialisation (no hops), matching Send.
+func TestStreamSelfSend(t *testing.T) {
+	cfg := streamConfig()
+	f := MustNew(FullyConnected{N: 2}, cfg)
+	ref := MustNew(FullyConnected{N: 2}, cfg)
+
+	s := Stream{Src: 1, Dst: 1, ElemBytes: 16, Start: 0, PreCost: preCosts(5, 2)}
+	wantIssue, wantArrive := sendAll(t, ref, s)
+	gotIssue, gotArrive, err := f.SendStream(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotIssue != wantIssue || gotArrive != wantArrive {
+		t.Errorf("self stream issue=%d arrive=%d, reference %d/%d",
+			gotIssue, gotArrive, wantIssue, wantArrive)
+	}
+	if hops := (FullyConnected{N: 2}).Hops(1, 1); hops != 0 {
+		t.Fatalf("self hops = %d, want 0", hops)
+	}
+	if tc := f.TransitCost(1, 1, 16); tc != cfg.InjectionOverhead+16*cfg.ByteCost {
+		t.Errorf("self transit %d, want injection+bytes %d", tc, cfg.InjectionOverhead+16)
+	}
+
+	// FetchStream with Src == Dst exercises the single-shard lock path.
+	if _, _, err := f.FetchStream(Fetch{Src: 0, Dst: 0, ReqBytes: 8, RespBytes: 8,
+		Start: 0, PostCost: preCosts(3, 1)}); err != nil {
+		t.Fatalf("self fetch: %v", err)
+	}
+}
+
+// TestAccountRingHorizon documents the ring semantics: a booking older
+// than the resident window in its slot sees a drained resource and
+// does not disturb the resident booking.
+func TestAccountRingHorizon(t *testing.T) {
+	var a account
+	a.init()
+	const window, qcap = 2048, 4
+
+	// Fill window w with heavy service.
+	w := uint64(ringWindows + 5)
+	now := w * window
+	a.book(window, qcap, now, 10_000)
+	if q := a.book(window, qcap, now, 100); q == 0 {
+		t.Fatal("second booking in a loaded window should queue")
+	}
+
+	// A booking ringWindows behind maps to the same slot but must not
+	// contend with — or evict — the resident window.
+	old := (w - ringWindows) * window
+	if q := a.book(window, qcap, old, 100); q != 0 {
+		t.Errorf("stale-window booking queued %d cycles, want drained (0)", q)
+	}
+	if q := a.book(window, qcap, now, 100); q == 0 {
+		t.Error("resident window lost its booking to a stale-window arrival")
+	}
+}

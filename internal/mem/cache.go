@@ -13,9 +13,9 @@ type Cache struct {
 	name     string
 	sets     int
 	ways     int
-	tags     [][]uint64 // [set][way] line tag; ^0 = invalid
-	dirty    [][]bool
-	lru      [][]uint64 // [set][way] last-use tick
+	tags     []uint64 // sets×ways row-major line tags; ^0 = invalid
+	dirty    []bool
+	lru      []uint64 // last-use tick, same layout as tags
 	tick     uint64
 	hits     uint64
 	misses   uint64
@@ -36,17 +36,14 @@ func NewCache(name string, size, ways int) (*Cache, error) {
 			name, size, ways, LineSize)
 	}
 	sets := lines / ways
-	c := &Cache{name: name, sets: sets, ways: ways, sizeByte: size}
-	c.tags = make([][]uint64, sets)
-	c.dirty = make([][]bool, sets)
-	c.lru = make([][]uint64, sets)
-	for s := 0; s < sets; s++ {
-		c.tags[s] = make([]uint64, ways)
-		c.dirty[s] = make([]bool, ways)
-		c.lru[s] = make([]uint64, ways)
-		for w := 0; w < ways; w++ {
-			c.tags[s][w] = ^uint64(0)
-		}
+	c := &Cache{
+		name: name, sets: sets, ways: ways, sizeByte: size,
+		tags:  make([]uint64, lines),
+		dirty: make([]bool, lines),
+		lru:   make([]uint64, lines),
+	}
+	for i := range c.tags {
+		c.tags[i] = ^uint64(0)
 	}
 	return c, nil
 }
@@ -62,13 +59,14 @@ func MustCache(name string, size, ways int) *Cache {
 
 // access probes a single line. write marks the line dirty on presence.
 func (c *Cache) access(lineAddr uint64, write bool) (hit bool) {
-	set := int(lineAddr % uint64(c.sets))
+	base := int(lineAddr%uint64(c.sets)) * c.ways
+	tags := c.tags[base : base+c.ways]
 	c.tick++
-	for w := 0; w < c.ways; w++ {
-		if c.tags[set][w] == lineAddr {
-			c.lru[set][w] = c.tick
+	for w, t := range tags {
+		if t == lineAddr {
+			c.lru[base+w] = c.tick
 			if write {
-				c.dirty[set][w] = true
+				c.dirty[base+w] = true
 			}
 			c.hits++
 			return true
@@ -78,26 +76,26 @@ func (c *Cache) access(lineAddr uint64, write bool) (hit bool) {
 	// Fill: choose an invalid way, else the LRU way.
 	victim := 0
 	oldest := ^uint64(0)
-	for w := 0; w < c.ways; w++ {
-		if c.tags[set][w] == ^uint64(0) {
+	for w, t := range tags {
+		if t == ^uint64(0) {
 			victim = w
 			oldest = 0
 			break
 		}
-		if c.lru[set][w] < oldest {
-			oldest = c.lru[set][w]
+		if c.lru[base+w] < oldest {
+			oldest = c.lru[base+w]
 			victim = w
 		}
 	}
-	if c.tags[set][victim] != ^uint64(0) {
+	if tags[victim] != ^uint64(0) {
 		c.evicts++
-		if c.dirty[set][victim] {
+		if c.dirty[base+victim] {
 			c.wbBytes += LineSize
 		}
 	}
-	c.tags[set][victim] = lineAddr
-	c.dirty[set][victim] = write
-	c.lru[set][victim] = c.tick
+	tags[victim] = lineAddr
+	c.dirty[base+victim] = write
+	c.lru[base+victim] = c.tick
 	return false
 }
 
@@ -120,14 +118,12 @@ func (c *Cache) Access(addr uint64, size int, write bool) (allHit bool) {
 
 // Flush invalidates every line, counting dirty lines as written back.
 func (c *Cache) Flush() {
-	for s := 0; s < c.sets; s++ {
-		for w := 0; w < c.ways; w++ {
-			if c.tags[s][w] != ^uint64(0) && c.dirty[s][w] {
-				c.wbBytes += LineSize
-			}
-			c.tags[s][w] = ^uint64(0)
-			c.dirty[s][w] = false
+	for i := range c.tags {
+		if c.tags[i] != ^uint64(0) && c.dirty[i] {
+			c.wbBytes += LineSize
 		}
+		c.tags[i] = ^uint64(0)
+		c.dirty[i] = false
 	}
 }
 

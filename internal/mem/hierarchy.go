@@ -128,6 +128,27 @@ func (h *Hierarchy) Touch(addr uint64, size int, write bool) uint64 {
 	return cost
 }
 
+// TouchRange charges the cycle cost of n size-byte accesses at
+// addr, addr+step, ..., addr+(n-1)·step, exactly as n successive Touch
+// calls would (same TLB, cache, and prefetcher transitions). When costs
+// is non-nil it must have length ≥ n and receives the per-access cost;
+// the total is returned either way. Batched transfer paths use it to
+// price a whole element stream in one call.
+func (h *Hierarchy) TouchRange(addr uint64, size int, step uint64, n int, write bool, costs []uint64) uint64 {
+	if size <= 0 || n <= 0 {
+		return 0
+	}
+	var total uint64
+	for i := 0; i < n; i++ {
+		c := h.Touch(addr+uint64(i)*step, size, write)
+		if costs != nil {
+			costs[i] = c
+		}
+		total += c
+	}
+	return total
+}
+
 // Prefetches returns the number of lines brought in by the stream
 // prefetcher.
 func (h *Hierarchy) Prefetches() uint64 { return h.prefetches }

@@ -122,5 +122,76 @@ func (m *Memory) Uint32(addr uint64) uint32 { return uint32(m.ReadUint(addr, 4))
 // PutUint32 writes a 4-byte value at addr.
 func (m *Memory) PutUint32(addr uint64, v uint32) { m.WriteUint(addr, 4, uint64(v)) }
 
+// ReadElems reads n size-byte little-endian elements at addr,
+// addr+step, ..., into dst[:n]. It is the strided batch form of
+// ReadUint: a page pointer is cached across elements, so a stream that
+// stays on one page costs one map lookup total instead of one per
+// element. size must be 1, 2, 4, or 8.
+func (m *Memory) ReadElems(addr uint64, size int, step uint64, n int, dst []uint64) {
+	pn := ^uint64(0)
+	var p *[PageSize]byte
+	for i := 0; i < n; i++ {
+		a := addr + uint64(i)*step
+		off := a % PageSize
+		if PageSize-off < uint64(size) {
+			// Element straddles a page boundary: slow path.
+			dst[i] = m.ReadUint(a, size)
+			pn = ^uint64(0)
+			continue
+		}
+		if q := a / PageSize; q != pn {
+			pn, p = q, m.page(a, false)
+		}
+		if p == nil {
+			dst[i] = 0
+			continue
+		}
+		switch size {
+		case 8:
+			dst[i] = binary.LittleEndian.Uint64(p[off:])
+		case 4:
+			dst[i] = uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 2:
+			dst[i] = uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 1:
+			dst[i] = uint64(p[off])
+		default:
+			panic(fmt.Sprintf("mem: bad access size %d", size))
+		}
+	}
+}
+
+// WriteElems writes n size-byte little-endian elements from src[:n] to
+// addr, addr+step, ... — the strided batch form of WriteUint, with the
+// same page-pointer caching as ReadElems. size must be 1, 2, 4, or 8.
+func (m *Memory) WriteElems(addr uint64, size int, step uint64, n int, src []uint64) {
+	pn := ^uint64(0)
+	var p *[PageSize]byte
+	for i := 0; i < n; i++ {
+		a := addr + uint64(i)*step
+		off := a % PageSize
+		if PageSize-off < uint64(size) {
+			m.WriteUint(a, size, src[i])
+			pn = ^uint64(0)
+			continue
+		}
+		if q := a / PageSize; q != pn {
+			pn, p = q, m.page(a, true)
+		}
+		switch size {
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], src[i])
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(src[i]))
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(src[i]))
+		case 1:
+			p[off] = byte(src[i])
+		default:
+			panic(fmt.Sprintf("mem: bad access size %d", size))
+		}
+	}
+}
+
 // Footprint reports the number of resident (ever-written) pages.
 func (m *Memory) Footprint() int { return len(m.pages) }

@@ -44,6 +44,38 @@ func (n *Node) LockedWrite(addr uint64, size int, v uint64) {
 	n.Hier.RAM().WriteUint(addr, size, v)
 }
 
+// LockedReadElems reads n size-byte elements at addr, addr+step, ...
+// into dst[:n] under one acquisition of the node's memory lock — the
+// batch form of n LockedRead calls.
+func (n *Node) LockedReadElems(addr uint64, size int, step uint64, count int, dst []uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.Hier.RAM().ReadElems(addr, size, step, count, dst)
+}
+
+// LockedWriteElems writes n size-byte elements from src[:n] to addr,
+// addr+step, ... under one acquisition of the node's memory lock.
+func (n *Node) LockedWriteElems(addr uint64, size int, step uint64, count int, src []uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.Hier.RAM().WriteElems(addr, size, step, count, src)
+}
+
+// LockedCopyElems copies count size-byte elements from src to dest
+// (both on this node, same stride at both ends) under one lock
+// acquisition, element by element in address order — the same
+// read-then-write interleaving, and therefore the same overlap
+// semantics, as a loop of LockedRead/LockedWrite pairs.
+func (n *Node) LockedCopyElems(dest, src uint64, size int, step uint64, count int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ram := n.Hier.RAM()
+	for i := 0; i < count; i++ {
+		off := uint64(i) * step
+		ram.WriteUint(dest+off, size, ram.ReadUint(src+off, size))
+	}
+}
+
 // LockedReadBytes copies len(dst) bytes from addr under the memory lock.
 func (n *Node) LockedReadBytes(addr uint64, dst []byte) {
 	n.mu.Lock()

@@ -79,7 +79,9 @@ func (pe *PE) barrierOn(b *barrierState) error {
 	coordinator := b.members[0]
 
 	fab := pe.rt.machine.Fabric
-	// Arrival notification to the coordinating PE.
+	// Arrival notification to the coordinating PE. In lockstep mode
+	// the send happens in virtual-clock order like any other booking.
+	pe.lsYield()
 	arrive := pe.clock
 	if pe.rank != coordinator {
 		t, err := fab.Send(pe.rank, coordinator, 8, pe.clock)
@@ -90,8 +92,8 @@ func (pe *PE) barrierOn(b *barrierState) error {
 	}
 
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.broken {
+		b.mu.Unlock()
 		return ErrBarrierBroken
 	}
 	localSense := !b.sense
@@ -112,23 +114,46 @@ func (pe *PE) barrierOn(b *barrierState) error {
 			}
 			t, err := fab.Send(coordinator, m, 8, release+uint64(i)*inject)
 			if err != nil {
+				b.mu.Unlock()
 				return err
 			}
 			b.rel[m] = t
+			// In lockstep mode the waiter is asleep inside cond.Wait;
+			// hand it back to the scheduler at its release clock now, so
+			// the token ordering never depends on how quickly the woken
+			// goroutine runs.
+			if m != pe.rank {
+				pe.lsWake(m, t)
+			}
+		}
+		if coordinator != pe.rank {
+			// The last arriver does the release, so the coordinating
+			// member itself may be one of the sleepers.
+			pe.lsWake(coordinator, release)
 		}
 		b.count = 0
 		b.maxArr = 0
 		b.sense = localSense
 		b.cond.Broadcast()
-	} else {
-		for b.sense != localSense && !b.broken {
-			b.cond.Wait()
-		}
-		if b.broken {
-			return ErrBarrierBroken
-		}
+		rel := b.rel[pe.rank]
+		b.mu.Unlock()
+		pe.advanceTo(rel)
+		return nil
 	}
-	pe.advanceTo(b.rel[pe.rank])
+	// Waiter: hand the execution token back before sleeping so the
+	// remaining PEs can reach the barrier, reacquire it on wakeup.
+	pe.lsBlock()
+	for b.sense != localSense && !b.broken {
+		b.cond.Wait()
+	}
+	broken := b.broken
+	rel := b.rel[pe.rank]
+	b.mu.Unlock()
+	pe.advanceTo(rel)
+	pe.lsUnblock()
+	if broken {
+		return ErrBarrierBroken
+	}
 	return nil
 }
 

@@ -46,10 +46,17 @@ type dissemState struct {
 	cond   *sync.Cond
 	slots  map[dissemKey]uint64
 	broken bool
+	// waiting records, per blocked PE, the exact slot it sleeps on, so
+	// in lockstep mode the sender that fills the slot can re-queue the
+	// sleeper with the scheduler immediately (see lockstep.wake).
+	waiting map[int]dissemKey
 }
 
 func newDissemState() *dissemState {
-	d := &dissemState{slots: make(map[dissemKey]uint64)}
+	d := &dissemState{
+		slots:   make(map[dissemKey]uint64),
+		waiting: make(map[int]dissemKey),
+	}
 	d.cond = sync.NewCond(&d.mu)
 	return d
 }
@@ -76,25 +83,50 @@ func (pe *PE) dissemBarrier() error {
 
 	for k := 0; k < rounds; k++ {
 		dst := (pe.rank + (1 << k)) % n
+		// In lockstep mode each round's signal books in clock order.
+		pe.lsYield()
 		arrive, err := fab.Send(pe.rank, dst, 8, pe.clock)
 		if err != nil {
 			return err
 		}
 		d.mu.Lock()
-		d.slots[dissemKey{epoch, k, dst}] = arrive
+		key := dissemKey{epoch, k, dst}
+		d.slots[key] = arrive
+		if wk, ok := d.waiting[dst]; ok && wk == key {
+			// The peer sleeps on exactly this slot: re-queue it with the
+			// lockstep scheduler at its resume clock before moving on.
+			delete(d.waiting, dst)
+			pe.lsWake(dst, arrive)
+		}
 		d.cond.Broadcast()
 		// Wait for the signal addressed to us in this round and epoch.
 		me := dissemKey{epoch, k, pe.rank}
+		blocked := false
 		for {
 			if d.broken {
+				delete(d.waiting, pe.rank)
 				d.mu.Unlock()
+				if blocked {
+					pe.lsUnblock()
+				}
 				return ErrBarrierBroken
 			}
 			if t, ok := d.slots[me]; ok {
 				delete(d.slots, me)
+				delete(d.waiting, pe.rank)
 				d.mu.Unlock()
 				pe.advanceTo(t)
+				if blocked {
+					pe.lsUnblock()
+				}
 				break
+			}
+			if !blocked {
+				// Hand the execution token back before sleeping; record
+				// which slot we sleep on so the sender can wake us.
+				d.waiting[pe.rank] = me
+				pe.lsBlock()
+				blocked = true
 			}
 			d.cond.Wait()
 		}

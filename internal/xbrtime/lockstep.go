@@ -1,0 +1,171 @@
+package xbrtime
+
+import "sync"
+
+// Lockstep execution (Config.Deterministic).
+//
+// The windowed fabric booking is insensitive to host scheduling up to
+// congestion-window granularity, but *within* a window the queueing
+// delay a message sees depends on how much service was booked before
+// it — and free-running PE goroutines book in host arrival order. For
+// exactly reproducible cycle totals the runtime therefore offers a
+// lockstep mode: a single execution token circulates among the PEs,
+// and at every point where a PE is about to touch shared simulation
+// state (a remote transfer, a barrier signal) it re-queues and the
+// token goes to the runnable PE with the smallest virtual clock
+// (ties to the lowest rank). Every instruction of the PE functions
+// executes while holding the token, so the interleaving — and with it
+// every booking, every value, every statistic — is a pure function of
+// the program, independent of GOMAXPROCS and goroutine scheduling.
+//
+// PE states. A PE is ready (wants the token), running (holds it),
+// blocked (asleep inside a barrier; the token moves on without it),
+// or done.
+const (
+	lsReady uint8 = iota
+	lsRunning
+	lsBlocked
+	lsDone
+)
+
+// lockstep is the token scheduler. One instance serves one Run call.
+type lockstep struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	state []uint8
+	clock []uint64
+}
+
+// newLockstep creates a scheduler with every PE ready at the given
+// clocks, so the choice of the first PE to run is already determined
+// before any goroutine is spawned.
+func newLockstep(clocks []uint64) *lockstep {
+	ls := &lockstep{
+		state: make([]uint8, len(clocks)),
+		clock: append([]uint64(nil), clocks...),
+	}
+	ls.cond = sync.NewCond(&ls.mu)
+	return ls
+}
+
+// chosen reports whether rank should run next: nobody is running and
+// rank is the ready PE with the smallest (clock, rank). Callers hold
+// ls.mu.
+func (ls *lockstep) chosen(rank int) bool {
+	best := -1
+	for r, st := range ls.state {
+		switch st {
+		case lsRunning:
+			return false
+		case lsReady:
+			if best == -1 || ls.clock[r] < ls.clock[best] {
+				best = r
+			}
+		}
+	}
+	return best == rank
+}
+
+// waitTurn parks until rank is chosen, then marks it running.
+func (ls *lockstep) waitTurn(rank int) {
+	ls.mu.Lock()
+	for !ls.chosen(rank) {
+		ls.cond.Wait()
+	}
+	ls.state[rank] = lsRunning
+	ls.mu.Unlock()
+}
+
+// start hands the token to rank for the first time (the PE was marked
+// ready by the constructor).
+func (ls *lockstep) start(rank int) { ls.waitTurn(rank) }
+
+// yield re-queues rank at the given clock and waits until it is chosen
+// again. PEs call it immediately before booking shared resources so
+// bookings happen in virtual-clock order.
+func (ls *lockstep) yield(rank int, clock uint64) {
+	ls.mu.Lock()
+	ls.state[rank] = lsReady
+	ls.clock[rank] = clock
+	ls.cond.Broadcast()
+	for !ls.chosen(rank) {
+		ls.cond.Wait()
+	}
+	ls.state[rank] = lsRunning
+	ls.mu.Unlock()
+}
+
+// block releases the token without re-queuing: the PE is about to
+// sleep on a barrier condition and cannot run until a peer wakes it.
+// The clock is recorded so the waker can compute the resume clock.
+// block never waits, so it is safe to call with other locks held.
+func (ls *lockstep) block(rank int, clock uint64) {
+	ls.mu.Lock()
+	ls.state[rank] = lsBlocked
+	ls.clock[rank] = clock
+	ls.cond.Broadcast()
+	ls.mu.Unlock()
+}
+
+// wake marks a blocked PE ready at its resume clock (its blocked clock
+// advanced to at least at). The *waker* calls it, while holding the
+// token, at the moment it satisfies the wakee's wait condition — if the
+// scheduler instead learned about the wakeup only when the wakee's
+// goroutine got around to re-queuing itself, the token could visit a
+// later-clocked PE in the meantime and the booking order would depend
+// on host scheduling. No-op unless the PE is actually blocked.
+func (ls *lockstep) wake(rank int, at uint64) {
+	ls.mu.Lock()
+	if ls.state[rank] == lsBlocked {
+		ls.state[rank] = lsReady
+		if ls.clock[rank] < at {
+			ls.clock[rank] = at
+		}
+		ls.cond.Broadcast()
+	}
+	ls.mu.Unlock()
+}
+
+// unblock re-queues a blocked PE at the given clock and waits for its
+// turn. Callers must not hold other locks.
+func (ls *lockstep) unblock(rank int, clock uint64) { ls.yield(rank, clock) }
+
+// done retires rank permanently.
+func (ls *lockstep) done(rank int) {
+	ls.mu.Lock()
+	ls.state[rank] = lsDone
+	ls.cond.Broadcast()
+	ls.mu.Unlock()
+}
+
+// lsYield re-queues the PE at its current clock if lockstep mode is
+// active; otherwise it is free.
+func (pe *PE) lsYield() {
+	if ls := pe.rt.ls; ls != nil {
+		ls.yield(pe.rank, pe.clock)
+	}
+}
+
+// lsBlock releases the execution token before the PE sleeps on a
+// barrier condition. Safe to call with the barrier lock held.
+func (pe *PE) lsBlock() {
+	if ls := pe.rt.ls; ls != nil {
+		ls.block(pe.rank, pe.clock)
+	}
+}
+
+// lsWake re-queues a blocked peer at its resume clock. The caller holds
+// the execution token and has just satisfied the peer's wait condition.
+func (pe *PE) lsWake(rank int, at uint64) {
+	if ls := pe.rt.ls; ls != nil {
+		ls.wake(rank, at)
+	}
+}
+
+// lsUnblock reacquires the execution token after a barrier wakeup.
+// Must be called without the barrier lock held.
+func (pe *PE) lsUnblock() {
+	if ls := pe.rt.ls; ls != nil {
+		ls.unblock(pe.rank, pe.clock)
+	}
+}

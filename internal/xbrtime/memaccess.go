@@ -33,6 +33,25 @@ func (pe *PE) Poke(dt DType, addr uint64, canon uint64) {
 	pe.node.LockedWrite(addr, dt.Width, canon&dt.mask())
 }
 
+// PeekElems reads len(dst) contiguous elements functionally (no cycle
+// charge): dst[i] is the canonical value at addr + i*width.
+func (pe *PE) PeekElems(dt DType, addr uint64, dst []uint64) {
+	pe.node.LockedReadElems(addr, dt.Width, uint64(dt.Width), len(dst), dst)
+	for i, raw := range dst {
+		dst[i] = dt.Canon(raw)
+	}
+}
+
+// PokeElems writes len(src) contiguous elements functionally.
+func (pe *PE) PokeElems(dt DType, addr uint64, src []uint64) {
+	m := dt.mask()
+	masked := pe.elems(len(src))
+	for i, v := range src {
+		masked[i] = v & m
+	}
+	pe.node.LockedWriteElems(addr, dt.Width, uint64(dt.Width), len(src), masked)
+}
+
 // PeekBytes copies len(dst) bytes out of the PE's memory functionally.
 func (pe *PE) PeekBytes(addr uint64, dst []byte) { pe.node.LockedReadBytes(addr, dst) }
 

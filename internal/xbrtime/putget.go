@@ -92,14 +92,73 @@ func (pe *PE) put(dt DType, dest, src uint64, nelems, stride int, target int, no
 
 	if target == pe.rank {
 		// PE-local put: plain loads and stores through the hierarchy.
+		// Timing first (the alternating read/write touches drive the
+		// same cache transitions as the reference element loop), then
+		// the data moves in one locked pass with the reference's
+		// element-order overlap semantics.
 		for i := 0; i < nelems; i++ {
 			off := uint64(i) * step
-			v := pe.ReadElem(dt, src+off)
-			pe.WriteElem(dt, dest+off, v)
+			pe.Advance(pe.node.Hier.Touch(src+off, w, false) + loadCPU)
+			pe.Advance(pe.node.Hier.Touch(dest+off, w, true) + loadCPU)
 		}
+		pe.node.LockedCopyElems(dest, src, w, step, nelems)
 		return Handle{completeAt: pe.clock, active: true}, nil
 	}
 
+	// In lockstep mode, transfers book the fabric in virtual-clock
+	// order.
+	pe.lsYield()
+
+	if pe.rt.cfg.ReferencePath {
+		return pe.putReference(dt, dest, src, nelems, stride, target, nonblocking)
+	}
+
+	fab := pe.rt.machine.Fabric
+	targetNode := pe.rt.machine.Nodes[target]
+	pe.chargeOLB(target)
+
+	unrolled := nonblocking || nelems >= pe.rt.cfg.UnrollThreshold
+	gap := issueGap(fab.Config())
+
+	// Price every source-element read on the local hierarchy (owned by
+	// this PE's goroutine, so no lock is needed), read the values in
+	// one locked pass, and book the whole element stream in one fabric
+	// critical section. The per-element issue/arrival recurrence is
+	// evaluated inside SendStream and matches the reference loop cycle
+	// for cycle.
+	costs := pe.costs(nelems)
+	pe.node.Hier.TouchRange(src, w, step, nelems, false, costs)
+	for i := range costs {
+		costs[i] += loadCPU
+	}
+	vals := pe.elems(nelems)
+	pe.node.LockedReadElems(src, w, step, nelems, vals)
+
+	endIssue, lastArrive, err := fab.SendStream(fabric.Stream{
+		Src:        pe.rank,
+		Dst:        target,
+		ElemBytes:  8 + w,
+		Start:      pe.clock,
+		PreCost:    costs,
+		Gap:        gap,
+		FlowWindow: uint64(pe.rt.cfg.InflightDepth) * gap,
+		Unrolled:   unrolled,
+	})
+	if err != nil {
+		return Handle{}, err
+	}
+	targetNode.LockedWriteElems(dest, w, step, nelems, vals)
+	pe.advanceTo(endIssue)
+	return Handle{completeAt: lastArrive, active: true}, nil
+}
+
+// putReference is the original element-at-a-time remote put. It books
+// the fabric one message per element; the batched path must agree with
+// it exactly (see the differential tests). Kept selectable via
+// Config.ReferencePath.
+func (pe *PE) putReference(dt DType, dest, src uint64, nelems, stride int, target int, nonblocking bool) (Handle, error) {
+	w := dt.Width
+	step := uint64(stride * w)
 	fab := pe.rt.machine.Fabric
 	targetNode := pe.rt.machine.Nodes[target]
 	pe.chargeOLB(target)
@@ -168,14 +227,65 @@ func (pe *PE) get(dt DType, dest, src uint64, nelems, stride int, target int, no
 	step := uint64(stride * w)
 
 	if target == pe.rank {
+		// PE-local get mirrors the PE-local put.
 		for i := 0; i < nelems; i++ {
 			off := uint64(i) * step
-			v := pe.ReadElem(dt, src+off)
-			pe.WriteElem(dt, dest+off, v)
+			pe.Advance(pe.node.Hier.Touch(src+off, w, false) + loadCPU)
+			pe.Advance(pe.node.Hier.Touch(dest+off, w, true) + loadCPU)
 		}
+		pe.node.LockedCopyElems(dest, src, w, step, nelems)
 		return Handle{completeAt: pe.clock, active: true}, nil
 	}
 
+	pe.lsYield()
+
+	if pe.rt.cfg.ReferencePath {
+		return pe.getReference(dt, dest, src, nelems, stride, target, nonblocking)
+	}
+
+	fab := pe.rt.machine.Fabric
+	targetNode := pe.rt.machine.Nodes[target]
+	pe.chargeOLB(target)
+
+	unrolled := nonblocking || nelems >= pe.rt.cfg.UnrollThreshold
+	gap := issueGap(fab.Config())
+
+	// Price the destination-element writes up front (the hierarchy is
+	// owned by this PE and untouched by the fabric bookings, so the
+	// per-element costs are the same the reference loop would compute
+	// interleaved), then book every request/response round trip in one
+	// fabric critical section and move the data in two locked passes.
+	costs := pe.costs(nelems)
+	pe.node.Hier.TouchRange(dest, w, step, nelems, true, costs)
+
+	endIssue, lastDone, err := fab.FetchStream(fabric.Fetch{
+		Src:        pe.rank,
+		Dst:        target,
+		ReqBytes:   8,
+		RespBytes:  w,
+		Start:      pe.clock,
+		ReqCost:    loadCPU,
+		PostCost:   costs,
+		Gap:        gap,
+		FlowWindow: uint64(pe.rt.cfg.InflightDepth) * gap,
+		Unrolled:   unrolled,
+	})
+	if err != nil {
+		return Handle{}, err
+	}
+	vals := pe.elems(nelems)
+	targetNode.LockedReadElems(src, w, step, nelems, vals)
+	pe.node.LockedWriteElems(dest, w, step, nelems, vals)
+	pe.advanceTo(endIssue)
+	return Handle{completeAt: lastDone, active: true}, nil
+}
+
+// getReference is the original element-at-a-time remote get, kept
+// selectable via Config.ReferencePath as the differential baseline for
+// the batched path.
+func (pe *PE) getReference(dt DType, dest, src uint64, nelems, stride int, target int, nonblocking bool) (Handle, error) {
+	w := dt.Width
+	step := uint64(stride * w)
 	fab := pe.rt.machine.Fabric
 	targetNode := pe.rt.machine.Nodes[target]
 	pe.chargeOLB(target)

@@ -88,6 +88,19 @@ type Config struct {
 	// instead of the default base-class forms (eld/esd through the
 	// paired register) — the two addressing classes of paper §3.2.
 	SpikeRawClass bool
+	// ReferencePath makes the native transport use the original
+	// element-at-a-time put/get implementation instead of the batched
+	// stream path. The two paths book identical fabric timestamps; the
+	// differential tests run both and compare cycle for cycle.
+	ReferencePath bool
+	// Deterministic runs PEs in lockstep: a single execution token is
+	// handed to the runnable PE with the smallest virtual clock
+	// (ties to the lowest rank), and PEs yield it at communication
+	// points. Cycle totals become exactly reproducible across runs and
+	// GOMAXPROCS settings, at the cost of serialising the host
+	// execution. Free-running mode (the default) is faster and agrees
+	// with lockstep up to contention-window granularity.
+	Deterministic bool
 }
 
 func (c *Config) fillDefaults() {
@@ -122,6 +135,7 @@ type Runtime struct {
 	pes     []*PE
 	barrier *barrierState
 	dissem  *dissemState
+	ls      *lockstep // non-nil while a Deterministic Run is active
 }
 
 // New initialises a runtime with cfg.NumPEs processing elements.
@@ -202,12 +216,27 @@ func (rt *Runtime) MaxClock() uint64 {
 // the barrier, so Run marks the barrier broken on error, releasing the
 // survivors with ErrBarrierBroken.
 func (rt *Runtime) Run(fn func(pe *PE) error) error {
+	if rt.cfg.Deterministic && rt.cfg.Transport == TransportNative {
+		// Lockstep scheduling: every PE is registered ready (at its
+		// current clock) before any goroutine starts, so the execution
+		// order is fixed regardless of how the host schedules them.
+		clocks := make([]uint64, rt.cfg.NumPEs)
+		for i, pe := range rt.pes {
+			clocks[i] = pe.clock
+		}
+		rt.ls = newLockstep(clocks)
+		defer func() { rt.ls = nil }()
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, rt.cfg.NumPEs)
 	for _, pe := range rt.pes {
 		wg.Add(1)
 		go func(p *PE) {
 			defer wg.Done()
+			if ls := rt.ls; ls != nil {
+				ls.start(p.rank)
+				defer ls.done(p.rank)
+			}
 			if err := fn(p); err != nil {
 				errs[p.rank] = err
 				rt.barrier.breakBarrier()
@@ -242,10 +271,80 @@ type PE struct {
 
 	spike *spikeEngine // lazily built for TransportSpike
 
+	// Reusable host-side workspaces for the batched transfer path and
+	// the collectives. They grow monotonically and are never returned
+	// to the garbage collector, so steady-state put/get streams and
+	// collective calls allocate nothing per call.
+	costBuf    []uint64
+	elemBuf    []uint64
+	intPool    [][]int
+	handlePool [][]Handle
+
 	// Traffic statistics.
 	puts, gets         uint64
 	putElems, getElems uint64
 	barriers           uint64
+}
+
+// costs returns the PE's reusable cost workspace, sized to n.
+func (pe *PE) costs(n int) []uint64 {
+	if cap(pe.costBuf) < n {
+		pe.costBuf = make([]uint64, n)
+	}
+	return pe.costBuf[:n]
+}
+
+// elems returns the PE's reusable element workspace, sized to n.
+func (pe *PE) elems(n int) []uint64 {
+	if cap(pe.elemBuf) < n {
+		pe.elemBuf = make([]uint64, n)
+	}
+	return pe.elemBuf[:n]
+}
+
+// BorrowInts returns a zeroed []int of length n from the PE's host
+// workspace pool. Collectives use it for displacement and count
+// vectors so steady-state calls allocate nothing; pair each borrow
+// with ReturnInts. Like every PE method it must only be called from
+// the PE's own goroutine.
+func (pe *PE) BorrowInts(n int) []int {
+	if k := len(pe.intPool); k > 0 {
+		s := pe.intPool[k-1]
+		pe.intPool = pe.intPool[:k-1]
+		if cap(s) < n {
+			return make([]int, n)
+		}
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	return make([]int, n)
+}
+
+// ReturnInts gives a slice from BorrowInts back to the pool.
+func (pe *PE) ReturnInts(s []int) {
+	pe.intPool = append(pe.intPool, s)
+}
+
+// BorrowHandles returns an empty Handle slice with capacity ≥ n from
+// the PE's workspace pool; pair with ReturnHandles.
+func (pe *PE) BorrowHandles(n int) []Handle {
+	if k := len(pe.handlePool); k > 0 {
+		s := pe.handlePool[k-1]
+		pe.handlePool = pe.handlePool[:k-1]
+		if cap(s) < n {
+			return make([]Handle, 0, n)
+		}
+		return s[:0]
+	}
+	return make([]Handle, 0, n)
+}
+
+// ReturnHandles gives a slice from BorrowHandles back to the pool.
+func (pe *PE) ReturnHandles(s []Handle) {
+	pe.handlePool = append(pe.handlePool, s)
 }
 
 // MyPE returns the PE's rank: xbrtime_mype().

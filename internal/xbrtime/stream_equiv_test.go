@@ -1,0 +1,141 @@
+package xbrtime
+
+import (
+	"fmt"
+	"testing"
+)
+
+// runEquivWorkload drives a contention-heavy mix of transfers: every PE
+// puts and gets against both neighbours with element counts straddling
+// the unroll threshold, plus a non-blocking batch and barriers. It runs
+// under the deterministic scheduler so the batched and reference paths
+// see identical booking orders and must produce identical clocks.
+func runEquivWorkload(t *testing.T, cfg Config) ([]Stats, uint64, uint64, uint64) {
+	t.Helper()
+	cfg.Deterministic = true
+	rt := MustNew(cfg)
+	defer rt.Close()
+
+	const nelems = 512
+	err := rt.Run(func(pe *PE) error {
+		n := pe.NumPEs()
+		buf, err := pe.Malloc(8 * nelems * 2)
+		if err != nil {
+			return err
+		}
+		land, err := pe.PrivateAlloc(8 * nelems * 2)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < nelems; i++ {
+			pe.Poke(TypeULong, buf+uint64(i)*8, uint64(pe.MyPE()*1000+i))
+		}
+		right := (pe.MyPE() + 1) % n
+		left := (pe.MyPE() + n - 1) % n
+
+		// Blocking puts below and above the unroll threshold.
+		for _, cnt := range []int{1, 4, 7, 8, 64, nelems} {
+			if err := pe.Put(TypeULong, buf+8*nelems, buf, cnt, 1, right); err != nil {
+				return err
+			}
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		// Blocking gets, strided and contiguous.
+		for _, cnt := range []int{3, 8, 100} {
+			if err := pe.Get(TypeULong, land, buf, cnt, 2, left); err != nil {
+				return err
+			}
+		}
+		// Non-blocking batch against both neighbours.
+		h1, err := pe.PutNB(TypeUInt, buf+8*nelems, buf, 40, 1, left)
+		if err != nil {
+			return err
+		}
+		h2, err := pe.GetNB(TypeULong, land, buf, 40, 1, right)
+		if err != nil {
+			return err
+		}
+		pe.Wait(h1)
+		pe.Wait(h2)
+		// PE-local transfer for the local path.
+		if err := pe.Put(TypeULong, land+8*64, buf, 32, 1, pe.MyPE()); err != nil {
+			return err
+		}
+		return pe.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+
+	stats := make([]Stats, rt.NumPEs())
+	for r := range stats {
+		stats[r] = rt.PE(r).Stats()
+	}
+	fab := rt.Machine().Fabric
+	return stats, fab.Messages(), fab.Bytes(), fab.ContentionCycles()
+}
+
+// TestStreamMatchesReference checks that the batched stream path books
+// exactly the same virtual-time schedule as the original
+// element-at-a-time implementation: per-PE cycle totals and fabric
+// aggregates agree cycle for cycle under the deterministic scheduler.
+func TestStreamMatchesReference(t *testing.T) {
+	for _, npes := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("npes=%d", npes), func(t *testing.T) {
+			fast, fMsgs, fBytes, fCont := runEquivWorkload(t, Config{NumPEs: npes})
+			ref, rMsgs, rBytes, rCont := runEquivWorkload(t, Config{NumPEs: npes, ReferencePath: true})
+			for r := range fast {
+				if fast[r] != ref[r] {
+					t.Errorf("PE %d stats diverge: stream %+v reference %+v", r, fast[r], ref[r])
+				}
+			}
+			if fMsgs != rMsgs || fBytes != rBytes || fCont != rCont {
+				t.Errorf("fabric totals diverge: stream msgs=%d bytes=%d cont=%d, reference msgs=%d bytes=%d cont=%d",
+					fMsgs, fBytes, fCont, rMsgs, rBytes, rCont)
+			}
+		})
+	}
+}
+
+// TestStreamMatchesReferenceValues checks that the data delivered by
+// the batched path is byte-identical to the reference path.
+func TestStreamMatchesReferenceValues(t *testing.T) {
+	for _, refPath := range []bool{false, true} {
+		rt := MustNew(Config{NumPEs: 2, ReferencePath: refPath, Deterministic: true})
+		err := rt.Run(func(pe *PE) error {
+			buf, err := pe.Malloc(8 * 128)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 64; i++ {
+				pe.Poke(TypeULong, buf+uint64(i)*8, uint64(pe.MyPE()+1)*100+uint64(i))
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+			if pe.MyPE() == 0 {
+				if err := pe.Put(TypeULong, buf+8*64, buf, 64, 1, 1); err != nil {
+					return err
+				}
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+			if pe.MyPE() == 1 {
+				for i := 0; i < 64; i++ {
+					want := uint64(100 + i)
+					if got := pe.Peek(TypeULong, buf+8*64+uint64(i)*8); got != want {
+						return fmt.Errorf("refPath=%v elem %d: got %d want %d", refPath, i, got, want)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.Close()
+	}
+}

@@ -1,0 +1,151 @@
+// Package diff parses `go test -bench` output and compares two runs.
+package diff
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one parsed benchmark line.
+type Bench struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   float64 `json:"b_per_op,omitempty"`
+	AllocsOp float64 `json:"allocs_per_op,omitempty"`
+	MBPerSec float64 `json:"mb_per_s,omitempty"`
+}
+
+// Entry is one benchmark's before/after record.
+type Entry struct {
+	Name       string   `json:"name"`
+	Old        *Bench   `json:"old,omitempty"`
+	New        Bench    `json:"new"`
+	Speedup    float64  `json:"speedup,omitempty"` // old ns/op ÷ new ns/op
+	AllocDelta *float64 `json:"alloc_delta,omitempty"`
+}
+
+// Report is the full comparison, serialised to BENCH_*.json.
+type Report struct {
+	Label   string  `json:"label"`
+	Entries []Entry `json:"benches"`
+}
+
+// Parse extracts benchmark lines from `go test -bench` output. A line
+// looks like:
+//
+//	BenchmarkPutStream4096-8   598   415030 ns/op   78.95 MB/s   164 B/op   0 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so runs from different hosts
+// compare by benchmark name.
+func Parse(out []byte) (map[string]Bench, error) {
+	res := make(map[string]Bench)
+	for _, line := range strings.Split(string(out), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := Bench{Name: name}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+				ok = true
+			case "B/op":
+				b.BPerOp = v
+			case "allocs/op":
+				b.AllocsOp = v
+			case "MB/s":
+				b.MBPerSec = v
+			}
+		}
+		if ok {
+			res[name] = b
+		}
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return res, nil
+}
+
+// Compare builds a report from a baseline (may be nil/empty) and a
+// current run. label defaults to today's date.
+func Compare(oldOut, newOut []byte, label string) (*Report, error) {
+	newB, err := Parse(newOut)
+	if err != nil {
+		return nil, fmt.Errorf("new output: %w", err)
+	}
+	var oldB map[string]Bench
+	if len(oldOut) > 0 {
+		oldB, err = Parse(oldOut)
+		if err != nil {
+			return nil, fmt.Errorf("old output: %w", err)
+		}
+	}
+	if label == "" {
+		label = time.Now().Format("2006-01-02")
+	}
+	r := &Report{Label: label}
+	names := make([]string, 0, len(newB))
+	for n := range newB {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e := Entry{Name: n, New: newB[n]}
+		if o, found := oldB[n]; found {
+			oc := o
+			e.Old = &oc
+			if e.New.NsPerOp > 0 {
+				e.Speedup = o.NsPerOp / e.New.NsPerOp
+			}
+			d := e.New.AllocsOp - o.AllocsOp
+			e.AllocDelta = &d
+		}
+		r.Entries = append(r.Entries, e)
+	}
+	return r, nil
+}
+
+// Table renders the report for terminals.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %14s %9s %12s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs")
+	for _, e := range r.Entries {
+		oldNs, oldAllocs, speed := "-", "-", "-"
+		if e.Old != nil {
+			oldNs = fmt.Sprintf("%.0f", e.Old.NsPerOp)
+			oldAllocs = fmt.Sprintf("%.0f", e.Old.AllocsOp)
+			speed = fmt.Sprintf("%.2fx", e.Speedup)
+		}
+		fmt.Fprintf(&b, "%-28s %14s %14.0f %9s %12s %12.0f\n",
+			e.Name, oldNs, e.New.NsPerOp, speed, oldAllocs, e.New.AllocsOp)
+	}
+	return b.String()
+}
+
+// WriteJSON writes the report to path, replacing any previous content.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

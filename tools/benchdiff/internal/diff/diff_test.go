@@ -1,0 +1,122 @@
+package diff
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const oldOut = `goos: linux
+goarch: amd64
+pkg: xbgas/internal/bench
+BenchmarkPutElem-8        	  100000	      1200.0 ns/op	       5 B/op	       2 allocs/op
+BenchmarkPutStream4096-8  	     100	   1200000 ns/op	  27.31 MB/s	   65536 B/op	    4096 allocs/op
+BenchmarkGUPS8PE-8        	      10	 100000000 ns/op	  500000 B/op	    9000 allocs/op
+PASS
+`
+
+const newOut = `goos: linux
+goarch: amd64
+pkg: xbgas/internal/bench
+BenchmarkPutElem-16       	  500000	       300.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPutStream4096-16 	     600	    400000 ns/op	  81.92 MB/s	     164 B/op	       0 allocs/op
+BenchmarkGUPS8PE-16       	      30	  40000000 ns/op	  250000 B/op	    1000 allocs/op
+BenchmarkGetElem-16       	  400000	       350.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse([]byte(newOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benches, want 4", len(got))
+	}
+	b := got["BenchmarkPutStream4096"]
+	if b.NsPerOp != 400000 || b.AllocsOp != 0 || b.BPerOp != 164 || b.MBPerSec != 81.92 {
+		t.Fatalf("bad parse: %+v", b)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse([]byte("no benchmarks here\n")); err == nil {
+		t.Fatal("want error for output without benchmark lines")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	r, err := Compare([]byte(oldOut), []byte(newOut), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 4 {
+		t.Fatalf("got %d entries, want 4", len(r.Entries))
+	}
+	byName := map[string]Entry{}
+	for _, e := range r.Entries {
+		byName[e.Name] = e
+	}
+	e := byName["BenchmarkPutElem"]
+	if e.Old == nil || e.Speedup < 3.99 || e.Speedup > 4.01 {
+		t.Fatalf("PutElem speedup: %+v", e)
+	}
+	if d := *e.AllocDelta; d != -2 {
+		t.Fatalf("PutElem alloc delta %v, want -2", d)
+	}
+	if g := byName["BenchmarkGetElem"]; g.Old != nil || g.Speedup != 0 {
+		t.Fatalf("GetElem should have no baseline: %+v", g)
+	}
+}
+
+func TestCompareWithoutBaseline(t *testing.T) {
+	r, err := Compare(nil, []byte(newOut), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range r.Entries {
+		if e.Old != nil {
+			t.Fatalf("unexpected baseline on %s", e.Name)
+		}
+	}
+	if r.Label == "" {
+		t.Fatal("label should default to the date")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r, err := Compare([]byte(oldOut), []byte(newOut), "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != "rt" || len(back.Entries) != len(r.Entries) {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestTableRenders(t *testing.T) {
+	r, err := Compare([]byte(oldOut), []byte(newOut), "tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := r.Table()
+	for _, want := range []string{"BenchmarkPutElem", "4.00x", "speedup"} {
+		if !strings.Contains(tab, want) {
+			t.Fatalf("table missing %q:\n%s", want, tab)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command benchdiff compares two `go test -bench` outputs and records
+// the result as JSON, giving performance PRs a durable trajectory.
+//
+// Usage:
+//
+//	benchdiff -old old.txt -new new.txt [-json BENCH_2026-08-05.json]
+//	benchdiff -new new.txt -json BENCH_2026-08-05.json
+//
+// With both inputs it prints a per-benchmark table of old/new ns/op,
+// the speedup factor, and allocs/op, and writes (or updates) the JSON
+// file when -json is given. With only -new it records the current
+// numbers without a comparison column.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xbgas/tools/benchdiff/internal/diff"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline `go test -bench` output (optional)")
+	newPath := flag.String("new", "", "current `go test -bench` output (required)")
+	jsonPath := flag.String("json", "", "JSON file to write/update (optional)")
+	label := flag.String("label", "", "label stored in the JSON record (default: current date)")
+	flag.Parse()
+
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	newData, err := os.ReadFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	var oldData []byte
+	if *oldPath != "" {
+		oldData, err = os.ReadFile(*oldPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	report, err := diff.Compare(oldData, newData, *label)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(report.Table())
+	if *jsonPath != "" {
+		if err := report.WriteJSON(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
