@@ -27,8 +27,10 @@ bench:
 figures:
 	$(GO) run ./cmd/xbgas-bench -all
 
+# gofmt -l only lists offenders; fail the target (and CI) when the
+# list is non-empty.
 lint:
-	gofmt -l .
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
 generate:

@@ -28,6 +28,7 @@ import (
 	"runtime/pprof"
 
 	"xbgas/internal/bench"
+	"xbgas/internal/obs"
 )
 
 func main() {
@@ -56,6 +57,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to `file`")
+
+		traceOut = fs.String("trace", "", "write a Chrome trace-event JSON timeline of the GUPS/IS runs to `file` (loads in Perfetto)")
+		metrics  = fs.Bool("metrics", false, "print event counters and latency histograms after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -96,6 +100,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	is.TotalKeys = *isKeys
 	is.MaxKey = *isMaxKey
 	is.Iterations = *isIters
+
+	// Observability rides through the kernels' runtime configuration:
+	// every runtime the GUPS/IS sweeps construct attaches to the same
+	// recorder, so the timeline shows one Perfetto process per PE count.
+	var rec *obs.Recorder
+	if *traceOut != "" || *metrics {
+		rec = obs.NewRecorder(obs.Options{Trace: *traceOut != "", Metrics: *metrics})
+		gups.Runtime.Obs = rec
+		is.Runtime.Obs = rec
+	}
 
 	w := stdout
 	failed := false
@@ -196,6 +210,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		run("ablation "+*ablation, fn)
 		did = true
+	}
+	if rec != nil && did {
+		if *metrics {
+			fmt.Fprint(w, rec.MetricsReport())
+		}
+		if *traceOut != "" {
+			if err := rec.WriteTraceFile(*traceOut); err != nil {
+				fmt.Fprintf(stderr, "xbgas-bench: %v\n", err)
+				return 1
+			}
+		}
 	}
 	if failed {
 		return 1

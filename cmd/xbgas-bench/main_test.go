@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -58,5 +61,38 @@ func TestRunUsageAndErrors(t *testing.T) {
 	errBuf.Reset()
 	if code := run([]string{"-figure", "4", "-gups-table", "1000"}, &out, &errBuf); code != 1 {
 		t.Errorf("bad table size: exit %d (%s)", code, errBuf.String())
+	}
+}
+
+func TestRunGUPSWithTraceAndMetrics(t *testing.T) {
+	var out, errBuf strings.Builder
+	path := filepath.Join(t.TempDir(), "gups.json")
+	args := []string{"-gups", "2", "-gups-table", "4096", "-gups-updates", "64",
+		"-trace", path, "-metrics"}
+	if code := run(args, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "metrics: run") {
+		t.Errorf("metrics report missing: %s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var sawPut bool
+	for _, ev := range tf.TraceEvents {
+		if ev["name"] == "put" || ev["name"] == "get" {
+			sawPut = true
+			break
+		}
+	}
+	if !sawPut {
+		t.Errorf("GUPS trace has no put/get spans (%d events)", len(tf.TraceEvents))
 	}
 }

@@ -5,7 +5,9 @@
 //
 //	xbgas-run [-nodes N] [-node K] [-max M] file.s
 //	xbgas-run -spmd [-nodes N] file.s     # same program on every node
-//	xbgas-run -trace file.s               # instruction trace on stderr
+//	xbgas-run -itrace - file.s            # instruction trace on stderr
+//	xbgas-run -trace out.json file.s      # Perfetto timeline of the run
+//	xbgas-run -metrics file.s             # counters + histograms on stderr
 //
 // The program runs on an N-node machine with the paper's memory
 // configuration (256-entry TLB, 8-way 16KB L1 / 8MB L2) on a
@@ -22,6 +24,7 @@ import (
 	"os"
 
 	"xbgas/internal/asm"
+	"xbgas/internal/obs"
 	"xbgas/internal/sim"
 )
 
@@ -33,11 +36,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xbgas-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		nodes = fs.Int("nodes", 2, "number of simulated nodes")
-		node  = fs.Int("node", 0, "node to run the program on")
-		max   = fs.Uint64("max", 100_000_000, "instruction budget (0 = unlimited)")
-		spmd  = fs.Bool("spmd", false, "run the program on every node concurrently (enables the barrier ecall)")
-		trace = fs.Bool("trace", false, "print an instruction trace to stderr")
+		nodes   = fs.Int("nodes", 2, "number of simulated nodes")
+		node    = fs.Int("node", 0, "node to run the program on")
+		max     = fs.Uint64("max", 100_000_000, "instruction budget (0 = unlimited)")
+		spmd    = fs.Bool("spmd", false, "run the program on every node concurrently (enables the barrier ecall)")
+		itrace  = fs.String("itrace", "", "write an instruction trace to `file` (\"-\" = stderr; single-node runs)")
+		trace   = fs.String("trace", "", "write a Chrome trace-event JSON timeline to `file` (loads in Perfetto)")
+		metrics = fs.Bool("metrics", false, "print event counters and latency histograms to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,6 +75,31 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// Observability: one recorder run covering every core the machine
+	// loads (the SPMD cores included) plus the fabric's NIC tracks.
+	var rec *obs.Recorder
+	if *trace != "" || *metrics {
+		rec = obs.NewRecorder(obs.Options{Trace: *trace != "", Metrics: *metrics})
+		m.SetObs(rec.Attach(fmt.Sprintf("%d nodes", *nodes), *nodes))
+	}
+	// finishObs exports whatever was recorded; called after the run on
+	// both the success and fault paths so partial timelines survive.
+	finishObs := func() bool {
+		if rec == nil {
+			return true
+		}
+		if *metrics {
+			fmt.Fprint(stderr, rec.MetricsReport())
+		}
+		if *trace != "" {
+			if err := rec.WriteTraceFile(*trace); err != nil {
+				fmt.Fprintf(stderr, "xbgas-run: %v\n", err)
+				return false
+			}
+		}
+		return true
+	}
+
 	if *spmd {
 		results, err := m.RunSPMD(prog, *max)
 		for rank, r := range results {
@@ -82,8 +112,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				rank, r.Core.ExitCode, r.Core.Instret, r.Core.Cycles,
 				r.Core.RemoteLoads, r.Core.RemoteStores)
 		}
+		ok := finishObs()
 		if err != nil {
 			fmt.Fprintf(stderr, "xbgas-run: %v\n", err)
+			return 1
+		}
+		if !ok {
 			return 1
 		}
 		return 0
@@ -94,13 +128,27 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "xbgas-run: %v\n", err)
 		return 1
 	}
-	if *trace {
-		core.SetTrace(sim.NewWriterTrace(stderr))
+	if *itrace != "" {
+		w := io.Writer(stderr)
+		if *itrace != "-" {
+			f, err := os.Create(*itrace)
+			if err != nil {
+				fmt.Fprintf(stderr, "xbgas-run: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		core.SetTrace(sim.NewWriterTrace(w))
 	}
 	runErr := core.Run(*max)
 	stdout.Write(core.Output.Bytes()) //nolint:errcheck
+	ok := finishObs()
 	if runErr != nil {
 		fmt.Fprintf(stderr, "xbgas-run: %v\n", runErr)
+		return 1
+	}
+	if !ok {
 		return 1
 	}
 	fmt.Fprintf(stderr,

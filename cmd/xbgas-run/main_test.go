@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -61,12 +64,68 @@ func TestRunSPMD(t *testing.T) {
 
 func TestRunTrace(t *testing.T) {
 	var out, errBuf strings.Builder
-	code := run([]string{"-trace"}, strings.NewReader("li a7, 93\necall"), &out, &errBuf)
+	code := run([]string{"-itrace", "-"}, strings.NewReader("li a7, 93\necall"), &out, &errBuf)
 	if code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	if !strings.Contains(errBuf.String(), "ecall") {
 		t.Errorf("trace missing: %q", errBuf.String())
+	}
+}
+
+func TestRunTraceToFile(t *testing.T) {
+	var out, errBuf strings.Builder
+	path := filepath.Join(t.TempDir(), "itrace.txt")
+	code := run([]string{"-itrace", path}, strings.NewReader("li a7, 93\necall"), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "ecall") {
+		t.Errorf("instruction trace file missing ecall: %q", data)
+	}
+	if strings.Contains(errBuf.String(), "ecall") {
+		t.Errorf("trace leaked to stderr: %q", errBuf.String())
+	}
+}
+
+func TestRunChromeTraceAndMetrics(t *testing.T) {
+	var out, errBuf strings.Builder
+	path := filepath.Join(t.TempDir(), "trace.json")
+	code := run([]string{"-spmd", "-nodes", "2", "-trace", path, "-metrics"},
+		strings.NewReader("li a7, 503\necall\nli a7, 93\necall"), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		if n, ok := ev["name"].(string); ok {
+			names[n] = true
+		}
+	}
+	for _, want := range []string{"process_name", "thread_name", "barrier"} {
+		if !names[want] {
+			t.Errorf("trace missing %q events; have %v", want, names)
+		}
+	}
+	if !strings.Contains(errBuf.String(), "metrics: run") {
+		t.Errorf("metrics report missing from stderr: %q", errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "barriers") {
+		t.Errorf("metrics report missing barrier column: %q", errBuf.String())
 	}
 }
 

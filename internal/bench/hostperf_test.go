@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"xbgas/internal/core"
+	"xbgas/internal/obs"
 	"xbgas/internal/xbrtime"
 )
 
@@ -131,6 +132,26 @@ func BenchmarkGUPS8PE(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		if _, err := RunGUPS(p, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGUPS8PEObs is BenchmarkGUPS8PE with tracing and metrics
+// live; docs/PERF.md compares the pair to bound the enabled-path cost.
+// A fresh recorder per iteration keeps the retained event buffers from
+// compounding across b.N.
+func BenchmarkGUPS8PEObs(b *testing.B) {
+	p := GUPSParams{
+		TableWords:   1 << 18,
+		UpdatesPerPE: 1024,
+		Lookahead:    64,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Runtime.Obs = obs.NewRecorder(obs.Options{Trace: true, Metrics: true})
 		if _, err := RunGUPS(p, 8); err != nil {
 			b.Fatal(err)
 		}

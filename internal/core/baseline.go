@@ -15,6 +15,8 @@ func BroadcastLinear(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems,
 	if err := validate(pe, dt, nelems, stride, root); err != nil {
 		return err
 	}
+	cs := pe.StartCollective("broadcast_linear", root, nelems)
+	defer pe.FinishCollective(cs)
 	if pe.MyPE() == root {
 		if dest != src {
 			timedCopy(pe, dt, dest, src, nelems, stride, stride)
@@ -40,6 +42,8 @@ func ReduceLinear(pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint6
 	if _, err := Combine(dt, op, 0, 0); err != nil {
 		return err
 	}
+	cs := pe.StartCollective("reduce_linear", root, nelems)
+	defer pe.FinishCollective(cs)
 	w := uint64(dt.Width)
 	span := spanBytes(dt, nelems, stride)
 	sBuf, err := pe.Malloc(span)
@@ -95,6 +99,8 @@ func ScatterLinear(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, p
 	if err := validateVector(pe, dt, peMsgs, peDisp, nelems, root); err != nil {
 		return err
 	}
+	cs := pe.StartCollective("scatter_linear", root, nelems)
+	defer pe.FinishCollective(cs)
 	w := uint64(dt.Width)
 	if pe.MyPE() == root {
 		for p := 0; p < pe.NumPEs(); p++ {
@@ -119,6 +125,8 @@ func GatherLinear(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, pe
 	if err := validateVector(pe, dt, peMsgs, peDisp, nelems, root); err != nil {
 		return err
 	}
+	cs := pe.StartCollective("gather_linear", root, nelems)
+	defer pe.FinishCollective(cs)
 	w := uint64(dt.Width)
 	me := pe.MyPE()
 	most := 0

@@ -28,6 +28,8 @@ func BroadcastScatterAllgather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint6
 	me := pe.MyPE()
 	vRank := VirtualRank(me, root, nPEs)
 	w := uint64(dt.Width)
+	cs := pe.StartCollective("broadcast_sag", root, nelems)
+	defer pe.FinishCollective(cs)
 
 	// Chunking in virtual-rank order: chunk v lives at element offset
 	// disp[v] of the full payload and ends up owned by virtual rank v
@@ -72,6 +74,7 @@ func BroadcastScatterAllgather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint6
 	for r := 0; r < nPEs-1; r++ {
 		sendChunk := (vRank - r + nPEs*2) % nPEs
 		sendOff := dest + uint64(dispV[sendChunk])*w
+		rs := pe.StartRound("broadcast_sag.round", r, right, msgs[sendChunk])
 		if msgs[sendChunk] > 0 {
 			if err := pe.Put(dt, sendOff, sendOff, msgs[sendChunk], 1, right); err != nil {
 				return err
@@ -80,6 +83,7 @@ func BroadcastScatterAllgather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint6
 		if err := pe.Barrier(); err != nil {
 			return err
 		}
+		pe.FinishRound(rs)
 	}
 	return nil
 }

@@ -26,6 +26,8 @@ func Broadcast(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems, strid
 	nPEs := pe.NumPEs()
 	vRank := VirtualRank(pe.MyPE(), root, nPEs)
 	rounds := CeilLog2(nPEs)
+	cs := pe.StartCollective("broadcast", root, nelems)
+	defer pe.FinishCollective(cs)
 
 	// The root stages the values at its own dest so that (a) the
 	// broadcast postcondition holds on the root too and (b) every
@@ -37,18 +39,29 @@ func Broadcast(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems, strid
 	mask := (1 << rounds) - 1
 	for i := rounds - 1; i >= 0; i-- {
 		mask ^= 1 << i
+		// Resolve this round's partner before opening the round span so
+		// the span carries the peer and element count from the start.
+		peer := -1
 		if vRank&mask == 0 && vRank&(1<<i) == 0 {
 			vPart := (vRank ^ (1 << i)) % nPEs
-			logPart := LogicalRank(vPart, root, nPEs)
 			if vRank < vPart {
-				if err := pe.Put(dt, dest, dest, nelems, stride, logPart); err != nil {
-					return err
-				}
+				peer = LogicalRank(vPart, root, nPEs)
+			}
+		}
+		moved := 0
+		if peer >= 0 {
+			moved = nelems
+		}
+		rs := pe.StartRound("broadcast.round", rounds-1-i, peer, moved)
+		if peer >= 0 {
+			if err := pe.Put(dt, dest, dest, nelems, stride, peer); err != nil {
+				return err
 			}
 		}
 		if err := pe.Barrier(); err != nil {
 			return err
 		}
+		pe.FinishRound(rs)
 	}
 	return nil
 }

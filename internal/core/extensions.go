@@ -18,6 +18,8 @@ import (
 // hand. src must be symmetric; dest must be symmetric as well since the
 // broadcast writes it on every PE.
 func AllReduce(pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint64, nelems, stride int) error {
+	cs := pe.StartCollective("allreduce", 0, nelems)
+	defer pe.FinishCollective(cs)
 	if err := Reduce(pe, dt, op, dest, src, nelems, stride, 0); err != nil {
 		return err
 	}
@@ -29,6 +31,8 @@ func AllReduce(pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint64, 
 // on every PE: the gather-to-all call of §7 and the analogue of
 // OpenSHMEM's collect. dest must be symmetric.
 func AllGather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp []int, nelems int) error {
+	cs := pe.StartCollective("allgather", 0, nelems)
+	defer pe.FinishCollective(cs)
 	if err := Gather(pe, dt, dest, src, peMsgs, peDisp, nelems, 0); err != nil {
 		return err
 	}
@@ -56,6 +60,8 @@ func Alltoall(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems int) er
 	me := pe.MyPE()
 	w := uint64(dt.Width)
 	block := uint64(nelems) * w
+	cs := pe.StartCollective("alltoall", -1, nelems*n)
+	defer pe.FinishCollective(cs)
 
 	// Local block moves through the hierarchy like any other copy.
 	timedCopy(pe, dt, dest+uint64(me)*block, src+uint64(me)*block, nelems, 1, 1)

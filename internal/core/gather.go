@@ -28,6 +28,8 @@ func Gather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp [
 	vRank := VirtualRank(me, root, nPEs)
 	rounds := CeilLog2(nPEs)
 	w := uint64(dt.Width)
+	cs := pe.StartCollective("gather", root, nelems)
+	defer pe.FinishCollective(cs)
 
 	adj := adjustedDisplacements(pe, peMsgs, root, nPEs)
 	defer pe.ReturnInts(adj)
@@ -52,26 +54,30 @@ func Gather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp [
 	mask := (1 << rounds) - 1
 	for i := 0; i < rounds; i++ {
 		mask ^= 1 << i
+		// Partner and block size resolved before the round span opens.
+		peer, msgSize, vPart := -1, 0, 0
 		if vRank|mask == mask && vRank&(1<<i) == 0 {
-			vPart := (vRank ^ (1 << i)) % nPEs
-			logPart := LogicalRank(vPart, root, nPEs)
-			if vRank < vPart {
+			if p := (vRank ^ (1 << i)) % nPEs; vRank < p {
 				// The partner has aggregated its subtree's block by now;
 				// pull it in one contiguous get.
-				msgSize := subtreeCount(adj, vPart, i, nPEs)
-				if msgSize > 0 {
-					off := sBuf + uint64(adj[vPart])*w
-					if err := pe.Get(dt, off, off, msgSize, 1, logPart); err != nil {
-						pe.Free(sBuf) //nolint:errcheck
-						return err
-					}
-				}
+				peer = LogicalRank(p, root, nPEs)
+				vPart = p
+				msgSize = subtreeCount(adj, p, i, nPEs)
+			}
+		}
+		rs := pe.StartRound("gather.round", i, peer, msgSize)
+		if peer >= 0 && msgSize > 0 {
+			off := sBuf + uint64(adj[vPart])*w
+			if err := pe.Get(dt, off, off, msgSize, 1, peer); err != nil {
+				pe.Free(sBuf) //nolint:errcheck
+				return err
 			}
 		}
 		if err := pe.Barrier(); err != nil {
 			pe.Free(sBuf) //nolint:errcheck
 			return err
 		}
+		pe.FinishRound(rs)
 	}
 
 	// Root reorders the staging buffer (virtual order) into dest

@@ -33,6 +33,8 @@ func Reduce(pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint64, nel
 	rounds := CeilLog2(nPEs)
 	w := uint64(dt.Width)
 	span := spanBytes(dt, nelems, stride)
+	cs := pe.StartCollective("reduce", root, nelems)
+	defer pe.FinishCollective(cs)
 
 	// Symmetric staging buffer (same address on every PE) and a private
 	// landing buffer for partners' partials.
@@ -57,32 +59,42 @@ func Reduce(pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint64, nel
 	mask := (1 << rounds) - 1
 	for i := 0; i < rounds; i++ {
 		mask ^= 1 << i
+		// Partner resolution up front so the round span opens annotated.
+		peer := -1
 		if vRank|mask == mask && vRank&(1<<i) == 0 {
 			vPart := (vRank ^ (1 << i)) % nPEs
-			logPart := LogicalRank(vPart, root, nPEs)
 			if vRank < vPart {
-				if err := pe.Get(dt, lBuf, sBuf, nelems, stride, logPart); err != nil {
+				peer = LogicalRank(vPart, root, nPEs)
+			}
+		}
+		moved := 0
+		if peer >= 0 {
+			moved = nelems
+		}
+		rs := pe.StartRound("reduce.round", i, peer, moved)
+		if peer >= 0 {
+			if err := pe.Get(dt, lBuf, sBuf, nelems, stride, peer); err != nil {
+				pe.Free(sBuf) //nolint:errcheck
+				return err
+			}
+			for j := 0; j < nelems; j++ {
+				off := uint64(j*stride) * w
+				a := pe.ReadElem(dt, sBuf+off)
+				b := pe.ReadElem(dt, lBuf+off)
+				r, err := Combine(dt, op, a, b)
+				if err != nil {
 					pe.Free(sBuf) //nolint:errcheck
 					return err
 				}
-				for j := 0; j < nelems; j++ {
-					off := uint64(j*stride) * w
-					a := pe.ReadElem(dt, sBuf+off)
-					b := pe.ReadElem(dt, lBuf+off)
-					r, err := Combine(dt, op, a, b)
-					if err != nil {
-						pe.Free(sBuf) //nolint:errcheck
-						return err
-					}
-					pe.Advance(cost)
-					pe.WriteElem(dt, sBuf+off, r)
-				}
+				pe.Advance(cost)
+				pe.WriteElem(dt, sBuf+off, r)
 			}
 		}
 		if err := pe.Barrier(); err != nil {
 			pe.Free(sBuf) //nolint:errcheck
 			return err
 		}
+		pe.FinishRound(rs)
 	}
 
 	// Root migrates the final values to dest.

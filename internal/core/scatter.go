@@ -30,6 +30,8 @@ func Scatter(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp 
 	vRank := VirtualRank(me, root, nPEs)
 	rounds := CeilLog2(nPEs)
 	w := uint64(dt.Width)
+	cs := pe.StartCollective("scatter", root, nelems)
+	defer pe.FinishCollective(cs)
 
 	adj := adjustedDisplacements(pe, peMsgs, root, nPEs)
 	defer pe.ReturnInts(adj)
@@ -62,26 +64,31 @@ func Scatter(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp 
 	mask := (1 << rounds) - 1
 	for i := rounds - 1; i >= 0; i-- {
 		mask ^= 1 << i
+		// Resolve the partner and block size before opening the round
+		// span so it opens fully annotated.
+		peer, msgSize, vPart := -1, 0, 0
 		if vRank&mask == 0 && vRank&(1<<i) == 0 {
-			vPart := (vRank ^ (1 << i)) % nPEs
-			logPart := LogicalRank(vPart, root, nPEs)
-			if vRank < vPart {
+			if p := (vRank ^ (1 << i)) % nPEs; vRank < p {
 				// One contiguous block: the partner's elements plus all
 				// of its children's, to be forwarded in later rounds.
-				msgSize := subtreeCount(adj, vPart, i, nPEs)
-				if msgSize > 0 {
-					off := sBuf + uint64(adj[vPart])*w
-					if err := pe.Put(dt, off, off, msgSize, 1, logPart); err != nil {
-						pe.Free(sBuf) //nolint:errcheck
-						return err
-					}
-				}
+				peer = LogicalRank(p, root, nPEs)
+				vPart = p
+				msgSize = subtreeCount(adj, p, i, nPEs)
+			}
+		}
+		rs := pe.StartRound("scatter.round", rounds-1-i, peer, msgSize)
+		if peer >= 0 && msgSize > 0 {
+			off := sBuf + uint64(adj[vPart])*w
+			if err := pe.Put(dt, off, off, msgSize, 1, peer); err != nil {
+				pe.Free(sBuf) //nolint:errcheck
+				return err
 			}
 		}
 		if err := pe.Barrier(); err != nil {
 			pe.Free(sBuf) //nolint:errcheck
 			return err
 		}
+		pe.FinishRound(rs)
 	}
 
 	// Relocate this PE's block from the staging buffer to dest.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"xbgas/internal/obs"
 )
 
 // Config parameterises the network cost model. Times are in core cycles
@@ -95,6 +97,12 @@ type shard struct {
 	// column of the traffic matrix), owned by the shard lock.
 	matMsgs  []uint64
 	matBytes []uint64
+	// NIC-side contention seen by messages into this destination:
+	// cumulative queueing delay and the worst single-message queue
+	// depth, both in cycles and excluding the shared switch's share
+	// (which is not attributable to one link). Owned by the shard lock.
+	stall     uint64
+	peakQueue uint64
 }
 
 // Fabric is a contention-aware network shared by all simulated nodes.
@@ -127,6 +135,11 @@ type Fabric struct {
 	// injection. It is copy-on-write: the hot path pays one atomic
 	// load, and nil means "all links up".
 	downLinks atomic.Pointer[map[[2]int]bool]
+
+	// obs, when non-nil, receives stream-booking events on per-NIC
+	// timeline tracks and fabric-level stream metrics. Set before the
+	// simulation starts; hot paths pay a single nil test when unset.
+	obs *obs.Run
 
 	messages atomic.Uint64
 	bytes    atomic.Uint64
@@ -245,6 +258,10 @@ func (f *Fabric) Send(src, dst int, n int, now uint64) (arrive uint64, err error
 	queue := sh.acc.book(f.window, f.queueCap, now, f.recvService(n))
 	sh.matMsgs[src]++
 	sh.matBytes[src] += uint64(n)
+	sh.stall += queue
+	if queue > sh.peakQueue {
+		sh.peakQueue = queue
+	}
 	sh.mu.Unlock()
 
 	if f.cfg.SwitchGap > 0 {
@@ -258,6 +275,9 @@ func (f *Fabric) Send(src, dst int, n int, now uint64) (arrive uint64, err error
 	f.stallCyc.Add(queue)
 	f.messages.Add(1)
 	f.bytes.Add(uint64(n))
+	if f.obs != nil {
+		f.obs.FabricMetrics().AddStall(queue)
+	}
 	return now + queue + transit, nil
 }
 
@@ -335,6 +355,7 @@ func (f *Fabric) Reset() {
 		for s := range sh.matMsgs {
 			sh.matMsgs[s], sh.matBytes[s] = 0, 0
 		}
+		sh.stall, sh.peakQueue = 0, 0
 		sh.mu.Unlock()
 	}
 	f.switchMu.Lock()

@@ -1,0 +1,44 @@
+package fabric
+
+import "xbgas/internal/obs"
+
+// SetObs attaches an observability run to the fabric. Stream bookings
+// (SendStream, FetchStream) then emit one span per stream on the
+// destination NIC's timeline track and feed the run's fabric metrics;
+// single-message Sends contribute queueing delay to the stall counter.
+// Pass nil to detach. Not safe to call concurrently with traffic.
+func (f *Fabric) SetObs(run *obs.Run) { f.obs = run }
+
+// NICStats is the per-destination-NIC view of fabric contention: the
+// traffic that arrived at the NIC and the queueing it caused there.
+// StallCycles and PeakQueue count NIC-side queueing only; the shared
+// switch's contribution is fabric-wide and reported separately by
+// ContentionCycles.
+type NICStats struct {
+	Msgs        uint64 // messages received
+	Bytes       uint64 // payload bytes received
+	StallCycles uint64 // cumulative queueing delay at this NIC
+	PeakQueue   uint64 // worst single-message queueing delay, cycles
+}
+
+// NICStats returns one entry per destination node.
+func (f *Fabric) NICStats() []NICStats {
+	out := make([]NICStats, f.topo.Nodes())
+	for d := range f.recv {
+		sh := &f.recv[d]
+		sh.mu.Lock()
+		var msgs, bytes uint64
+		for s := range sh.matMsgs {
+			msgs += sh.matMsgs[s]
+			bytes += sh.matBytes[s]
+		}
+		out[d] = NICStats{
+			Msgs:        msgs,
+			Bytes:       bytes,
+			StallCycles: sh.stall,
+			PeakQueue:   sh.peakQueue,
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

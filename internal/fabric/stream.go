@@ -1,6 +1,10 @@
 package fabric
 
-import "fmt"
+import (
+	"fmt"
+
+	"xbgas/internal/obs"
+)
 
 // ringWindows is the number of congestion-window slots each booking
 // account keeps resident (a power of two). With the default 2048-cycle
@@ -133,6 +137,10 @@ func (f *Fabric) SendStream(s Stream) (endIssue, lastArrive uint64, err error) {
 		}
 		issue += s.PreCost[i]
 		queue := sh.acc.book(f.window, f.queueCap, issue, recvSvc)
+		sh.stall += queue
+		if queue > sh.peakQueue {
+			sh.peakQueue = queue
+		}
 		if useSwitch {
 			if qs := f.switchAc.book(f.window, f.queueCap, issue, swSvc); qs > queue {
 				queue = qs
@@ -155,6 +163,12 @@ func (f *Fabric) SendStream(s Stream) (endIssue, lastArrive uint64, err error) {
 	}
 	sh.matMsgs[s.Src] += sent
 	sh.matBytes[s.Src] += sent * uint64(s.ElemBytes)
+	if f.obs != nil && sent > 0 {
+		// The destination NIC's track is appended under its shard lock,
+		// so one goroutine writes it at a time.
+		f.obs.FabricTrack(s.Dst).Complete("send_stream", s.Start, lastArrive,
+			obs.Args{Rank: s.Src, Peer: s.Dst, Round: -1, Nelems: int(sent)})
+	}
 	if useSwitch {
 		f.switchMu.Unlock()
 	}
@@ -163,6 +177,9 @@ func (f *Fabric) SendStream(s Stream) (endIssue, lastArrive uint64, err error) {
 	f.messages.Add(sent)
 	f.bytes.Add(sent * uint64(s.ElemBytes))
 	f.stallCyc.Add(stall)
+	if f.obs != nil && sent > 0 {
+		f.obs.FabricMetrics().ObserveStream(false, int(sent), stall)
+	}
 	if err != nil {
 		return 0, 0, err
 	}
@@ -242,6 +259,10 @@ func (f *Fabric) FetchStream(q Fetch) (endIssue, lastDone uint64, err error) {
 		}
 		t := issue + q.ReqCost
 		qr := shReq.acc.book(f.window, f.queueCap, t, reqSvc)
+		shReq.stall += qr
+		if qr > shReq.peakQueue {
+			shReq.peakQueue = qr
+		}
 		if useSwitch {
 			if qs := f.switchAc.book(f.window, f.queueCap, t, swReqSvc); qs > qr {
 				qr = qs
@@ -257,6 +278,10 @@ func (f *Fabric) FetchStream(q Fetch) (endIssue, lastDone uint64, err error) {
 			break
 		}
 		qd := shData.acc.book(f.window, f.queueCap, req, dataSvc)
+		shData.stall += qd
+		if qd > shData.peakQueue {
+			shData.peakQueue = qd
+		}
 		if useSwitch {
 			if qs := f.switchAc.book(f.window, f.queueCap, req, swDataSvc); qs > qd {
 				qd = qs
@@ -283,6 +308,11 @@ func (f *Fabric) FetchStream(q Fetch) (endIssue, lastDone uint64, err error) {
 	shReq.matBytes[q.Src] += reqSent * uint64(q.ReqBytes)
 	shData.matMsgs[q.Dst] += dataSent
 	shData.matBytes[q.Dst] += dataSent * uint64(q.RespBytes)
+	if f.obs != nil && reqSent > 0 {
+		// Appended under the serving node's shard lock (held here).
+		f.obs.FabricTrack(q.Dst).Complete("fetch_stream", q.Start, lastDone,
+			obs.Args{Rank: q.Src, Peer: q.Dst, Round: -1, Nelems: int(reqSent)})
+	}
 	if useSwitch {
 		f.switchMu.Unlock()
 	}
@@ -294,6 +324,9 @@ func (f *Fabric) FetchStream(q Fetch) (endIssue, lastDone uint64, err error) {
 	f.messages.Add(reqSent + dataSent)
 	f.bytes.Add(reqSent*uint64(q.ReqBytes) + dataSent*uint64(q.RespBytes))
 	f.stallCyc.Add(stall)
+	if f.obs != nil && reqSent > 0 {
+		f.obs.FabricMetrics().ObserveStream(true, int(reqSent), stall)
+	}
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// roundAgg accumulates one (span name, round) cell of the breakdown.
+type roundAgg struct {
+	name  string
+	round int // -1 for the collective-level row
+	count uint64
+	sum   uint64
+	min   uint64
+	max   uint64
+}
+
+func (a *roundAgg) add(cycles uint64) {
+	if a.count == 0 || cycles < a.min {
+		a.min = cycles
+	}
+	if cycles > a.max {
+		a.max = cycles
+	}
+	a.count++
+	a.sum += cycles
+}
+
+// breakdownKey orders rows: by span name, collective-level row first,
+// then ascending round.
+type breakdownKey struct {
+	name  string
+	round int
+}
+
+// collectRounds scans the run's PE tracks for collective and round
+// spans. Collective-level spans carry Round == -1 and a ".round"-free
+// name; round spans are recorded with Round >= 0. Transfers and
+// barriers (no round, non-collective names) are excluded by requiring
+// either Round >= 0 or membership in the set of names that have round
+// children.
+func (run *Run) collectRounds() map[breakdownKey]*roundAgg {
+	cells := make(map[breakdownKey]*roundAgg)
+	add := func(name string, round int, cycles uint64) {
+		k := breakdownKey{name, round}
+		a := cells[k]
+		if a == nil {
+			a = &roundAgg{name: name, round: round}
+			cells[k] = a
+		}
+		a.add(cycles)
+	}
+	// First pass: round spans, remembering which collectives they
+	// belong to (span "broadcast.round" → parent "broadcast").
+	parents := make(map[string]bool)
+	for _, t := range run.peTracks {
+		for _, ev := range t.Events() {
+			if ev.Args.Round >= 0 {
+				add(ev.Name, ev.Args.Round, ev.End-ev.Start)
+				if base, ok := strings.CutSuffix(ev.Name, ".round"); ok {
+					parents[base] = true
+				}
+			}
+		}
+	}
+	// Second pass: collective-level spans (parents of the rounds seen
+	// above, plus any span explicitly named like a collective whose
+	// rounds were all empty).
+	for _, t := range run.peTracks {
+		for _, ev := range t.Events() {
+			if ev.Args.Round < 0 && parents[ev.Name] {
+				add(ev.Name, -1, ev.End-ev.Start)
+			}
+		}
+	}
+	return cells
+}
+
+// RoundBreakdown renders the per-collective round table of this run:
+// for every collective span name, one summary row over whole calls and
+// one row per tree round, each with call count and min/mean/max cycles
+// across all PEs. It returns "" when tracing is disabled or no
+// collective spans were recorded.
+func (run *Run) RoundBreakdown() string {
+	if run == nil || run.rec == nil || !run.rec.opts.Trace {
+		return ""
+	}
+	cells := run.collectRounds()
+	if len(cells) == 0 {
+		return ""
+	}
+	keys := make([]breakdownKey, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ni, nj := strings.TrimSuffix(keys[i].name, ".round"), strings.TrimSuffix(keys[j].name, ".round")
+		if ni != nj {
+			return ni < nj
+		}
+		return keys[i].round < keys[j].round
+	})
+	var b strings.Builder
+	b.WriteString("collective round breakdown (cycles across all PEs):\n")
+	fmt.Fprintf(&b, "%-24s %-6s %-8s %-10s %-10s %-10s\n",
+		"span", "round", "calls", "min", "mean", "max")
+	for _, k := range keys {
+		a := cells[k]
+		round := "-"
+		if a.round >= 0 {
+			round = fmt.Sprintf("%d", a.round)
+		}
+		fmt.Fprintf(&b, "%-24s %-6s %-8d %-10d %-10.0f %-10d\n",
+			a.name, round, a.count, a.min, float64(a.sum)/float64(a.count), a.max)
+	}
+	return b.String()
+}
+
+// RoundBreakdown aggregates the breakdown across every attached run.
+func (r *Recorder) RoundBreakdown() string {
+	var b strings.Builder
+	for _, run := range r.Runs() {
+		if s := run.RoundBreakdown(); s != "" {
+			if b.Len() > 0 {
+				b.WriteString("\n")
+			}
+			fmt.Fprintf(&b, "run %q (%d PEs)\n%s", run.label, run.npes, s)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,40 @@
+// Package obs is the simulator's observability layer: spans, counters,
+// and latency histograms keyed to the *virtual* clock, with exporters
+// for Chrome trace-event JSON (loadable in Perfetto or chrome://tracing)
+// and plain-text metric reports.
+//
+// The paper's evaluation (§5) is entirely about where simulated cycles
+// go — per-collective latency versus PE count — yet flat end-of-run
+// counters cannot attribute cycles to individual binomial-tree rounds,
+// fabric contention, or cache misses. This package provides that
+// attribution: one span per collective call, one child span per tree
+// round, one event per remote transfer, and one track per PE plus one
+// per destination NIC in the exported timeline.
+//
+// # Design
+//
+// Everything hangs off a Recorder. A simulated cluster registers with
+// Attach, which returns a Run holding per-PE tracks and metrics plus
+// fabric-side tracks and metrics. Tracks collect Events (closed spans);
+// the Span half of the API (Begin / End) exists so instrumentation
+// sites can open a span, perform virtual-time work, and close it at the
+// final clock value.
+//
+// The layer is strictly opt-in and free when disabled: a nil *Track and
+// a nil *PEMetrics are valid receivers for every hot-path entry point,
+// each method short-circuiting on a single pointer test, and the
+// instrumented code paths allocate nothing when the recorder is absent
+// (enforced by the overhead-guard tests in internal/xbrtime).
+//
+// # Threading
+//
+// A Track must only be appended to by one goroutine at a time: PE
+// tracks are owned by the PE's goroutine, fabric NIC tracks are
+// appended under the owning shard's lock. Exporters must run after the
+// simulation has quiesced (Runtime.Run establishes the happens-before
+// edge). FabricMetrics carries its own mutex because streams to one
+// destination are issued by many PEs.
+//
+// See docs/OBSERVABILITY.md for the span model, the trace-event
+// schema, and how to open a trace in Perfetto.
+package obs

@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync"
+)
+
+// HistBuckets is the number of power-of-two latency buckets: bucket i
+// counts observations in [2^i, 2^(i+1)), with bucket 0 also absorbing
+// zero. The top bucket is open-ended; 2^27 cycles ≈ 134 ms of virtual
+// time at the 1 GHz model clock, far beyond any single operation.
+const HistBuckets = 28
+
+// Counter is a monotonically increasing count owned by a single
+// goroutine (or an external lock). Snapshots happen after the
+// simulation quiesces.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Histogram is a fixed-bucket log2 latency distribution in cycles. The
+// zero value is ready to use. Like Counter it is owned by a single
+// goroutine or an external lock.
+type Histogram struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     uint64
+	MinV    uint64
+	MaxV    uint64
+}
+
+// bucketOf maps a cycle count to its bucket index.
+func bucketOf(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	b := bits.Len64(v) - 1
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// BucketLow returns the inclusive lower bound of bucket i.
+func BucketLow(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << uint(i)
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(v uint64) {
+	h.Buckets[bucketOf(v)]++
+	if h.Count == 0 || v < h.MinV {
+		h.MinV = v
+	}
+	if v > h.MaxV {
+		h.MaxV = v
+	}
+	h.Count++
+	h.Sum += v
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.Count == 0 {
+		return
+	}
+	for i, n := range o.Buckets {
+		h.Buckets[i] += n
+	}
+	if h.Count == 0 || o.MinV < h.MinV {
+		h.MinV = o.MinV
+	}
+	if o.MaxV > h.MaxV {
+		h.MaxV = o.MaxV
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+}
+
+// Mean returns the average observed latency.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) from
+// the bucket boundaries: the smallest bucket upper edge at or below
+// which at least q of the mass lies, clamped to the observed maximum.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen >= target {
+			hi := BucketLow(i + 1)
+			if hi == 0 || hi > h.MaxV {
+				hi = h.MaxV
+			}
+			return hi
+		}
+	}
+	return h.MaxV
+}
+
+// String renders a compact one-line summary.
+func (h *Histogram) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%d mean=%.0f p50<=%d p99<=%d max=%d",
+		h.Count, h.MinV, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.MaxV)
+}
+
+// PEMetrics is the fixed registry of one PE's counters and latency
+// histograms. Counters and their paired histograms stay in lockstep:
+// every Observe on a latency histogram is preceded by exactly one Add
+// on its counter, an invariant the exporter tests assert.
+type PEMetrics struct {
+	Puts        Counter
+	Gets        Counter
+	PutElems    Counter
+	GetElems    Counter
+	Barriers    Counter
+	Collectives Counter
+	Rounds      Counter
+
+	PutLatency        Histogram // cycles from issue to last element arrival
+	GetLatency        Histogram // cycles from issue to last element landed
+	BarrierLatency    Histogram // cycles from arrival to release
+	CollectiveLatency Histogram // cycles per collective call
+	RoundLatency      Histogram // cycles per tree round (barrier included)
+}
+
+// Merge folds o into m (for cluster-wide snapshots).
+func (m *PEMetrics) Merge(o *PEMetrics) {
+	if o == nil {
+		return
+	}
+	m.Puts.Add(o.Puts.Value())
+	m.Gets.Add(o.Gets.Value())
+	m.PutElems.Add(o.PutElems.Value())
+	m.GetElems.Add(o.GetElems.Value())
+	m.Barriers.Add(o.Barriers.Value())
+	m.Collectives.Add(o.Collectives.Value())
+	m.Rounds.Add(o.Rounds.Value())
+	m.PutLatency.Merge(&o.PutLatency)
+	m.GetLatency.Merge(&o.GetLatency)
+	m.BarrierLatency.Merge(&o.BarrierLatency)
+	m.CollectiveLatency.Merge(&o.CollectiveLatency)
+	m.RoundLatency.Merge(&o.RoundLatency)
+}
+
+// NamedCounter pairs a registry name with a counter value.
+type NamedCounter struct {
+	Name  string
+	Value uint64
+}
+
+// NamedHistogram pairs a registry name with a histogram.
+type NamedHistogram struct {
+	Name string
+	Hist *Histogram
+}
+
+// Counters enumerates the registry's counters in stable order.
+func (m *PEMetrics) Counters() []NamedCounter {
+	return []NamedCounter{
+		{"puts", m.Puts.Value()},
+		{"gets", m.Gets.Value()},
+		{"put_elems", m.PutElems.Value()},
+		{"get_elems", m.GetElems.Value()},
+		{"barriers", m.Barriers.Value()},
+		{"collectives", m.Collectives.Value()},
+		{"rounds", m.Rounds.Value()},
+	}
+}
+
+// Histograms enumerates the registry's histograms in stable order.
+func (m *PEMetrics) Histograms() []NamedHistogram {
+	return []NamedHistogram{
+		{"put_latency", &m.PutLatency},
+		{"get_latency", &m.GetLatency},
+		{"barrier_latency", &m.BarrierLatency},
+		{"collective_latency", &m.CollectiveLatency},
+		{"round_latency", &m.RoundLatency},
+	}
+}
+
+// FabricMetrics aggregates stream bookings on the fabric side. Unlike
+// PEMetrics it is written under the fabric's shard locks by many PE
+// goroutines, so it carries its own mutex.
+type FabricMetrics struct {
+	mu          sync.Mutex
+	Streams     Counter   // SendStream bookings
+	Fetches     Counter   // FetchStream bookings
+	StreamElems Counter   // elements across all streams
+	StallCycles Counter   // total queueing delay across all bookings
+	StreamStall Histogram // per-stream total stall cycles
+}
+
+// ObserveStream records one stream booking: fetch distinguishes
+// request/response streams from one-way sends.
+func (fm *FabricMetrics) ObserveStream(fetch bool, elems int, stall uint64) {
+	if fm == nil {
+		return
+	}
+	fm.mu.Lock()
+	if fetch {
+		fm.Fetches.Add(1)
+	} else {
+		fm.Streams.Add(1)
+	}
+	fm.StreamElems.Add(uint64(elems))
+	fm.StallCycles.Add(stall)
+	fm.StreamStall.Observe(stall)
+	fm.mu.Unlock()
+}
+
+// AddStall records queueing delay from a single-message Send booking.
+func (fm *FabricMetrics) AddStall(stall uint64) {
+	if fm == nil {
+		return
+	}
+	fm.mu.Lock()
+	fm.StallCycles.Add(stall)
+	fm.mu.Unlock()
+}
+
+// snapshot copies the fabric metrics under the lock.
+func (fm *FabricMetrics) snapshot() (streams, fetches, elems, stall uint64, h Histogram) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	return fm.Streams.Value(), fm.Fetches.Value(), fm.StreamElems.Value(),
+		fm.StallCycles.Value(), fm.StreamStall
+}
+
+// ClusterMetrics merges the run's per-PE metric sets into one snapshot.
+// It returns nil when metrics are disabled.
+func (run *Run) ClusterMetrics() *PEMetrics {
+	if run == nil || run.rec == nil || !run.rec.opts.Metrics {
+		return nil
+	}
+	total := &PEMetrics{}
+	for _, m := range run.peMet {
+		total.Merge(m)
+	}
+	return total
+}
+
+// MetricsReport renders every attached run's counters and histograms:
+// per-PE counter rows, cluster-wide histogram summaries, and the
+// fabric stream metrics.
+func (r *Recorder) MetricsReport() string {
+	var b strings.Builder
+	if !r.opts.Metrics {
+		b.WriteString("obs: metrics disabled\n")
+		return b.String()
+	}
+	for _, run := range r.Runs() {
+		fmt.Fprintf(&b, "metrics: run %q (%d PEs)\n", run.label, run.npes)
+		fmt.Fprintf(&b, "%-4s %-10s %-10s %-10s %-10s %-9s %-12s %-8s\n",
+			"PE", "puts", "putElems", "gets", "getElems", "barriers", "collectives", "rounds")
+		for rank, m := range run.peMet {
+			fmt.Fprintf(&b, "%-4d %-10d %-10d %-10d %-10d %-9d %-12d %-8d\n",
+				rank, m.Puts.Value(), m.PutElems.Value(), m.Gets.Value(), m.GetElems.Value(),
+				m.Barriers.Value(), m.Collectives.Value(), m.Rounds.Value())
+		}
+		if total := run.ClusterMetrics(); total != nil {
+			b.WriteString("cluster latency histograms (cycles):\n")
+			for _, nh := range total.Histograms() {
+				fmt.Fprintf(&b, "  %-20s %s\n", nh.Name, nh.Hist.String())
+			}
+		}
+		if run.fabMet != nil {
+			streams, fetches, elems, stall, h := run.fabMet.snapshot()
+			fmt.Fprintf(&b, "fabric: %d send streams, %d fetch streams, %d elements, %d stall cycles\n",
+				streams, fetches, elems, stall)
+			fmt.Fprintf(&b, "  %-20s %s\n", "stream_stall", h.String())
+		}
+	}
+	return b.String()
+}

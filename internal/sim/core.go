@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"xbgas/internal/isa"
+	"xbgas/internal/obs"
 )
 
 // Architectural cost-model constants (cycles). The base cost applies to
@@ -71,6 +72,11 @@ type Core struct {
 	RemoteStores uint64
 
 	trace TraceFunc
+
+	// Observability sinks (nil when disabled): the core's timeline
+	// track and metrics registry. See SetObs.
+	obsTrack *obs.Track
+	obsMet   *obs.PEMetrics
 
 	// spmdBarrier is set by Machine.RunSPMD and serves the barrier
 	// environment call.

@@ -315,6 +315,9 @@ func (c *Core) extendedLoad(objID uint64, addr uint64, op isa.Op) (uint64, uint6
 	cost += t2 - now
 	raw := c.m.Nodes[entry.Node].LockedRead(entry.Base+addr, width)
 	c.RemoteLoads++
+	if c.obsTrack != nil || c.obsMet != nil {
+		c.obsRemote(false, cost, entry.Node, width)
+	}
 	return extendLoad(raw, op), cost, nil
 }
 
@@ -343,6 +346,9 @@ func (c *Core) extendedStore(objID uint64, addr uint64, op isa.Op, v uint64) (ui
 	cost += t1 - now
 	c.m.Nodes[entry.Node].LockedWrite(entry.Base+addr, width, v)
 	c.RemoteStores++
+	if c.obsTrack != nil || c.obsMet != nil {
+		c.obsRemote(true, cost, entry.Node, width)
+	}
 	return cost, nil
 }
 

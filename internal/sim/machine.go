@@ -7,6 +7,7 @@ import (
 	"xbgas/internal/asm"
 	"xbgas/internal/fabric"
 	"xbgas/internal/mem"
+	"xbgas/internal/obs"
 	"xbgas/internal/olb"
 )
 
@@ -115,6 +116,10 @@ func DefaultConfig(nodes int) Config {
 type Machine struct {
 	Nodes  []*Node
 	Fabric *fabric.Fabric
+
+	// obs, when non-nil, is the observability run cores created by Load
+	// attach to (one timeline track and metrics registry per node).
+	obs *obs.Run
 }
 
 // NewMachine builds a cluster and pre-registers every node's object ID
@@ -184,6 +189,9 @@ func (m *Machine) Load(node int, p *asm.Program) (*Core, error) {
 	n := m.Nodes[node]
 	n.LockedWriteBytes(p.Base, p.Bytes())
 	c := NewCore(m, node)
+	if m.obs != nil {
+		c.SetObs(m.obs.PETrack(node), m.obs.PEMetrics(node))
+	}
 	c.PC = p.Base
 	if entry, ok := p.Symbols["_start"]; ok {
 		c.PC = entry

@@ -1,0 +1,58 @@
+package sim
+
+import "xbgas/internal/obs"
+
+// SetObs attaches an observability run to the machine: cores created
+// by Load (and therefore by RunSPMD) record remote accesses and SPMD
+// barriers on the run's per-PE tracks and metrics, and the fabric
+// records stream bookings on the per-NIC tracks. Call before loading
+// programs; pass nil to detach.
+func (m *Machine) SetObs(run *obs.Run) {
+	m.obs = run
+	m.Fabric.SetObs(run)
+}
+
+// SetObs attaches observability sinks to one core. Either may be nil;
+// with both nil the core's hot paths pay a single pointer test.
+func (c *Core) SetObs(t *obs.Track, met *obs.PEMetrics) {
+	c.obsTrack = t
+	c.obsMet = met
+}
+
+// obsRemote records one remote (non-zero object ID) access: a span on
+// the core's track covering the access's fabric cost, and the latency
+// in the put/get histograms — stores are puts, loads are gets, matching
+// the runtime-level naming.
+func (c *Core) obsRemote(store bool, cost uint64, peer, width int) {
+	if c.obsTrack != nil {
+		name := "remote_load"
+		if store {
+			name = "remote_store"
+		}
+		c.obsTrack.Complete(name, c.Cycles, c.Cycles+cost,
+			obs.Args{Rank: c.node, Peer: peer, Round: -1, Nelems: width})
+	}
+	if c.obsMet != nil {
+		if store {
+			c.obsMet.Puts.Add(1)
+			c.obsMet.PutElems.Add(1)
+			c.obsMet.PutLatency.Observe(cost)
+		} else {
+			c.obsMet.Gets.Add(1)
+			c.obsMet.GetElems.Add(1)
+			c.obsMet.GetLatency.Observe(cost)
+		}
+	}
+}
+
+// obsBarrier records one SPMD barrier spanning arrival to release.
+func (c *Core) obsBarrier(start, end uint64) {
+	if c.obsTrack != nil {
+		c.obsTrack.Complete("barrier", start, end,
+			obs.Args{Rank: c.node, Peer: -1, Round: -1, Nelems: 0})
+	}
+	if c.obsMet != nil {
+		c.obsMet.Barriers.Add(1)
+		c.obsMet.BarrierLatency.Observe(end - start)
+	}
+}

@@ -121,8 +121,12 @@ func ecallBarrier(c *Core) error {
 	if c.spmdBarrier == nil {
 		return fmt.Errorf("ecall barrier: core is not part of an SPMD run")
 	}
+	start := c.Cycles
 	if !c.spmdBarrier.wait(c) {
 		return fmt.Errorf("ecall barrier: aborted because a peer core faulted")
+	}
+	if c.obsTrack != nil || c.obsMet != nil {
+		c.obsBarrier(start, c.Cycles)
 	}
 	return nil
 }

@@ -57,19 +57,38 @@ func (b *barrierState) breakBarrier() {
 // release cost of the configured algorithm.
 func (pe *PE) Barrier() error {
 	if pe.rt.cfg.Barrier == BarrierDissemination {
+		start := pe.clock
 		pe.barriers++
 		pe.Advance(barrierCPU)
-		if pe.rt.cfg.NumPEs == 1 {
-			return nil
+		var err error
+		if pe.rt.cfg.NumPEs > 1 {
+			err = pe.dissemBarrier()
 		}
-		return pe.dissemBarrier()
+		if err == nil && pe.ObsEnabled() {
+			pe.obsBarrier(start)
+		}
+		return err
 	}
 	return pe.barrierOn(pe.rt.barrier)
 }
 
-// barrierOn runs the sense-reversing protocol on one barrier instance.
-// The calling PE must be a member.
+// barrierOn wraps barrierOnImpl with observability: one "barrier" span
+// from arrival to release, plus the barrier latency histogram.
 func (pe *PE) barrierOn(b *barrierState) error {
+	if !pe.ObsEnabled() {
+		return pe.barrierOnImpl(b)
+	}
+	start := pe.clock
+	err := pe.barrierOnImpl(b)
+	if err == nil {
+		pe.obsBarrier(start)
+	}
+	return err
+}
+
+// barrierOnImpl runs the sense-reversing protocol on one barrier
+// instance. The calling PE must be a member.
+func (pe *PE) barrierOnImpl(b *barrierState) error {
 	pe.barriers++
 	pe.Advance(barrierCPU)
 	n := len(b.members)

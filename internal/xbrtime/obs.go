@@ -1,0 +1,103 @@
+package xbrtime
+
+import "xbgas/internal/obs"
+
+// This file is the PE-side surface of the observability layer
+// (internal/obs): span helpers the collective library instruments its
+// call and round structure with, and the transfer hook putget.go
+// records puts and gets through. Every entry point is a no-op costing
+// one or two nil tests when Config.Obs is unset; the overhead-guard
+// tests pin the disabled path at zero allocations.
+
+// ObsEnabled reports whether any observability sink (trace or metrics)
+// is attached to the PE.
+func (pe *PE) ObsEnabled() bool { return pe.track != nil || pe.met != nil }
+
+// StartCollective opens a collective-level span ("broadcast",
+// "reduce", ...). root rides in the span's peer slot so the timeline
+// shows which PE the tree was rooted at. The returned handle is inert
+// when observability is disabled.
+func (pe *PE) StartCollective(name string, root, nelems int) obs.Span {
+	if !pe.ObsEnabled() {
+		return obs.Span{}
+	}
+	return obs.Begin(pe.track, name, pe.clock,
+		obs.Args{Rank: pe.rank, Peer: root, Round: -1, Nelems: nelems})
+}
+
+// FinishCollective closes a collective span at the current virtual
+// clock and feeds the call's latency into the metrics registry. Safe
+// on inert handles (and therefore on every error path).
+func (pe *PE) FinishCollective(s obs.Span) {
+	if !s.Open() {
+		return
+	}
+	obs.End(s, pe.clock)
+	if pe.met != nil {
+		pe.met.Collectives.Add(1)
+		pe.met.CollectiveLatency.Observe(pe.clock - s.StartCycle())
+	}
+}
+
+// StartRound opens one tree-round child span inside a collective
+// ("broadcast.round", ...). round is the algorithm's round index, peer
+// the partner this PE communicates with in the round (-1 when the PE
+// only synchronises), nelems the elements it moves.
+func (pe *PE) StartRound(name string, round, peer, nelems int) obs.Span {
+	if !pe.ObsEnabled() {
+		return obs.Span{}
+	}
+	return obs.Begin(pe.track, name, pe.clock,
+		obs.Args{Rank: pe.rank, Peer: peer, Round: round, Nelems: nelems})
+}
+
+// FinishRound closes a round span and records its latency.
+func (pe *PE) FinishRound(s obs.Span) {
+	if !s.Open() {
+		return
+	}
+	obs.End(s, pe.clock)
+	if pe.met != nil {
+		pe.met.Rounds.Add(1)
+		pe.met.RoundLatency.Observe(pe.clock - s.StartCycle())
+	}
+}
+
+// obsBarrier records one barrier spanning arrival (start) to release
+// (the PE's current clock). Callers check ObsEnabled first.
+func (pe *PE) obsBarrier(start uint64) {
+	if pe.track != nil {
+		pe.track.Complete("barrier", start, pe.clock,
+			obs.Args{Rank: pe.rank, Peer: -1, Round: -1, Nelems: 0})
+	}
+	if pe.met != nil {
+		pe.met.Barriers.Add(1)
+		pe.met.BarrierLatency.Observe(pe.clock - start)
+	}
+}
+
+// obsTransfer records one put or get: a span on the PE's track from
+// the call's start clock to the end of issue (the window the PE was
+// occupied), and the full completion latency (start to last element
+// arrival) in the latency histogram. Callers check ObsEnabled first.
+func (pe *PE) obsTransfer(put bool, start, complete uint64, target, nelems int) {
+	if pe.track != nil {
+		name := "get"
+		if put {
+			name = "put"
+		}
+		pe.track.Complete(name, start, pe.clock,
+			obs.Args{Rank: pe.rank, Peer: target, Round: -1, Nelems: nelems})
+	}
+	if pe.met != nil {
+		if put {
+			pe.met.Puts.Add(1)
+			pe.met.PutElems.Add(uint64(nelems))
+			pe.met.PutLatency.Observe(complete - start)
+		} else {
+			pe.met.Gets.Add(1)
+			pe.met.GetElems.Add(uint64(nelems))
+			pe.met.GetLatency.Observe(complete - start)
+		}
+	}
+}

@@ -67,7 +67,22 @@ func (pe *PE) GetNB(dt DType, dest, src uint64, nelems, stride int, target int) 
 	return pe.get(dt, dest, src, nelems, stride, target, true)
 }
 
+// put validates, records observability, and dispatches to putImpl. The
+// trace span covers the issue window [start, pe.clock]; the latency
+// histogram sees the full completion time (start to last arrival).
 func (pe *PE) put(dt DType, dest, src uint64, nelems, stride int, target int, nonblocking bool) (Handle, error) {
+	if !pe.ObsEnabled() {
+		return pe.putImpl(dt, dest, src, nelems, stride, target, nonblocking)
+	}
+	start := pe.clock
+	h, err := pe.putImpl(dt, dest, src, nelems, stride, target, nonblocking)
+	if err == nil && h.active {
+		pe.obsTransfer(true, start, h.completeAt, target, nelems)
+	}
+	return h, err
+}
+
+func (pe *PE) putImpl(dt DType, dest, src uint64, nelems, stride int, target int, nonblocking bool) (Handle, error) {
 	if err := checkTransfer(dt, nelems, stride); err != nil {
 		return Handle{}, err
 	}
@@ -203,7 +218,20 @@ func (pe *PE) putReference(dt DType, dest, src uint64, nelems, stride int, targe
 	return Handle{completeAt: lastArrive, active: true}, nil
 }
 
+// get mirrors put's observability wrapper around getImpl.
 func (pe *PE) get(dt DType, dest, src uint64, nelems, stride int, target int, nonblocking bool) (Handle, error) {
+	if !pe.ObsEnabled() {
+		return pe.getImpl(dt, dest, src, nelems, stride, target, nonblocking)
+	}
+	start := pe.clock
+	h, err := pe.getImpl(dt, dest, src, nelems, stride, target, nonblocking)
+	if err == nil && h.active {
+		pe.obsTransfer(false, start, h.completeAt, target, nelems)
+	}
+	return h, err
+}
+
+func (pe *PE) getImpl(dt DType, dest, src uint64, nelems, stride int, target int, nonblocking bool) (Handle, error) {
 	if err := checkTransfer(dt, nelems, stride); err != nil {
 		return Handle{}, err
 	}

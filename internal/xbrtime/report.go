@@ -5,9 +5,23 @@ import (
 	"strings"
 )
 
+// ratioCell renders hits/(hits+misses) as a percentage, or "-" when the
+// structure saw no traffic at all — a run that never touched a cache is
+// different from one that missed every access, and the seed's report
+// printed both as 0.0.
+func ratioCell(hits, misses uint64) string {
+	total := hits + misses
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", 100*float64(hits)/float64(total))
+}
+
 // StatsReport renders a cluster-wide summary after a run: per-PE
 // communication counters and virtual clocks, per-node memory-system hit
-// rates, and fabric totals. Benchmarks and examples print it for
+// rates, per-NIC fabric contention, and fabric totals. When the runtime
+// was built with Config.Obs and tracing enabled, the per-collective
+// round breakdown is appended. Benchmarks and examples print it for
 // observability; it allocates nothing on the simulation side.
 func (rt *Runtime) StatsReport() string {
 	var b strings.Builder
@@ -26,18 +40,28 @@ func (rt *Runtime) StatsReport() string {
 	fmt.Fprintf(&b, "%-4s %-10s %-10s %-10s %-12s %-10s\n",
 		"node", "L1 hit%", "L2 hit%", "TLB hit%", "OLB hits", "OLB miss")
 	for i, n := range rt.machine.Nodes {
-		tlb := n.Hier.TLB()
-		tlbRate := 0.0
-		if total := tlb.Hits() + tlb.Misses(); total > 0 {
-			tlbRate = float64(tlb.Hits()) / float64(total)
-		}
-		fmt.Fprintf(&b, "%-4d %-10.1f %-10.1f %-10.1f %-12d %-10d\n",
-			i, 100*n.Hier.L1().HitRate(), 100*n.Hier.L2().HitRate(),
-			100*tlbRate, n.OLB.Hits(), n.OLB.Misses())
+		l1, l2, tlb := n.Hier.L1(), n.Hier.L2(), n.Hier.TLB()
+		fmt.Fprintf(&b, "%-4d %-10s %-10s %-10s %-12d %-10d\n",
+			i,
+			ratioCell(l1.Hits(), l1.Misses()),
+			ratioCell(l2.Hits(), l2.Misses()),
+			ratioCell(tlb.Hits(), tlb.Misses()),
+			n.OLB.Hits(), n.OLB.Misses())
 	}
 
 	fab := rt.machine.Fabric
 	fmt.Fprintf(&b, "fabric: %d messages, %d payload bytes, %d contention cycles\n",
 		fab.Messages(), fab.Bytes(), fab.ContentionCycles())
+	if fab.Messages() > 0 {
+		fmt.Fprintf(&b, "%-4s %-10s %-12s %-12s %-10s\n",
+			"NIC", "msgs", "bytes", "stall", "peakQueue")
+		for i, s := range fab.NICStats() {
+			fmt.Fprintf(&b, "%-4d %-10d %-12d %-12d %-10d\n",
+				i, s.Msgs, s.Bytes, s.StallCycles, s.PeakQueue)
+		}
+	}
+	if bd := rt.obsRun.RoundBreakdown(); bd != "" {
+		b.WriteString(bd)
+	}
 	return b.String()
 }

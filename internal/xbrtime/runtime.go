@@ -6,6 +6,7 @@ import (
 
 	"xbgas/internal/fabric"
 	"xbgas/internal/mem"
+	"xbgas/internal/obs"
 	"xbgas/internal/sim"
 )
 
@@ -101,6 +102,13 @@ type Config struct {
 	// execution. Free-running mode (the default) is faster and agrees
 	// with lockstep up to contention-window granularity.
 	Deterministic bool
+	// Obs attaches an observability recorder (internal/obs): spans for
+	// every collective call, tree round, transfer, and fabric stream
+	// booking, plus counters and latency histograms, all keyed to the
+	// virtual clock. Nil (the default) disables observability; the
+	// disabled hot paths cost one nil test and zero allocations (see
+	// the overhead-guard tests).
+	Obs *obs.Recorder
 }
 
 func (c *Config) fillDefaults() {
@@ -136,6 +144,7 @@ type Runtime struct {
 	barrier *barrierState
 	dissem  *dissemState
 	ls      *lockstep // non-nil while a Deterministic Run is active
+	obsRun  *obs.Run  // non-nil when cfg.Obs is set
 }
 
 // New initialises a runtime with cfg.NumPEs processing elements.
@@ -160,6 +169,10 @@ func New(cfg Config) (*Runtime, error) {
 		barrier: newBarrierState(cfg.NumPEs),
 		dissem:  newDissemState(),
 	}
+	if cfg.Obs != nil {
+		rt.obsRun = cfg.Obs.Attach(fmt.Sprintf("%d PEs", cfg.NumPEs), cfg.NumPEs)
+		m.SetObs(rt.obsRun)
+	}
 	for rank := 0; rank < cfg.NumPEs; rank++ {
 		rt.pes = append(rt.pes, &PE{
 			rt:      rt,
@@ -167,6 +180,8 @@ func New(cfg Config) (*Runtime, error) {
 			node:    m.Nodes[rank],
 			shared:  newHeap(SharedBase, cfg.SharedSize),
 			privBrk: PrivateBase,
+			track:   rt.obsRun.PETrack(rank),
+			met:     rt.obsRun.PEMetrics(rank),
 		})
 	}
 	return rt, nil
@@ -194,6 +209,10 @@ func (rt *Runtime) PE(rank int) *PE { return rt.pes[rank] }
 
 // Machine exposes the underlying simulated cluster (for statistics).
 func (rt *Runtime) Machine() *sim.Machine { return rt.machine }
+
+// Observability returns the runtime's attached observability run, or
+// nil when Config.Obs was not set.
+func (rt *Runtime) Observability() *obs.Run { return rt.obsRun }
 
 // Config returns the effective configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
@@ -268,6 +287,13 @@ type PE struct {
 	scratchLen  uint64
 	dissemEpoch uint64
 	commTrace   func(TraceEvent)
+
+	// Observability hooks (internal/obs): both nil unless Config.Obs
+	// was set, in which case track records timeline spans and met
+	// maintains counters and latency histograms. Every hot-path use is
+	// behind a nil test so the disabled path stays allocation-free.
+	track *obs.Track
+	met   *obs.PEMetrics
 
 	spike *spikeEngine // lazily built for TransportSpike
 
