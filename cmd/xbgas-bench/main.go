@@ -15,8 +15,11 @@
 //	xbgas-bench -gups N             # one GUPS measurement on N PEs
 //
 // GUPS/IS parameters can be scaled with -gups-table, -gups-updates,
-// -is-keys, -is-maxkey, -is-iters. Host hot paths can be profiled with
-// -cpuprofile/-memprofile (inspect with `go tool pprof`).
+// -is-keys, -is-maxkey, -is-iters. The kernels' collective algorithm
+// can be forced with -algo (use `-algo list` to print the registered
+// planners); xbgas-run has no such flag because it executes guest
+// assembly, which encodes its own communication. Host hot paths can be
+// profiled with -cpuprofile/-memprofile (inspect with `go tool pprof`).
 package main
 
 import (
@@ -26,8 +29,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"xbgas/internal/bench"
+	"xbgas/internal/core"
 	"xbgas/internal/obs"
 )
 
@@ -54,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		isKeys      = fs.Int("is-keys", bench.DefaultISParams().TotalKeys, "IS total keys")
 		isMaxKey    = fs.Int("is-maxkey", bench.DefaultISParams().MaxKey, "IS maximum key value")
 		isIters     = fs.Int("is-iters", bench.DefaultISParams().Iterations, "IS iterations")
+		algo        = fs.String("algo", "", "force a registered collective algorithm for the GUPS/IS kernels (\"list\" prints the registry)")
 
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to `file`")
@@ -100,6 +106,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	is.TotalKeys = *isKeys
 	is.MaxKey = *isMaxKey
 	is.Iterations = *isIters
+
+	if *algo == "list" {
+		for _, name := range core.PlannerNames() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
+	}
+	if *algo != "" {
+		if _, ok := core.LookupPlanner(core.Algorithm(*algo)); !ok && *algo != string(core.AlgoAuto) {
+			fmt.Fprintf(stderr, "xbgas-bench: unknown algorithm %q (registered: %s)\n",
+				*algo, strings.Join(core.PlannerNames(), ", "))
+			return 2
+		}
+		gups.Algo = core.Algorithm(*algo)
+		is.Algo = core.Algorithm(*algo)
+	}
 
 	// Observability rides through the kernels' runtime configuration:
 	// every runtime the GUPS/IS sweeps construct attaches to the same

@@ -64,6 +64,30 @@ func TestRunUsageAndErrors(t *testing.T) {
 	}
 }
 
+func TestRunAlgoFlag(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{"-algo", "list"}, &out, &errBuf); code != 0 {
+		t.Fatalf("-algo list: exit %d: %s", code, errBuf.String())
+	}
+	for _, name := range []string{"binomial", "linear", "scatter-allgather", "direct"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-algo list output missing %q:\n%s", name, out.String())
+		}
+	}
+	errBuf.Reset()
+	if code := run([]string{"-algo", "bogus", "-table", "1"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown algorithm: exit %d", code)
+	}
+	if !strings.Contains(errBuf.String(), "registered:") {
+		t.Errorf("unknown-algorithm error must list the registry: %s", errBuf.String())
+	}
+	out.Reset()
+	args := []string{"-algo", "linear", "-gups", "2", "-gups-table", "4096", "-gups-updates", "64"}
+	if code := run(args, &out, &errBuf); code != 0 {
+		t.Fatalf("-algo linear gups: exit %d: %s", code, errBuf.String())
+	}
+}
+
 func TestRunGUPSWithTraceAndMetrics(t *testing.T) {
 	var out, errBuf strings.Builder
 	path := filepath.Join(t.TempDir(), "gups.json")

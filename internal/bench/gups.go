@@ -30,6 +30,10 @@ type GUPSParams struct {
 	// per-PE table size, so the global table grows with the PE count
 	// (the paper's sweep is strong scaling: a fixed global problem).
 	Weak bool
+	// Algo forces the collective algorithm for the kernel's broadcast
+	// and reduce calls (the bench driver's -algo flag); the zero value
+	// keeps the binomial tree the kernel has always used.
+	Algo core.Algorithm
 	// Runtime overrides the runtime configuration (NumPEs is set by
 	// RunGUPS).
 	Runtime xbrtime.Config
@@ -101,6 +105,10 @@ func RunGUPS(p GUPSParams, nPEs int) (Result, error) {
 
 	perPE := p.TableWords / uint64(nPEs)
 	dt := xbrtime.TypeUint64
+	algo := p.Algo
+	if algo == "" {
+		algo = core.AlgoBinomial // the kernel's historical algorithm
+	}
 
 	var mu sync.Mutex
 	var spans []uint64 // per-PE timed cycles
@@ -135,7 +143,7 @@ func RunGUPS(p GUPSParams, nPEs int) (Result, error) {
 		if me == 0 {
 			pe.Poke(dt, seedSrc, 0x2545F4914F6CDD1D)
 		}
-		if err := core.Broadcast(pe, dt, param, seedSrc, 1, 1, 0); err != nil {
+		if err := core.BroadcastWith(algo, pe, dt, param, seedSrc, 1, 1, 0); err != nil {
 			return err
 		}
 		seed := pe.Peek(dt, param)
@@ -227,7 +235,7 @@ func RunGUPS(p GUPSParams, nPEs int) (Result, error) {
 			return err
 		}
 		pe.Poke(dt, cnt, uint64(p.UpdatesPerPE))
-		if err := core.Reduce(pe, dt, core.OpSum, cntOut, cnt, 1, 1, 0); err != nil {
+		if err := core.ReduceWith(algo, pe, dt, core.OpSum, cntOut, cnt, 1, 1, 0); err != nil {
 			return err
 		}
 		if me == 0 {
@@ -253,7 +261,7 @@ func RunGUPS(p GUPSParams, nPEs int) (Result, error) {
 				}
 			}
 			pe.Poke(dt, cnt, errCount)
-			if err := core.Reduce(pe, dt, core.OpSum, cntOut, cnt, 1, 1, 0); err != nil {
+			if err := core.ReduceWith(algo, pe, dt, core.OpSum, cntOut, cnt, 1, 1, 0); err != nil {
 				return err
 			}
 			if me == 0 {

@@ -30,6 +30,10 @@ type ISParams struct {
 	// per-PE consistency at 2-4 PEs matches uniform keys, so uniform is
 	// the default and the distribution is an explicit knob.
 	GaussianKeys bool
+	// Algo forces the collective algorithm for the kernel's gather,
+	// broadcast and reduce calls (the bench driver's -algo flag); the
+	// zero value keeps the binomial tree the kernel has always used.
+	Algo core.Algorithm
 	// Runtime overrides the runtime configuration.
 	Runtime xbrtime.Config
 }
@@ -69,6 +73,10 @@ func RunIS(p ISParams, nPEs int) (Result, error) {
 	rangePerPE := p.MaxKey / nPEs
 	dt := xbrtime.TypeInt64
 	const w = 8
+	algo := p.Algo
+	if algo == "" {
+		algo = core.AlgoBinomial // the kernel's historical algorithm
+	}
 
 	var mu sync.Mutex
 	var spans []uint64
@@ -162,16 +170,16 @@ func RunIS(p ISParams, nPEs int) (Result, error) {
 			// from the reduction+broadcast allreduce (the collectives
 			// the paper highlights); the per-source offsets come from a
 			// gather+broadcast of the full count matrix.
-			if err := core.Gather(pe, dt, histAll, hist, ones, seq, nPEs*nPEs, 0); err != nil {
+			if err := core.GatherWith(algo, pe, dt, histAll, hist, ones, seq, nPEs*nPEs, 0); err != nil {
 				return err
 			}
-			if err := core.Broadcast(pe, dt, histAll, histAll, nPEs*nPEs, 1, 0); err != nil {
+			if err := core.BroadcastWith(algo, pe, dt, histAll, histAll, nPEs*nPEs, 1, 0); err != nil {
 				return err
 			}
-			if err := core.Reduce(pe, dt, core.OpSum, sumOut, hist, nPEs, 1, 0); err != nil {
+			if err := core.ReduceWith(algo, pe, dt, core.OpSum, sumOut, hist, nPEs, 1, 0); err != nil {
 				return err
 			}
-			if err := core.Broadcast(pe, dt, hist, sumOut, nPEs, 1, 0); err != nil {
+			if err := core.BroadcastWith(algo, pe, dt, hist, sumOut, nPEs, 1, 0); err != nil {
 				return err
 			}
 
@@ -313,7 +321,7 @@ func RunIS(p ISParams, nPEs int) (Result, error) {
 			return err
 		}
 		pe.Poke(dt, vbuf, errCount)
-		if err := core.Reduce(pe, dt, core.OpSum, vout, vbuf, 1, 1, 0); err != nil {
+		if err := core.ReduceWith(algo, pe, dt, core.OpSum, vout, vbuf, 1, 1, 0); err != nil {
 			return err
 		}
 		globalErr := uint64(0)

@@ -8,29 +8,18 @@ import (
 // directly, O(N) rounds of traffic through one node. They are the
 // baseline for the paper's §4.1 observation that the best algorithm
 // depends on the call's arguments, and the ablation benchmarks compare
-// them against the binomial tree.
+// them against the binomial tree. Each entry point executes the cached
+// linear plan (see linearBroadcastPlan and friends).
 
 // BroadcastLinear is a flat broadcast: the root puts to each PE in turn.
 func BroadcastLinear(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems, stride, root int) error {
 	if err := validate(pe, dt, nelems, stride, root); err != nil {
 		return err
 	}
-	cs := pe.StartCollective("broadcast_linear", root, nelems)
-	defer pe.FinishCollective(cs)
-	if pe.MyPE() == root {
-		if dest != src {
-			timedCopy(pe, dt, dest, src, nelems, stride, stride)
-		}
-		for p := 0; p < pe.NumPEs(); p++ {
-			if p == root {
-				continue
-			}
-			if err := pe.Put(dt, dest, dest, nelems, stride, p); err != nil {
-				return err
-			}
-		}
-	}
-	return pe.Barrier()
+	return runPlan(pe, CollBroadcast, AlgoLinear, ExecArgs{
+		DT: dt, Dest: dest, Src: src,
+		Nelems: nelems, Stride: stride, Root: root,
+	})
 }
 
 // ReduceLinear is a flat reduction: the root gets every PE's staged
@@ -42,55 +31,10 @@ func ReduceLinear(pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint6
 	if _, err := Combine(dt, op, 0, 0); err != nil {
 		return err
 	}
-	cs := pe.StartCollective("reduce_linear", root, nelems)
-	defer pe.FinishCollective(cs)
-	w := uint64(dt.Width)
-	span := spanBytes(dt, nelems, stride)
-	sBuf, err := pe.Malloc(span)
-	if err != nil {
-		return err
-	}
-	timedCopy(pe, dt, sBuf, src, nelems, stride, stride)
-	if err := pe.Barrier(); err != nil {
-		pe.Free(sBuf) //nolint:errcheck
-		return err
-	}
-	if pe.MyPE() == root {
-		lBuf, err := pe.Scratch(span)
-		if err != nil {
-			pe.Free(sBuf) //nolint:errcheck
-			return err
-		}
-		cost := combineCost(dt, op)
-		// Start from the root's own staged values, fold in each peer.
-		timedCopy(pe, dt, dest, sBuf, nelems, stride, stride)
-		for p := 0; p < pe.NumPEs(); p++ {
-			if p == root {
-				continue
-			}
-			if err := pe.Get(dt, lBuf, sBuf, nelems, stride, p); err != nil {
-				pe.Free(sBuf) //nolint:errcheck
-				return err
-			}
-			for j := 0; j < nelems; j++ {
-				off := uint64(j*stride) * w
-				a := pe.ReadElem(dt, dest+off)
-				b := pe.ReadElem(dt, lBuf+off)
-				r, err := Combine(dt, op, a, b)
-				if err != nil {
-					pe.Free(sBuf) //nolint:errcheck
-					return err
-				}
-				pe.Advance(cost)
-				pe.WriteElem(dt, dest+off, r)
-			}
-		}
-	}
-	if err := pe.Barrier(); err != nil {
-		pe.Free(sBuf) //nolint:errcheck
-		return err
-	}
-	return pe.Free(sBuf)
+	return runPlan(pe, CollReduce, AlgoLinear, ExecArgs{
+		DT: dt, Op: op, Dest: dest, Src: src,
+		Nelems: nelems, Stride: stride, Root: root,
+	})
 }
 
 // ScatterLinear is a flat scatter: the root puts each PE's block
@@ -99,24 +43,11 @@ func ScatterLinear(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, p
 	if err := validateVector(pe, dt, peMsgs, peDisp, nelems, root); err != nil {
 		return err
 	}
-	cs := pe.StartCollective("scatter_linear", root, nelems)
-	defer pe.FinishCollective(cs)
-	w := uint64(dt.Width)
-	if pe.MyPE() == root {
-		for p := 0; p < pe.NumPEs(); p++ {
-			blk := src + uint64(peDisp[p])*w
-			if p == root {
-				timedCopy(pe, dt, dest, blk, peMsgs[p], 1, 1)
-				continue
-			}
-			if peMsgs[p] > 0 {
-				if err := pe.Put(dt, dest, blk, peMsgs[p], 1, p); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	return pe.Barrier()
+	return runPlan(pe, CollScatter, AlgoLinear, ExecArgs{
+		DT: dt, Dest: dest, Src: src,
+		Nelems: nelems, Stride: 1, Root: root,
+		PeMsgs: peMsgs, PeDisp: peDisp,
+	})
 }
 
 // GatherLinear is a flat gather: the root gets each PE's block from a
@@ -125,47 +56,9 @@ func GatherLinear(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, pe
 	if err := validateVector(pe, dt, peMsgs, peDisp, nelems, root); err != nil {
 		return err
 	}
-	cs := pe.StartCollective("gather_linear", root, nelems)
-	defer pe.FinishCollective(cs)
-	w := uint64(dt.Width)
-	me := pe.MyPE()
-	most := 0
-	for _, m := range peMsgs {
-		if m > most {
-			most = m
-		}
-	}
-	bufBytes := uint64(most) * w
-	if most == 0 {
-		bufBytes = w
-	}
-	sBuf, err := pe.Malloc(bufBytes)
-	if err != nil {
-		return err
-	}
-	timedCopy(pe, dt, sBuf, src, peMsgs[me], 1, 1)
-	if err := pe.Barrier(); err != nil {
-		pe.Free(sBuf) //nolint:errcheck
-		return err
-	}
-	if me == root {
-		for p := 0; p < pe.NumPEs(); p++ {
-			dst := dest + uint64(peDisp[p])*w
-			if p == root {
-				timedCopy(pe, dt, dst, sBuf, peMsgs[p], 1, 1)
-				continue
-			}
-			if peMsgs[p] > 0 {
-				if err := pe.Get(dt, dst, sBuf, peMsgs[p], 1, p); err != nil {
-					pe.Free(sBuf) //nolint:errcheck
-					return err
-				}
-			}
-		}
-	}
-	if err := pe.Barrier(); err != nil {
-		pe.Free(sBuf) //nolint:errcheck
-		return err
-	}
-	return pe.Free(sBuf)
+	return runPlan(pe, CollGather, AlgoLinear, ExecArgs{
+		DT: dt, Dest: dest, Src: src,
+		Nelems: nelems, Stride: 1, Root: root,
+		PeMsgs: peMsgs, PeDisp: peDisp,
+	})
 }

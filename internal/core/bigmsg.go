@@ -15,7 +15,9 @@ import (
 // hop, so for payloads past a few kilobytes it overtakes the binomial
 // tree; the message-size ablation shows the crossover. Contract as
 // Broadcast (symmetric dest, root-only src); stride must be 1 (chunked
-// transfers are contiguous by construction).
+// transfers are contiguous by construction). The chunk geometry and
+// both phases are encoded in the compiled plan (see
+// compileScatterAllgather).
 func BroadcastScatterAllgather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems, root int) error {
 	if err := validate(pe, dt, nelems, 1, root); err != nil {
 		return err
@@ -25,65 +27,8 @@ func BroadcastScatterAllgather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint6
 		// Degenerate cases: fall back to the tree.
 		return Broadcast(pe, dt, dest, src, nelems, 1, root)
 	}
-	me := pe.MyPE()
-	vRank := VirtualRank(me, root, nPEs)
-	w := uint64(dt.Width)
-	cs := pe.StartCollective("broadcast_sag", root, nelems)
-	defer pe.FinishCollective(cs)
-
-	// Chunking in virtual-rank order: chunk v lives at element offset
-	// disp[v] of the full payload and ends up owned by virtual rank v
-	// after the scatter.
-	msgs := pe.BorrowInts(nPEs)
-	defer pe.ReturnInts(msgs)
-	dispV := pe.BorrowInts(nPEs) // indexed by virtual rank
-	defer pe.ReturnInts(dispV)
-	per := nelems / nPEs
-	rem := nelems % nPEs
-	off := 0
-	for v := 0; v < nPEs; v++ {
-		msgs[v] = per
-		if v < rem {
-			msgs[v]++
-		}
-		dispV[v] = off
-		off += msgs[v]
-	}
-	// Scatter expects pe_msgs/pe_disp indexed by logical rank.
-	msgsL := pe.BorrowInts(nPEs)
-	defer pe.ReturnInts(msgsL)
-	dispL := pe.BorrowInts(nPEs)
-	defer pe.ReturnInts(dispL)
-	for v := 0; v < nPEs; v++ {
-		l := LogicalRank(v, root, nPEs)
-		msgsL[l] = msgs[v]
-		dispL[l] = dispV[v]
-	}
-
-	// Phase 1: scatter the chunks; each PE receives its own chunk at
-	// dest's chunk offset (so the all-gather can run in place).
-	myChunk := dest + uint64(dispV[vRank])*w
-	if err := Scatter(pe, dt, myChunk, src, msgsL, dispL, nelems, root); err != nil {
-		return err
-	}
-
-	// Phase 2: ring all-gather in virtual-rank space. In round r every
-	// PE forwards the chunk it received r rounds ago to its right
-	// neighbour; after N-1 rounds everyone holds all chunks.
-	right := LogicalRank((vRank+1)%nPEs, root, nPEs)
-	for r := 0; r < nPEs-1; r++ {
-		sendChunk := (vRank - r + nPEs*2) % nPEs
-		sendOff := dest + uint64(dispV[sendChunk])*w
-		rs := pe.StartRound("broadcast_sag.round", r, right, msgs[sendChunk])
-		if msgs[sendChunk] > 0 {
-			if err := pe.Put(dt, sendOff, sendOff, msgs[sendChunk], 1, right); err != nil {
-				return err
-			}
-		}
-		if err := pe.Barrier(); err != nil {
-			return err
-		}
-		pe.FinishRound(rs)
-	}
-	return nil
+	return runPlan(pe, CollBroadcast, AlgoScatterAllgather, ExecArgs{
+		DT: dt, Dest: dest, Src: src,
+		Nelems: nelems, Stride: 1, Root: root,
+	})
 }

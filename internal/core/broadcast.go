@@ -14,54 +14,14 @@ import (
 // return every PE, including the root, holds the values at dest.
 //
 // The communication pattern is the binomial tree with recursive
-// halving: the loop index runs from ⌈log₂ n⌉−1 down to 0 so the mask
-// isolates virtual-rank bits left to right, spreading the first hops
-// across the widest distance. Intermediate PEs forward from dest, the
-// address where the tree delivered their copy. A barrier closes every
-// round.
+// halving (see binomialBroadcastPlan); the call executes the cached
+// plan for the current PE count.
 func Broadcast(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems, stride, root int) error {
 	if err := validate(pe, dt, nelems, stride, root); err != nil {
 		return err
 	}
-	nPEs := pe.NumPEs()
-	vRank := VirtualRank(pe.MyPE(), root, nPEs)
-	rounds := CeilLog2(nPEs)
-	cs := pe.StartCollective("broadcast", root, nelems)
-	defer pe.FinishCollective(cs)
-
-	// The root stages the values at its own dest so that (a) the
-	// broadcast postcondition holds on the root too and (b) every
-	// sender, root included, forwards from the same symmetric address.
-	if vRank == 0 && dest != src {
-		timedCopy(pe, dt, dest, src, nelems, stride, stride)
-	}
-
-	mask := (1 << rounds) - 1
-	for i := rounds - 1; i >= 0; i-- {
-		mask ^= 1 << i
-		// Resolve this round's partner before opening the round span so
-		// the span carries the peer and element count from the start.
-		peer := -1
-		if vRank&mask == 0 && vRank&(1<<i) == 0 {
-			vPart := (vRank ^ (1 << i)) % nPEs
-			if vRank < vPart {
-				peer = LogicalRank(vPart, root, nPEs)
-			}
-		}
-		moved := 0
-		if peer >= 0 {
-			moved = nelems
-		}
-		rs := pe.StartRound("broadcast.round", rounds-1-i, peer, moved)
-		if peer >= 0 {
-			if err := pe.Put(dt, dest, dest, nelems, stride, peer); err != nil {
-				return err
-			}
-		}
-		if err := pe.Barrier(); err != nil {
-			return err
-		}
-		pe.FinishRound(rs)
-	}
-	return nil
+	return runPlan(pe, CollBroadcast, AlgoBinomial, ExecArgs{
+		DT: dt, Dest: dest, Src: src,
+		Nelems: nelems, Stride: stride, Root: root,
+	})
 }

@@ -526,9 +526,12 @@ func TestSelectLogic(t *testing.T) {
 		t.Error("auto must pick binomial for > 2 PEs")
 	}
 	for _, a := range []Algorithm{AlgoAuto, AlgoBinomial, AlgoLinear} {
-		if a.String() == "unknown" {
-			t.Errorf("missing name for %d", a)
+		if a.String() == "unknown" || a.String() == "" {
+			t.Errorf("missing name for %q", a)
 		}
+	}
+	if (Algorithm("")).String() != "auto" {
+		t.Errorf("zero-value Algorithm must render as auto, got %q", Algorithm("").String())
 	}
 }
 

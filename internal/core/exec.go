@@ -1,0 +1,390 @@
+package core
+
+import (
+	"fmt"
+
+	"xbgas/internal/obs"
+	"xbgas/internal/xbrtime"
+)
+
+// The executor: one engine runs every compiled plan. It maps virtual
+// ranks to logical (or team-member) ranks, resolves symbolic buffers,
+// offsets and counts against the call's arguments, allocates and frees
+// the staging buffers the plan declares, issues blocking or
+// non-blocking transfers, and emits the obs round spans uniformly —
+// the per-collective entry points reduce to validate + Compile +
+// Execute.
+
+// ExecArgs carries one call's runtime arguments into a plan execution.
+type ExecArgs struct {
+	DT xbrtime.DType
+	// Op is the reduction operator for plans with combine steps.
+	Op ReduceOp
+
+	Dest, Src      uint64
+	Nelems, Stride int
+	// Root is the logical (or team) rank acting as virtual rank 0.
+	Root int
+
+	// PeMsgs/PeDisp are the vector-collective count and displacement
+	// arrays, indexed by logical rank (AdjVector plans only).
+	PeMsgs, PeDisp []int
+
+	// Stage overrides the plan-managed staging buffer with a
+	// caller-provided symmetric workspace (the pWrk convention of
+	// TeamReduce); the executor then neither allocates nor frees it.
+	Stage uint64
+
+	// Team restricts the collective to a PE subset: ranks become team
+	// ranks, targets map through Team.Member, and the team barrier
+	// replaces the world barrier. Nil means the world.
+	Team *xbrtime.Team
+
+	// OnTransfer, when set, observes every put/get the executor issues
+	// (before skip-if-zero suppression it is not called; skipped steps
+	// are invisible, matching the wire). Test instrumentation for the
+	// differential schedule-vs-execution check.
+	OnTransfer func(round int, s Step, count int)
+}
+
+// execEnv is the per-call execution state; it lives on the stack so
+// cached-plan executions allocate nothing.
+type execEnv struct {
+	pe *xbrtime.PE
+	p  *Plan
+	a  ExecArgs
+
+	n, me, v int
+	w        uint64
+
+	stage, scratch uint64
+	ownStage       bool
+
+	adj      []int // AdjVector displacements (borrowed)
+	per, rem int   // AdjChunks chunk geometry
+
+	cost uint64 // per-element combine cost
+}
+
+// Execute runs a compiled plan with the given arguments. Every PE of
+// the plan's world (or team) must call it collectively, like any other
+// collective entry point.
+func Execute(pe *xbrtime.PE, p *Plan, a ExecArgs) error {
+	e := execEnv{pe: pe, p: p, a: a, w: uint64(a.DT.Width)}
+	if a.Team != nil {
+		r, ok := a.Team.Rank(pe)
+		if !ok {
+			return fmt.Errorf("core: PE %d is not a member of the team", pe.MyPE())
+		}
+		e.n, e.me = a.Team.Size(), r
+	} else {
+		e.n, e.me = pe.NumPEs(), pe.MyPE()
+	}
+	if e.n != p.NPEs {
+		return fmt.Errorf("core: plan compiled for %d PEs executed over %d", p.NPEs, e.n)
+	}
+	e.v = VirtualRank(e.me, a.Root, e.n)
+	pe.NotePlanner(p.label)
+	if p.UsesOp {
+		e.cost = combineCost(a.DT, a.Op)
+	}
+	switch p.Adj {
+	case AdjVector:
+		e.adj = adjustedDisplacements(pe, a.PeMsgs, a.Root, e.n)
+		defer pe.ReturnInts(e.adj)
+	case AdjChunks:
+		e.per, e.rem = a.Nelems/e.n, a.Nelems%e.n
+	}
+	if a.Stage != 0 {
+		e.stage = a.Stage
+	} else if p.Stage != BufNone {
+		var err error
+		if e.stage, err = pe.Malloc(e.bufBytes(p.Stage)); err != nil {
+			return err
+		}
+		e.ownStage = true
+	}
+	if p.Scratch != BufNone {
+		var err error
+		if e.scratch, err = pe.Scratch(e.bufBytes(p.Scratch)); err != nil {
+			return e.fail(err)
+		}
+	}
+	for ri := range p.Rounds {
+		if err := e.round(&p.Rounds[ri]); err != nil {
+			return e.fail(err)
+		}
+	}
+	if e.ownStage {
+		return pe.Free(e.stage)
+	}
+	return nil
+}
+
+// fail unwinds a mid-plan error: the plan-managed staging buffer is
+// freed best-effort so error paths do not leak symmetric heap.
+func (e *execEnv) fail(err error) error {
+	if e.ownStage {
+		e.pe.Free(e.stage) //nolint:errcheck // best-effort unwind
+	}
+	return err
+}
+
+// bufBytes sizes a plan-managed buffer from the call's arguments.
+func (e *execEnv) bufBytes(spec BufSpec) uint64 {
+	a := &e.a
+	switch spec {
+	case BufSpan:
+		return spanBytes(a.DT, a.Nelems, a.Stride)
+	case BufMaxBlock:
+		most := 0
+		for _, m := range a.PeMsgs {
+			if m > most {
+				most = m
+			}
+		}
+		if most == 0 {
+			return e.w
+		}
+		return uint64(most) * e.w
+	default: // BufTotal
+		if a.Nelems == 0 {
+			return e.w
+		}
+		return uint64(a.Nelems) * e.w
+	}
+}
+
+// round runs one synchronisation epoch: this PE's own steps (sliced in
+// O(1) from the actor index), then the trailing all-actor barriers,
+// under the round's obs span. Non-blocking rounds batch their puts and
+// wait on every issued handle — success or error — before returning
+// the pooled handle slice, so handles can never leak.
+func (e *execEnv) round(r *Round) error {
+	pe := e.pe
+	mine := r.Steps[r.actorStart[e.v]:r.actorStart[e.v+1]]
+
+	var span obs.Span
+	if r.Name != "" && pe.ObsEnabled() {
+		// Annotate the span with the round's partner and traffic: a
+		// single transfer carries its peer, multiple transfers (linear
+		// roots, alltoall) aggregate under peer -1. Counts include
+		// skip-if-zero steps, mirroring the historical spans.
+		peer, moved, transfers := -1, 0, 0
+		for i := range mine {
+			s := &mine[i]
+			if s.Kind == StepPut || s.Kind == StepGet {
+				transfers++
+				peer = e.rankOf(s.Peer)
+				moved += e.count(s)
+			}
+		}
+		if transfers > 1 {
+			peer = -1
+		}
+		span = pe.StartRound(r.Name, r.Idx, peer, moved)
+	}
+
+	var handles []xbrtime.Handle
+	if r.NB {
+		handles = pe.BorrowHandles(len(mine))
+	}
+	var err error
+	for i := range mine {
+		if err = e.step(&mine[i], r, &handles); err != nil {
+			break
+		}
+	}
+	if r.NB {
+		for _, h := range handles {
+			pe.Wait(h)
+		}
+		pe.ReturnHandles(handles)
+	}
+	if err != nil {
+		return err
+	}
+	for i := r.tail; i < len(r.Steps); i++ {
+		if r.Steps[i].Kind == StepBarrier {
+			if err := e.barrier(); err != nil {
+				return err
+			}
+		}
+	}
+	pe.FinishRound(span)
+	return nil
+}
+
+// step executes one plan step for this PE.
+func (e *execEnv) step(s *Step, r *Round, handles *[]xbrtime.Handle) error {
+	pe, a := e.pe, &e.a
+	switch s.Kind {
+	case StepPut, StepGet:
+		cnt := e.count(s)
+		if s.SkipIfZero && cnt == 0 {
+			return nil
+		}
+		stride := 1
+		if s.Strided {
+			stride = a.Stride
+		}
+		dst, src := e.addr(s.Dst), e.addr(s.Src)
+		tgt := e.rankOf(s.Peer)
+		if a.OnTransfer != nil {
+			a.OnTransfer(r.Idx, *s, cnt)
+		}
+		if s.Kind == StepPut {
+			if r.NB {
+				h, err := pe.PutNB(a.DT, dst, src, cnt, stride, tgt)
+				if err != nil {
+					return err
+				}
+				*handles = append(*handles, h)
+				return nil
+			}
+			return pe.Put(a.DT, dst, src, cnt, stride, tgt)
+		}
+		if r.NB {
+			h, err := pe.GetNB(a.DT, dst, src, cnt, stride, tgt)
+			if err != nil {
+				return err
+			}
+			*handles = append(*handles, h)
+			return nil
+		}
+		return pe.Get(a.DT, dst, src, cnt, stride, tgt)
+
+	case StepCopy:
+		cnt := e.count(s)
+		if s.SkipIfZero && cnt == 0 {
+			return nil
+		}
+		dst, src := e.addr(s.Dst), e.addr(s.Src)
+		if s.SkipIfAlias && dst == src {
+			return nil
+		}
+		timedCopy(pe, a.DT, dst, src, cnt, e.strideOf(s.DstStrided), e.strideOf(s.SrcStrided))
+
+	case StepCombine:
+		cnt := e.count(s)
+		dst, src := e.addr(s.Dst), e.addr(s.Src)
+		ds, ss := e.strideOf(s.DstStrided), e.strideOf(s.SrcStrided)
+		for j := 0; j < cnt; j++ {
+			x := pe.ReadElem(a.DT, dst+uint64(j*ds)*e.w)
+			y := pe.ReadElem(a.DT, src+uint64(j*ss)*e.w)
+			v, err := Combine(a.DT, a.Op, x, y)
+			if err != nil {
+				return err
+			}
+			pe.Advance(e.cost)
+			pe.WriteElem(a.DT, dst+uint64(j*ds)*e.w, v)
+		}
+
+	case StepBarrier:
+		return e.barrier()
+	}
+	return nil
+}
+
+func (e *execEnv) strideOf(strided bool) int {
+	if strided {
+		return e.a.Stride
+	}
+	return 1
+}
+
+// addr resolves a symbolic location to an address.
+func (e *execEnv) addr(l Loc) uint64 {
+	var base uint64
+	switch l.Buf {
+	case BufDest:
+		base = e.a.Dest
+	case BufSrc:
+		base = e.a.Src
+	case BufStage:
+		base = e.stage
+	default:
+		base = e.scratch
+	}
+	switch l.Off {
+	case OffZero:
+		return base
+	case OffAdj:
+		return base + uint64(e.adjOf(l.V))*e.w
+	case OffDisp:
+		return base + uint64(e.a.PeDisp[LogicalRank(l.V, e.a.Root, e.n)])*e.w
+	default: // OffBlock
+		return base + uint64(l.V*e.a.Nelems)*e.w
+	}
+}
+
+// adjOf is the adjusted displacement of virtual rank v — adj_disp in
+// AdjVector mode, the closed-form chunk prefix v·per + min(v, rem) in
+// AdjChunks mode. v may be NPEs (the total element count).
+func (e *execEnv) adjOf(v int) int {
+	if e.p.Adj == AdjChunks {
+		m := v
+		if m > e.rem {
+			m = e.rem
+		}
+		return v*e.per + m
+	}
+	return e.adj[v]
+}
+
+// blockOf is virtual rank v's own block size.
+func (e *execEnv) blockOf(v int) int {
+	if e.p.Adj == AdjChunks {
+		if v < e.rem {
+			return e.per + 1
+		}
+		return e.per
+	}
+	return e.a.PeMsgs[LogicalRank(v, e.a.Root, e.n)]
+}
+
+// count resolves a step's element count.
+func (e *execEnv) count(s *Step) int {
+	switch s.Count {
+	case CountAll:
+		return e.a.Nelems
+	case CountBlock:
+		return e.blockOf(s.CV)
+	default: // CountSubtree
+		end := s.CV + (1 << s.CB)
+		if end > e.n {
+			end = e.n
+		}
+		return e.adjOf(end) - e.adjOf(s.CV)
+	}
+}
+
+// rankOf maps a virtual rank to a transfer target: the logical rank
+// for world plans, the member's global rank for team plans.
+func (e *execEnv) rankOf(v int) int {
+	l := LogicalRank(v, e.a.Root, e.n)
+	if e.a.Team != nil {
+		return e.a.Team.Member(l)
+	}
+	return l
+}
+
+func (e *execEnv) barrier() error {
+	if e.a.Team != nil {
+		return e.pe.TeamBarrier(e.a.Team)
+	}
+	return e.pe.Barrier()
+}
+
+// runPlan is the shared tail of every collective entry point: fetch
+// the cached plan (compiling on first use), open the plan's collective
+// span, and execute.
+func runPlan(pe *xbrtime.PE, coll Collective, algo Algorithm, a ExecArgs) error {
+	p, err := CompilePlan(coll, algo, pe.NumPEs())
+	if err != nil {
+		return err
+	}
+	cs := pe.StartCollective(p.Span, a.Root, a.Nelems)
+	defer pe.FinishCollective(cs)
+	return Execute(pe, p, a)
+}

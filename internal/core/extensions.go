@@ -13,30 +13,39 @@ import (
 
 // AllReduce combines nelems elements from src on every PE with op and
 // delivers the result to dest on every PE: the explicit
-// reduction-to-all call of §7, realised as the reduce + broadcast
-// composition that §4.7 notes an xBGAS user would otherwise write by
-// hand. src must be symmetric; dest must be symmetric as well since the
-// broadcast writes it on every PE.
+// reduction-to-all call of §7. The plan composes the reduce get-tree
+// with the broadcast put-tree over one staging buffer (see
+// binomialAllReducePlan), so the intermediate result never round-trips
+// through dest. src must be symmetric; dest must be symmetric as well
+// since the distribution phase writes it on every PE.
 func AllReduce(pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint64, nelems, stride int) error {
-	cs := pe.StartCollective("allreduce", 0, nelems)
-	defer pe.FinishCollective(cs)
-	if err := Reduce(pe, dt, op, dest, src, nelems, stride, 0); err != nil {
+	if err := validate(pe, dt, nelems, stride, 0); err != nil {
 		return err
 	}
-	return Broadcast(pe, dt, dest, dest, nelems, stride, 0)
+	if _, err := Combine(dt, op, 0, 0); err != nil {
+		return err
+	}
+	return runPlan(pe, CollAllReduce, AlgoBinomial, ExecArgs{
+		DT: dt, Op: op, Dest: dest, Src: src,
+		Nelems: nelems, Stride: stride, Root: 0,
+	})
 }
 
 // AllGather concatenates every PE's contribution (peMsgs[l] elements at
 // src on logical rank l, landing at element offset peDisp[l]) into dest
 // on every PE: the gather-to-all call of §7 and the analogue of
-// OpenSHMEM's collect. dest must be symmetric.
+// OpenSHMEM's collect. The plan composes the gather get-tree with a
+// full-payload broadcast put-tree over one staging buffer (see
+// binomialAllGatherPlan). dest must be symmetric.
 func AllGather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp []int, nelems int) error {
-	cs := pe.StartCollective("allgather", 0, nelems)
-	defer pe.FinishCollective(cs)
-	if err := Gather(pe, dt, dest, src, peMsgs, peDisp, nelems, 0); err != nil {
+	if err := validateVector(pe, dt, peMsgs, peDisp, nelems, 0); err != nil {
 		return err
 	}
-	return Broadcast(pe, dt, dest, dest, nelems, 1, 0)
+	return runPlan(pe, CollAllGather, AlgoBinomial, ExecArgs{
+		DT: dt, Dest: dest, Src: src,
+		Nelems: nelems, Stride: 1, Root: 0,
+		PeMsgs: peMsgs, PeDisp: peDisp,
+	})
 }
 
 // Alltoall performs personalized all-to-all communication (§7): every
@@ -45,10 +54,12 @@ func AllGather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDis
 // dest on PE j. Both buffers must be symmetric and hold
 // nelems*NumPEs() elements.
 //
-// The implementation is the one-sided direct exchange natural to xBGAS:
-// each PE deposits its blocks into the peers' dest buffers with
-// non-blocking puts, overlapping all N-1 transfers, and a barrier
-// closes the exchange.
+// The implementation is the one-sided direct exchange natural to xBGAS
+// (see compileDirect): each PE deposits its blocks into the peers' dest
+// buffers with non-blocking puts, overlapping all N-1 transfers, and a
+// barrier closes the exchange. The executor waits on and returns every
+// issued handle whether the round succeeds or fails, so the pooled
+// handle slice can never leak.
 func Alltoall(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems int) error {
 	if !dt.Valid() {
 		return fmt.Errorf("core: invalid data type %+v", dt)
@@ -57,29 +68,16 @@ func Alltoall(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems int) er
 		return fmt.Errorf("core: negative element count %d", nelems)
 	}
 	n := pe.NumPEs()
-	me := pe.MyPE()
-	w := uint64(dt.Width)
-	block := uint64(nelems) * w
-	cs := pe.StartCollective("alltoall", -1, nelems*n)
+	p, err := CompilePlan(CollAlltoall, AlgoDirect, n)
+	if err != nil {
+		return err
+	}
+	// Rootless: the collective span carries -1 in the root slot, and the
+	// plan executes with virtual rank == logical rank (root 0).
+	cs := pe.StartCollective(p.Span, -1, nelems*n)
 	defer pe.FinishCollective(cs)
-
-	// Local block moves through the hierarchy like any other copy.
-	timedCopy(pe, dt, dest+uint64(me)*block, src+uint64(me)*block, nelems, 1, 1)
-
-	handles := pe.BorrowHandles(n - 1)
-	defer pe.ReturnHandles(handles)
-	for off := 1; off < n; off++ {
-		// Rotated start (me+off) spreads simultaneous senders across
-		// distinct receivers instead of all PEs hammering PE 0 first.
-		p := (me + off) % n
-		h, err := pe.PutNB(dt, dest+uint64(me)*block, src+uint64(p)*block, nelems, 1, p)
-		if err != nil {
-			return err
-		}
-		handles = append(handles, h)
-	}
-	for _, h := range handles {
-		pe.Wait(h)
-	}
-	return pe.Barrier()
+	return Execute(pe, p, ExecArgs{
+		DT: dt, Dest: dest, Src: src,
+		Nelems: nelems, Stride: 1, Root: 0,
+	})
 }

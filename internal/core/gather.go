@@ -15,81 +15,17 @@ import (
 // through a symmetric buffer, so any shared or private source address
 // works; dest is significant only on the root.
 //
-// Data moves leaves→root with recursive doubling and get, aggregating
-// each child subtree's contiguous block at every round; the root
-// finally reorders the virtual-rank-ordered staging buffer into dest by
-// logical rank.
+// Data moves leaves→root with recursive doubling, aggregating each
+// child subtree's contiguous block at every round; the root finally
+// reorders the virtual-rank-ordered staging buffer into dest (see
+// binomialGatherPlan).
 func Gather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp []int, nelems, root int) error {
 	if err := validateVector(pe, dt, peMsgs, peDisp, nelems, root); err != nil {
 		return err
 	}
-	nPEs := pe.NumPEs()
-	me := pe.MyPE()
-	vRank := VirtualRank(me, root, nPEs)
-	rounds := CeilLog2(nPEs)
-	w := uint64(dt.Width)
-	cs := pe.StartCollective("gather", root, nelems)
-	defer pe.FinishCollective(cs)
-
-	adj := adjustedDisplacements(pe, peMsgs, root, nPEs)
-	defer pe.ReturnInts(adj)
-
-	bufBytes := uint64(nelems) * w
-	if nelems == 0 {
-		bufBytes = w
-	}
-	sBuf, err := pe.Malloc(bufBytes)
-	if err != nil {
-		return err
-	}
-
-	// Load the staging buffer with this PE's candidate gather data at
-	// its adjusted offset.
-	timedCopy(pe, dt, sBuf+uint64(adj[vRank])*w, src, peMsgs[me], 1, 1)
-	if err := pe.Barrier(); err != nil {
-		pe.Free(sBuf) //nolint:errcheck
-		return err
-	}
-
-	mask := (1 << rounds) - 1
-	for i := 0; i < rounds; i++ {
-		mask ^= 1 << i
-		// Partner and block size resolved before the round span opens.
-		peer, msgSize, vPart := -1, 0, 0
-		if vRank|mask == mask && vRank&(1<<i) == 0 {
-			if p := (vRank ^ (1 << i)) % nPEs; vRank < p {
-				// The partner has aggregated its subtree's block by now;
-				// pull it in one contiguous get.
-				peer = LogicalRank(p, root, nPEs)
-				vPart = p
-				msgSize = subtreeCount(adj, p, i, nPEs)
-			}
-		}
-		rs := pe.StartRound("gather.round", i, peer, msgSize)
-		if peer >= 0 && msgSize > 0 {
-			off := sBuf + uint64(adj[vPart])*w
-			if err := pe.Get(dt, off, off, msgSize, 1, peer); err != nil {
-				pe.Free(sBuf) //nolint:errcheck
-				return err
-			}
-		}
-		if err := pe.Barrier(); err != nil {
-			pe.Free(sBuf) //nolint:errcheck
-			return err
-		}
-		pe.FinishRound(rs)
-	}
-
-	// Root reorders the staging buffer (virtual order) into dest
-	// (logical order at the caller's displacements).
-	if vRank == 0 {
-		for l := 0; l < nPEs; l++ {
-			v := VirtualRank(l, root, nPEs)
-			timedCopy(pe, dt,
-				dest+uint64(peDisp[l])*w,
-				sBuf+uint64(adj[v])*w,
-				peMsgs[l], 1, 1)
-		}
-	}
-	return pe.Free(sBuf)
+	return runPlan(pe, CollGather, AlgoBinomial, ExecArgs{
+		DT: dt, Dest: dest, Src: src,
+		Nelems: nelems, Stride: 1, Root: root,
+		PeMsgs: peMsgs, PeDisp: peDisp,
+	})
 }

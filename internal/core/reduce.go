@@ -14,13 +14,9 @@ import (
 // stride applies at both src and dest. op must be valid for dt (bitwise
 // operators are undefined for floating-point types).
 //
-// Data flows leaves→root with recursive doubling: the loop index runs
-// upward so the mask isolates virtual-rank bits right to left,
-// reversing the direction of the broadcast tree. Each surviving PE gets
-// its partner's staged partial into a private buffer (l_buff), combines
-// it into its shared staging buffer (s_buff), and the root finally
-// migrates s_buff to dest. Both buffers exist to "prevent any
-// unintended overwriting of values on any PE".
+// Data flows leaves→root with recursive doubling (see
+// binomialReducePlan); the call executes the cached plan for the
+// current PE count.
 func Reduce(pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint64, nelems, stride, root int) error {
 	if err := validate(pe, dt, nelems, stride, root); err != nil {
 		return err
@@ -28,78 +24,8 @@ func Reduce(pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint64, nel
 	if _, err := Combine(dt, op, 0, 0); err != nil {
 		return err // operator/type mismatch
 	}
-	nPEs := pe.NumPEs()
-	vRank := VirtualRank(pe.MyPE(), root, nPEs)
-	rounds := CeilLog2(nPEs)
-	w := uint64(dt.Width)
-	span := spanBytes(dt, nelems, stride)
-	cs := pe.StartCollective("reduce", root, nelems)
-	defer pe.FinishCollective(cs)
-
-	// Symmetric staging buffer (same address on every PE) and a private
-	// landing buffer for partners' partials.
-	sBuf, err := pe.Malloc(span)
-	if err != nil {
-		return err
-	}
-	lBuf, err := pe.Scratch(span)
-	if err != nil {
-		pe.Free(sBuf) //nolint:errcheck // best-effort unwind
-		return err
-	}
-
-	// Stage the local contribution: s_buff[i×stride] = src[i×stride].
-	timedCopy(pe, dt, sBuf, src, nelems, stride, stride)
-	if err := pe.Barrier(); err != nil {
-		pe.Free(sBuf) //nolint:errcheck
-		return err
-	}
-
-	cost := combineCost(dt, op)
-	mask := (1 << rounds) - 1
-	for i := 0; i < rounds; i++ {
-		mask ^= 1 << i
-		// Partner resolution up front so the round span opens annotated.
-		peer := -1
-		if vRank|mask == mask && vRank&(1<<i) == 0 {
-			vPart := (vRank ^ (1 << i)) % nPEs
-			if vRank < vPart {
-				peer = LogicalRank(vPart, root, nPEs)
-			}
-		}
-		moved := 0
-		if peer >= 0 {
-			moved = nelems
-		}
-		rs := pe.StartRound("reduce.round", i, peer, moved)
-		if peer >= 0 {
-			if err := pe.Get(dt, lBuf, sBuf, nelems, stride, peer); err != nil {
-				pe.Free(sBuf) //nolint:errcheck
-				return err
-			}
-			for j := 0; j < nelems; j++ {
-				off := uint64(j*stride) * w
-				a := pe.ReadElem(dt, sBuf+off)
-				b := pe.ReadElem(dt, lBuf+off)
-				r, err := Combine(dt, op, a, b)
-				if err != nil {
-					pe.Free(sBuf) //nolint:errcheck
-					return err
-				}
-				pe.Advance(cost)
-				pe.WriteElem(dt, sBuf+off, r)
-			}
-		}
-		if err := pe.Barrier(); err != nil {
-			pe.Free(sBuf) //nolint:errcheck
-			return err
-		}
-		pe.FinishRound(rs)
-	}
-
-	// Root migrates the final values to dest.
-	if vRank == 0 {
-		timedCopy(pe, dt, dest, sBuf, nelems, stride, stride)
-	}
-	return pe.Free(sBuf)
+	return runPlan(pe, CollReduce, AlgoBinomial, ExecArgs{
+		DT: dt, Op: op, Dest: dest, Src: src,
+		Nelems: nelems, Stride: stride, Root: root,
+	})
 }

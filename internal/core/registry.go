@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// The planner registry replaces the old Algorithm-enum switch: an
+// algorithm is a named Planner that compiles plans for the collectives
+// it implements, and new algorithms (a ring or PAT-style all-gather,
+// say) register here without touching the per-collective entry points.
+
+// Planner compiles communication plans for one algorithm family.
+type Planner struct {
+	// Name is the algorithm name callers select by (-algo on the
+	// bench driver).
+	Name Algorithm
+	// Collectives lists the operations the planner implements.
+	Collectives []Collective
+	// Compile builds the plan for coll over n PEs in virtual-rank
+	// space, or returns nil when the planner does not implement coll.
+	Compile func(coll Collective, n int) *Plan
+}
+
+// Supports reports whether the planner implements coll.
+func (p *Planner) Supports(coll Collective) bool {
+	for _, c := range p.Collectives {
+		if c == coll {
+			return true
+		}
+	}
+	return false
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[Algorithm]*Planner{}
+)
+
+// RegisterPlanner adds (or replaces) a planner under its name.
+func RegisterPlanner(p *Planner) {
+	regMu.Lock()
+	registry[p.Name] = p
+	regMu.Unlock()
+}
+
+// LookupPlanner resolves an algorithm name to its planner.
+func LookupPlanner(name Algorithm) (*Planner, bool) {
+	regMu.RLock()
+	p, ok := registry[name]
+	regMu.RUnlock()
+	return p, ok
+}
+
+// PlannerNames lists the registered algorithm names, sorted.
+func PlannerNames() []string {
+	regMu.RLock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, string(n))
+	}
+	regMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterPlanner(&Planner{
+		Name: AlgoBinomial,
+		Collectives: []Collective{
+			CollBroadcast, CollReduce, CollScatter, CollGather,
+			CollAllReduce, CollAllGather,
+		},
+		Compile: compileBinomial,
+	})
+	RegisterPlanner(&Planner{
+		Name: AlgoLinear,
+		Collectives: []Collective{
+			CollBroadcast, CollReduce, CollScatter, CollGather,
+		},
+		Compile: compileLinear,
+	})
+	RegisterPlanner(&Planner{
+		Name:        AlgoScatterAllgather,
+		Collectives: []Collective{CollBroadcast},
+		Compile:     compileScatterAllgather,
+	})
+	RegisterPlanner(&Planner{
+		Name:        AlgoDirect,
+		Collectives: []Collective{CollAlltoall},
+		Compile:     compileDirect,
+	})
+}

@@ -13,85 +13,19 @@ import (
 // peMsgs[MyPE()] contiguous elements on each PE. dest must be a
 // symmetric address; src is significant only on the root.
 //
-// Because src is ordered by logical rank while the tree runs in virtual
-// ranks, blocks bound for a subtree need not be contiguous when the
-// root is non-zero. The root therefore reorders src into a symmetric
-// staging buffer by virtual rank before communication begins, which
-// "guarantees that the data for each tree node and its children is
-// contiguous and ensures that a single put is sufficient at each stage"
-// — at every round a sender forwards one contiguous block covering its
-// partner and the partner's children.
+// Because src is ordered by logical rank while the tree runs in
+// virtual ranks, the root reorders src into a virtual-rank-ordered
+// staging buffer before communication begins, which "guarantees that
+// the data for each tree node and its children is contiguous and
+// ensures that a single put is sufficient at each stage" (see
+// binomialScatterPlan).
 func Scatter(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp []int, nelems, root int) error {
 	if err := validateVector(pe, dt, peMsgs, peDisp, nelems, root); err != nil {
 		return err
 	}
-	nPEs := pe.NumPEs()
-	me := pe.MyPE()
-	vRank := VirtualRank(me, root, nPEs)
-	rounds := CeilLog2(nPEs)
-	w := uint64(dt.Width)
-	cs := pe.StartCollective("scatter", root, nelems)
-	defer pe.FinishCollective(cs)
-
-	adj := adjustedDisplacements(pe, peMsgs, root, nPEs)
-	defer pe.ReturnInts(adj)
-
-	bufBytes := uint64(nelems) * w
-	if nelems == 0 {
-		bufBytes = w
-	}
-	sBuf, err := pe.Malloc(bufBytes)
-	if err != nil {
-		return err
-	}
-
-	// Root reorders src (logical-rank order, peDisp offsets) into the
-	// staging buffer in virtual-rank order.
-	if vRank == 0 {
-		for v := 0; v < nPEs; v++ {
-			l := LogicalRank(v, root, nPEs)
-			timedCopy(pe, dt,
-				sBuf+uint64(adj[v])*w,
-				src+uint64(peDisp[l])*w,
-				peMsgs[l], 1, 1)
-		}
-	}
-	if err := pe.Barrier(); err != nil {
-		pe.Free(sBuf) //nolint:errcheck
-		return err
-	}
-
-	mask := (1 << rounds) - 1
-	for i := rounds - 1; i >= 0; i-- {
-		mask ^= 1 << i
-		// Resolve the partner and block size before opening the round
-		// span so it opens fully annotated.
-		peer, msgSize, vPart := -1, 0, 0
-		if vRank&mask == 0 && vRank&(1<<i) == 0 {
-			if p := (vRank ^ (1 << i)) % nPEs; vRank < p {
-				// One contiguous block: the partner's elements plus all
-				// of its children's, to be forwarded in later rounds.
-				peer = LogicalRank(p, root, nPEs)
-				vPart = p
-				msgSize = subtreeCount(adj, p, i, nPEs)
-			}
-		}
-		rs := pe.StartRound("scatter.round", rounds-1-i, peer, msgSize)
-		if peer >= 0 && msgSize > 0 {
-			off := sBuf + uint64(adj[vPart])*w
-			if err := pe.Put(dt, off, off, msgSize, 1, peer); err != nil {
-				pe.Free(sBuf) //nolint:errcheck
-				return err
-			}
-		}
-		if err := pe.Barrier(); err != nil {
-			pe.Free(sBuf) //nolint:errcheck
-			return err
-		}
-		pe.FinishRound(rs)
-	}
-
-	// Relocate this PE's block from the staging buffer to dest.
-	timedCopy(pe, dt, dest, sBuf+uint64(adj[vRank])*w, peMsgs[me], 1, 1)
-	return pe.Free(sBuf)
+	return runPlan(pe, CollScatter, AlgoBinomial, ExecArgs{
+		DT: dt, Dest: dest, Src: src,
+		Nelems: nelems, Stride: 1, Root: root,
+		PeMsgs: peMsgs, PeDisp: peDisp,
+	})
 }

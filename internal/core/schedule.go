@@ -6,54 +6,38 @@ import (
 )
 
 // Transfer is one point-to-point move in a collective's schedule,
-// expressed in virtual ranks.
+// expressed in virtual ranks. Schedules are projections of the same
+// compiled plans the executor runs (Plan.Transfers), so the analytic
+// view and the executed communication cannot drift apart.
 type Transfer struct {
 	Round int
+	// Kind is StepPut or StepGet.
+	Kind StepKind
 	// From and To are virtual ranks; for get-based collectives From is
 	// the passive data owner and To the PE issuing the get.
 	From, To int
 }
 
-// BroadcastSchedule computes, analytically, the communication schedule
-// of Algorithm 1 for n PEs: which virtual rank puts to which in each
-// round. Root choice does not affect the virtual-rank schedule (that is
-// the point of the remapping).
+// BroadcastSchedule computes the communication schedule of Algorithm 1
+// for n PEs: which virtual rank puts to which in each round. Root
+// choice does not affect the virtual-rank schedule (that is the point
+// of the remapping). Returns nil for n < 1.
 func BroadcastSchedule(n int) []Transfer {
-	rounds := CeilLog2(n)
-	var out []Transfer
-	mask := (1 << rounds) - 1
-	for i := rounds - 1; i >= 0; i-- {
-		mask ^= 1 << i
-		for v := 0; v < n; v++ {
-			if v&mask == 0 && v&(1<<i) == 0 {
-				vp := (v ^ (1 << i)) % n
-				if v < vp {
-					out = append(out, Transfer{Round: rounds - 1 - i, From: v, To: vp})
-				}
-			}
-		}
+	p, err := CompilePlan(CollBroadcast, AlgoBinomial, n)
+	if err != nil {
+		return nil
 	}
-	return out
+	return p.Transfers()
 }
 
 // ReduceSchedule computes the get schedule of Algorithm 2: in each
-// round, which virtual rank pulls from which.
+// round, which virtual rank pulls from which. Returns nil for n < 1.
 func ReduceSchedule(n int) []Transfer {
-	rounds := CeilLog2(n)
-	var out []Transfer
-	mask := (1 << rounds) - 1
-	for i := 0; i < rounds; i++ {
-		mask ^= 1 << i
-		for v := 0; v < n; v++ {
-			if v|mask == mask && v&(1<<i) == 0 {
-				vp := (v ^ (1 << i)) % n
-				if v < vp {
-					out = append(out, Transfer{Round: i, From: vp, To: v})
-				}
-			}
-		}
+	p, err := CompilePlan(CollReduce, AlgoBinomial, n)
+	if err != nil {
+		return nil
 	}
-	return out
+	return p.Transfers()
 }
 
 // RenderTree renders the broadcast binomial tree with recursive halving

@@ -1,8 +1,13 @@
 package core
 
-import "xbgas/internal/xbrtime"
+import (
+	"fmt"
+	"strings"
 
-// Algorithm selects a collective implementation. Paper §4.1: "there is
+	"xbgas/internal/xbrtime"
+)
+
+// Algorithm names a collective implementation. Paper §4.1: "there is
 // no universally optimal solution suited to every occasion ... most
 // state-of-the-art solutions include a variety of algorithms which are
 // dynamically chosen from at runtime based on the arguments of a
@@ -10,19 +15,25 @@ import "xbgas/internal/xbrtime"
 // must follow a similar pattern." The selector is that hook: the
 // binomial tree is the general-purpose choice; the linear algorithm
 // wins only in the degenerate cases where tree depth buys nothing.
-type Algorithm uint8
+//
+// The value is the planner's registry key (see RegisterPlanner); the
+// zero value "" is equivalent to AlgoAuto so that zero-initialised
+// specs pick automatically.
+type Algorithm string
 
 // Algorithms.
 const (
 	// AlgoAuto picks an implementation from the call's arguments.
-	AlgoAuto Algorithm = iota
+	AlgoAuto Algorithm = "auto"
 	// AlgoBinomial forces the binomial tree (Algorithms 1–4).
-	AlgoBinomial
+	AlgoBinomial Algorithm = "binomial"
 	// AlgoLinear forces the flat root-centric baseline.
-	AlgoLinear
+	AlgoLinear Algorithm = "linear"
 	// AlgoScatterAllgather forces the large-message van de Geijn
 	// broadcast (scatter + ring all-gather); broadcast only, stride 1.
-	AlgoScatterAllgather
+	AlgoScatterAllgather Algorithm = "scatter-allgather"
+	// AlgoDirect forces the direct pairwise exchange (alltoall only).
+	AlgoDirect Algorithm = "direct"
 )
 
 // LargeMessageBytes is the payload size past which scatter+all-gather
@@ -34,19 +45,12 @@ const (
 // bisection bandwidth.
 const LargeMessageBytes = 16 << 10
 
-// String names the algorithm.
+// String names the algorithm, rendering the zero value as "auto".
 func (a Algorithm) String() string {
-	switch a {
-	case AlgoAuto:
-		return "auto"
-	case AlgoBinomial:
-		return "binomial"
-	case AlgoLinear:
-		return "linear"
-	case AlgoScatterAllgather:
-		return "scatter-allgather"
+	if a == "" {
+		return string(AlgoAuto)
 	}
-	return "unknown"
+	return string(a)
 }
 
 // Select resolves AlgoAuto for a collective over nPEs PEs moving
@@ -57,7 +61,7 @@ func (a Algorithm) String() string {
 // data transaction sizes" (§4.2) and small transactions dominate the
 // expected workloads.
 func (a Algorithm) Select(nPEs, nelems, width int) Algorithm {
-	if a != AlgoAuto {
+	if a != AlgoAuto && a != "" {
 		return a
 	}
 	if nPEs <= 2 {
@@ -66,50 +70,97 @@ func (a Algorithm) Select(nPEs, nelems, width int) Algorithm {
 	return AlgoBinomial
 }
 
-// BroadcastWith dispatches a broadcast through the selector. The
-// large-message algorithm applies only to contiguous (stride 1)
-// broadcasts; strided calls stay on the tree.
+// resolveAlgorithm normalises an algorithm request for one collective:
+// auto-selection first, then a registry lookup (unknown names are an
+// error listing what is registered), then a fall-back to the binomial
+// tree when the chosen planner does not cover this collective — the
+// pre-registry dispatch switches defaulted the same way.
+func resolveAlgorithm(algo Algorithm, coll Collective, nPEs, nelems, width int) (Algorithm, error) {
+	selected := algo.Select(nPEs, nelems, width)
+	pl, ok := LookupPlanner(selected)
+	if !ok {
+		return "", fmt.Errorf("core: unknown algorithm %q (registered: %s)",
+			selected, strings.Join(PlannerNames(), ", "))
+	}
+	if !pl.Supports(coll) {
+		return AlgoBinomial, nil
+	}
+	return selected, nil
+}
+
+// BroadcastWith dispatches a broadcast through the selector and the
+// planner registry. The large-message algorithm applies only to
+// contiguous (stride 1) broadcasts; strided calls stay on the tree.
 func BroadcastWith(algo Algorithm, pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems, stride, root int) error {
-	selected := algo.Select(pe.NumPEs(), nelems, dt.Width)
-	if selected == AlgoScatterAllgather && stride != 1 {
-		selected = AlgoBinomial
+	selected, err := resolveAlgorithm(algo, CollBroadcast, pe.NumPEs(), nelems, dt.Width)
+	if err != nil {
+		return err
 	}
-	switch selected {
-	case AlgoLinear:
-		return BroadcastLinear(pe, dt, dest, src, nelems, stride, root)
-	case AlgoScatterAllgather:
-		return BroadcastScatterAllgather(pe, dt, dest, src, nelems, root)
-	default:
-		return Broadcast(pe, dt, dest, src, nelems, stride, root)
+	if selected == AlgoScatterAllgather {
+		if stride != 1 {
+			selected = AlgoBinomial
+		} else {
+			return BroadcastScatterAllgather(pe, dt, dest, src, nelems, root)
+		}
 	}
+	if err := validate(pe, dt, nelems, stride, root); err != nil {
+		return err
+	}
+	return runPlan(pe, CollBroadcast, selected, ExecArgs{
+		DT: dt, Dest: dest, Src: src,
+		Nelems: nelems, Stride: stride, Root: root,
+	})
 }
 
-// ReduceWith dispatches a reduction through the selector.
+// ReduceWith dispatches a reduction through the selector and the
+// planner registry.
 func ReduceWith(algo Algorithm, pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint64, nelems, stride, root int) error {
-	switch algo.Select(pe.NumPEs(), nelems, dt.Width) {
-	case AlgoLinear:
-		return ReduceLinear(pe, dt, op, dest, src, nelems, stride, root)
-	default:
-		return Reduce(pe, dt, op, dest, src, nelems, stride, root)
+	selected, err := resolveAlgorithm(algo, CollReduce, pe.NumPEs(), nelems, dt.Width)
+	if err != nil {
+		return err
 	}
+	if err := validate(pe, dt, nelems, stride, root); err != nil {
+		return err
+	}
+	if _, err := Combine(dt, op, 0, 0); err != nil {
+		return err
+	}
+	return runPlan(pe, CollReduce, selected, ExecArgs{
+		DT: dt, Op: op, Dest: dest, Src: src,
+		Nelems: nelems, Stride: stride, Root: root,
+	})
 }
 
-// ScatterWith dispatches a scatter through the selector.
+// ScatterWith dispatches a scatter through the selector and the
+// planner registry.
 func ScatterWith(algo Algorithm, pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp []int, nelems, root int) error {
-	switch algo.Select(pe.NumPEs(), nelems, dt.Width) {
-	case AlgoLinear:
-		return ScatterLinear(pe, dt, dest, src, peMsgs, peDisp, nelems, root)
-	default:
-		return Scatter(pe, dt, dest, src, peMsgs, peDisp, nelems, root)
+	selected, err := resolveAlgorithm(algo, CollScatter, pe.NumPEs(), nelems, dt.Width)
+	if err != nil {
+		return err
 	}
+	if err := validateVector(pe, dt, peMsgs, peDisp, nelems, root); err != nil {
+		return err
+	}
+	return runPlan(pe, CollScatter, selected, ExecArgs{
+		DT: dt, Dest: dest, Src: src,
+		Nelems: nelems, Stride: 1, Root: root,
+		PeMsgs: peMsgs, PeDisp: peDisp,
+	})
 }
 
-// GatherWith dispatches a gather through the selector.
+// GatherWith dispatches a gather through the selector and the planner
+// registry.
 func GatherWith(algo Algorithm, pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp []int, nelems, root int) error {
-	switch algo.Select(pe.NumPEs(), nelems, dt.Width) {
-	case AlgoLinear:
-		return GatherLinear(pe, dt, dest, src, peMsgs, peDisp, nelems, root)
-	default:
-		return Gather(pe, dt, dest, src, peMsgs, peDisp, nelems, root)
+	selected, err := resolveAlgorithm(algo, CollGather, pe.NumPEs(), nelems, dt.Width)
+	if err != nil {
+		return err
 	}
+	if err := validateVector(pe, dt, peMsgs, peDisp, nelems, root); err != nil {
+		return err
+	}
+	return runPlan(pe, CollGather, selected, ExecArgs{
+		DT: dt, Dest: dest, Src: src,
+		Nelems: nelems, Stride: 1, Root: root,
+		PeMsgs: peMsgs, PeDisp: peDisp,
+	})
 }

@@ -8,10 +8,12 @@ import (
 
 // Team collectives: the binomial-tree algorithms of §4 restricted to a
 // subset of PEs — the "integration of collective functionality between
-// a subset of PEs" of the paper's future work (§7). Team rank replaces
-// logical rank, the team's own barrier replaces the world barrier, and
-// put/get targets map through Team.Member. Non-members must simply not
-// call (they are never synchronised against).
+// a subset of PEs" of the paper's future work (§7). They execute the
+// same compiled plans as the world collectives; the executor maps team
+// rank in place of logical rank, runs the team's own barrier in place
+// of the world barrier, and routes put/get targets through Team.Member.
+// Non-members must simply not call (they are never synchronised
+// against).
 //
 // Unlike the world collectives, team reductions cannot allocate their
 // symmetric staging buffer internally: a symmetric allocation must be
@@ -19,61 +21,44 @@ import (
 // team collective. Following OpenSHMEM's pWrk convention, TeamReduce
 // therefore takes an explicit caller-provided symmetric workspace.
 
-// teamValidate checks the common team-collective contract and returns
-// the caller's team rank.
-func teamValidate(pe *xbrtime.PE, t *xbrtime.Team, dt xbrtime.DType, nelems, stride, root int) (int, error) {
-	myTeamRank, ok := t.Rank(pe)
-	if !ok {
-		return 0, fmt.Errorf("core: PE %d is not a member of the team", pe.MyPE())
+// teamValidate checks the common team-collective contract.
+func teamValidate(pe *xbrtime.PE, t *xbrtime.Team, dt xbrtime.DType, nelems, stride, root int) error {
+	if _, ok := t.Rank(pe); !ok {
+		return fmt.Errorf("core: PE %d is not a member of the team", pe.MyPE())
 	}
 	if !dt.Valid() {
-		return 0, fmt.Errorf("core: invalid data type %+v", dt)
+		return fmt.Errorf("core: invalid data type %+v", dt)
 	}
 	if nelems < 0 {
-		return 0, fmt.Errorf("core: negative element count %d", nelems)
+		return fmt.Errorf("core: negative element count %d", nelems)
 	}
 	if stride < 1 {
-		return 0, fmt.Errorf("core: stride %d; must be >= 1", stride)
+		return fmt.Errorf("core: stride %d; must be >= 1", stride)
 	}
 	if root < 0 || root >= t.Size() {
-		return 0, fmt.Errorf("core: team root %d outside 0..%d", root, t.Size()-1)
+		return fmt.Errorf("core: team root %d outside 0..%d", root, t.Size()-1)
 	}
-	return myTeamRank, nil
+	return nil
 }
 
 // TeamBroadcast distributes nelems elements from src on the member
 // with team rank root to dest on every team member (Algorithm 1 over
 // the team). dest must be a symmetric address.
 func TeamBroadcast(pe *xbrtime.PE, t *xbrtime.Team, dt xbrtime.DType, dest, src uint64, nelems, stride, root int) error {
-	myTeamRank, err := teamValidate(pe, t, dt, nelems, stride, root)
+	if err := teamValidate(pe, t, dt, nelems, stride, root); err != nil {
+		return err
+	}
+	p, err := CompilePlan(CollBroadcast, AlgoBinomial, t.Size())
 	if err != nil {
 		return err
 	}
-	n := t.Size()
-	vRank := VirtualRank(myTeamRank, root, n)
-	rounds := CeilLog2(n)
-
-	if vRank == 0 && dest != src {
-		timedCopy(pe, dt, dest, src, nelems, stride, stride)
-	}
-
-	mask := (1 << rounds) - 1
-	for i := rounds - 1; i >= 0; i-- {
-		mask ^= 1 << i
-		if vRank&mask == 0 && vRank&(1<<i) == 0 {
-			vPart := (vRank ^ (1 << i)) % n
-			teamPart := LogicalRank(vPart, root, n)
-			if vRank < vPart {
-				if err := pe.Put(dt, dest, dest, nelems, stride, t.Member(teamPart)); err != nil {
-					return err
-				}
-			}
-		}
-		if err := pe.TeamBarrier(t); err != nil {
-			return err
-		}
-	}
-	return nil
+	cs := pe.StartCollective("team_broadcast", root, nelems)
+	defer pe.FinishCollective(cs)
+	return Execute(pe, p, ExecArgs{
+		DT: dt, Dest: dest, Src: src,
+		Nelems: nelems, Stride: stride, Root: root,
+		Team: t,
+	})
 }
 
 // TeamReduce combines nelems elements from src on every team member
@@ -81,62 +66,24 @@ func TeamBroadcast(pe *xbrtime.PE, t *xbrtime.Team, dt xbrtime.DType, dest, src 
 // root (Algorithm 2 over the team). src and work must be symmetric
 // addresses; work is the caller-provided staging buffer (the pWrk
 // analogue) and must span at least ((nelems-1)*stride+1) elements. work
-// must not overlap src or dest.
+// must not overlap src or dest. The executor stages through work
+// instead of allocating (and never frees it).
 func TeamReduce(pe *xbrtime.PE, t *xbrtime.Team, dt xbrtime.DType, op ReduceOp, dest, src, work uint64, nelems, stride, root int) error {
-	myTeamRank, err := teamValidate(pe, t, dt, nelems, stride, root)
-	if err != nil {
+	if err := teamValidate(pe, t, dt, nelems, stride, root); err != nil {
 		return err
 	}
 	if _, err := Combine(dt, op, 0, 0); err != nil {
 		return err
 	}
-	n := t.Size()
-	vRank := VirtualRank(myTeamRank, root, n)
-	rounds := CeilLog2(n)
-	w := uint64(dt.Width)
-	span := spanBytes(dt, nelems, stride)
-
-	lBuf, err := pe.Scratch(span)
+	p, err := CompilePlan(CollReduce, AlgoBinomial, t.Size())
 	if err != nil {
 		return err
 	}
-
-	timedCopy(pe, dt, work, src, nelems, stride, stride)
-	if err := pe.TeamBarrier(t); err != nil {
-		return err
-	}
-
-	cost := combineCost(dt, op)
-	mask := (1 << rounds) - 1
-	for i := 0; i < rounds; i++ {
-		mask ^= 1 << i
-		if vRank|mask == mask && vRank&(1<<i) == 0 {
-			vPart := (vRank ^ (1 << i)) % n
-			teamPart := LogicalRank(vPart, root, n)
-			if vRank < vPart {
-				if err := pe.Get(dt, lBuf, work, nelems, stride, t.Member(teamPart)); err != nil {
-					return err
-				}
-				for j := 0; j < nelems; j++ {
-					off := uint64(j*stride) * w
-					a := pe.ReadElem(dt, work+off)
-					b := pe.ReadElem(dt, lBuf+off)
-					r, err := Combine(dt, op, a, b)
-					if err != nil {
-						return err
-					}
-					pe.Advance(cost)
-					pe.WriteElem(dt, work+off, r)
-				}
-			}
-		}
-		if err := pe.TeamBarrier(t); err != nil {
-			return err
-		}
-	}
-
-	if vRank == 0 {
-		timedCopy(pe, dt, dest, work, nelems, stride, stride)
-	}
-	return nil
+	cs := pe.StartCollective("team_reduce", root, nelems)
+	defer pe.FinishCollective(cs)
+	return Execute(pe, p, ExecArgs{
+		DT: dt, Op: op, Dest: dest, Src: src,
+		Nelems: nelems, Stride: stride, Root: root,
+		Stage: work, Team: t,
+	})
 }

@@ -2,6 +2,7 @@ package xbrtime
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -60,8 +61,42 @@ func (rt *Runtime) StatsReport() string {
 				i, s.Msgs, s.Bytes, s.StallCycles, s.PeakQueue)
 		}
 	}
+	if pl := rt.plannerLine(); pl != "" {
+		b.WriteString(pl)
+	}
 	if bd := rt.obsRun.RoundBreakdown(); bd != "" {
 		b.WriteString(bd)
 	}
+	return b.String()
+}
+
+// plannerLine aggregates the per-PE plan-execution tallies (see
+// PE.NotePlanner) into one sorted summary line, e.g.
+// "planners: broadcast/binomial x16, reduce/linear x8\n". Empty when no
+// plan ran.
+func (rt *Runtime) plannerLine() string {
+	totals := make(map[string]uint64)
+	for _, pe := range rt.pes {
+		for label, n := range pe.planners {
+			totals[label] += n
+		}
+	}
+	if len(totals) == 0 {
+		return ""
+	}
+	labels := make([]string, 0, len(totals))
+	for label := range totals {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	var b strings.Builder
+	b.WriteString("planners:")
+	for i, label := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, " %s x%d", label, totals[label])
+	}
+	b.WriteByte('\n')
 	return b.String()
 }

@@ -77,6 +77,32 @@ func TestStatsReportSmallRun(t *testing.T) {
 	}
 }
 
+// TestStatsReportPlannerLine checks the plan-execution tallies recorded
+// by NotePlanner (the executor calls it once per plan run) aggregate
+// across PEs into one sorted "planners:" line, and that a run with no
+// plans omits the line entirely.
+func TestStatsReportPlannerLine(t *testing.T) {
+	rt := MustNew(Config{NumPEs: 2})
+	if strings.Contains(rt.StatsReport(), "planners:") {
+		t.Errorf("plan-free report must omit the planners line:\n%s", rt.StatsReport())
+	}
+	err := rt.Run(func(pe *PE) error {
+		pe.NotePlanner("broadcast/binomial")
+		pe.NotePlanner("broadcast/binomial")
+		if pe.MyPE() == 0 {
+			pe.NotePlanner("reduce/linear")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rt.StatsReport()
+	if !strings.Contains(got, "planners: broadcast/binomial x4, reduce/linear x1\n") {
+		t.Errorf("report missing aggregated planners line:\n%s", got)
+	}
+}
+
 // TestStatsReportRoundBreakdown checks the obs-extended report includes
 // the per-collective round table after a broadcast-bearing run. The
 // collective itself lives in internal/core; here a put/barrier pattern

@@ -306,6 +306,15 @@ type PE struct {
 	intPool    [][]int
 	handlePool [][]Handle
 
+	// Workspace pool balance: borrows minus returns. Zero whenever no
+	// collective is mid-flight; the pool-leak tests assert on it.
+	intsOut, handlesOut int
+
+	// planners tallies plan executions by "collective/algorithm" label
+	// (core.Execute calls NotePlanner); StatsReport aggregates the
+	// per-PE maps.
+	planners map[string]uint64
+
 	// Traffic statistics.
 	puts, gets         uint64
 	putElems, getElems uint64
@@ -334,6 +343,7 @@ func (pe *PE) elems(n int) []uint64 {
 // with ReturnInts. Like every PE method it must only be called from
 // the PE's own goroutine.
 func (pe *PE) BorrowInts(n int) []int {
+	pe.intsOut++
 	if k := len(pe.intPool); k > 0 {
 		s := pe.intPool[k-1]
 		pe.intPool = pe.intPool[:k-1]
@@ -351,12 +361,14 @@ func (pe *PE) BorrowInts(n int) []int {
 
 // ReturnInts gives a slice from BorrowInts back to the pool.
 func (pe *PE) ReturnInts(s []int) {
+	pe.intsOut--
 	pe.intPool = append(pe.intPool, s)
 }
 
 // BorrowHandles returns an empty Handle slice with capacity ≥ n from
 // the PE's workspace pool; pair with ReturnHandles.
 func (pe *PE) BorrowHandles(n int) []Handle {
+	pe.handlesOut++
 	if k := len(pe.handlePool); k > 0 {
 		s := pe.handlePool[k-1]
 		pe.handlePool = pe.handlePool[:k-1]
@@ -370,7 +382,27 @@ func (pe *PE) BorrowHandles(n int) []Handle {
 
 // ReturnHandles gives a slice from BorrowHandles back to the pool.
 func (pe *PE) ReturnHandles(s []Handle) {
+	pe.handlesOut--
 	pe.handlePool = append(pe.handlePool, s)
+}
+
+// WorkspaceOutstanding reports the PE's workspace pool imbalance:
+// borrows minus returns for the int and handle pools. Both are zero
+// whenever no collective is mid-flight; tests assert on it to catch
+// leaked borrows (success and error paths alike).
+func (pe *PE) WorkspaceOutstanding() (ints, handles int) {
+	return pe.intsOut, pe.handlesOut
+}
+
+// NotePlanner tallies one collective plan execution under its
+// "collective/algorithm" label; StatsReport aggregates the counts. The
+// map is keyed by the plan's interned label, so steady-state calls
+// allocate nothing.
+func (pe *PE) NotePlanner(label string) {
+	if pe.planners == nil {
+		pe.planners = make(map[string]uint64, 8)
+	}
+	pe.planners[label]++
 }
 
 // MyPE returns the PE's rank: xbrtime_mype().

@@ -84,8 +84,32 @@ func Parse(out []byte) (map[string]Bench, error) {
 	return res, nil
 }
 
-// Compare builds a report from a baseline (may be nil/empty) and a
-// current run. label defaults to today's date.
+// ParseBaseline extracts benchmarks from a baseline in either format:
+// raw `go test -bench` output, or a Report JSON written by a previous
+// benchdiff run (a BENCH_*.json file — its entries' "new" numbers are
+// the baseline). JSON is detected by a leading '{'.
+func ParseBaseline(out []byte) (map[string]Bench, error) {
+	trimmed := strings.TrimSpace(string(out))
+	if !strings.HasPrefix(trimmed, "{") {
+		return Parse(out)
+	}
+	var r Report
+	if err := json.Unmarshal(out, &r); err != nil {
+		return nil, fmt.Errorf("baseline JSON: %w", err)
+	}
+	if len(r.Entries) == 0 {
+		return nil, fmt.Errorf("baseline JSON has no benchmark entries")
+	}
+	res := make(map[string]Bench, len(r.Entries))
+	for _, e := range r.Entries {
+		res[e.Name] = e.New
+	}
+	return res, nil
+}
+
+// Compare builds a report from a baseline (may be nil/empty; raw bench
+// output or a prior Report JSON) and a current run. label defaults to
+// today's date.
 func Compare(oldOut, newOut []byte, label string) (*Report, error) {
 	newB, err := Parse(newOut)
 	if err != nil {
@@ -93,7 +117,7 @@ func Compare(oldOut, newOut []byte, label string) (*Report, error) {
 	}
 	var oldB map[string]Bench
 	if len(oldOut) > 0 {
-		oldB, err = Parse(oldOut)
+		oldB, err = ParseBaseline(oldOut)
 		if err != nil {
 			return nil, fmt.Errorf("old output: %w", err)
 		}

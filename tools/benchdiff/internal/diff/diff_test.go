@@ -86,6 +86,47 @@ func TestCompareWithoutBaseline(t *testing.T) {
 	}
 }
 
+func TestParseBaselineJSON(t *testing.T) {
+	// A BENCH_*.json report written by a prior run serves as the
+	// baseline: its entries' "new" numbers are what we compare against.
+	prior, err := Compare([]byte(oldOut), []byte(newOut), "prior")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(prior, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ParseBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := base["BenchmarkGUPS8PE"]; b.NsPerOp != 40000000 {
+		t.Fatalf("JSON baseline GUPS ns/op = %v, want the prior run's new value", b.NsPerOp)
+	}
+	// Raw bench output still parses through the same entry point.
+	raw, err := ParseBaseline([]byte(oldOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := raw["BenchmarkGUPS8PE"]; b.NsPerOp != 100000000 {
+		t.Fatalf("raw baseline GUPS ns/op = %v", b.NsPerOp)
+	}
+	// And Compare accepts the JSON form directly on the old side.
+	r, err := Compare(data, []byte(newOut), "vs-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range r.Entries {
+		if e.Name == "BenchmarkGUPS8PE" && (e.Old == nil || e.Speedup < 0.99 || e.Speedup > 1.01) {
+			t.Fatalf("self-comparison should be ~1x: %+v", e)
+		}
+	}
+	if _, err := ParseBaseline([]byte("{\"label\":\"x\",\"benches\":[]}")); err == nil {
+		t.Fatal("empty JSON baseline must error")
+	}
+}
+
 func TestWriteJSONRoundTrip(t *testing.T) {
 	r, err := Compare([]byte(oldOut), []byte(newOut), "rt")
 	if err != nil {
