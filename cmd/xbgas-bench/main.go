@@ -17,9 +17,13 @@
 // GUPS/IS parameters can be scaled with -gups-table, -gups-updates,
 // -is-keys, -is-maxkey, -is-iters. The kernels' collective algorithm
 // can be forced with -algo (use `-algo list` to print the registered
-// planners); xbgas-run has no such flag because it executes guest
-// assembly, which encodes its own communication. Host hot paths can be
-// profiled with -cpuprofile/-memprofile (inspect with `go tool pprof`).
+// planners) and message segmentation with -chunk (0 = auto-select,
+// >0 forces that segment size in bytes, <0 disables segmentation);
+// segmented executions show up in StatsReport's planners: tally as
+// "collective/algorithm[seg=N]". xbgas-run has no such flags because
+// it executes guest assembly, which encodes its own communication.
+// Host hot paths can be profiled with -cpuprofile/-memprofile
+// (inspect with `go tool pprof`).
 package main
 
 import (
@@ -60,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		isMaxKey    = fs.Int("is-maxkey", bench.DefaultISParams().MaxKey, "IS maximum key value")
 		isIters     = fs.Int("is-iters", bench.DefaultISParams().Iterations, "IS iterations")
 		algo        = fs.String("algo", "", "force a registered collective algorithm for the GUPS/IS kernels (\"list\" prints the registry)")
+		chunk       = fs.Int("chunk", 0, "collective segmentation chunk bytes: 0 = auto, >0 forces the segment size, <0 disables segmentation")
 
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to `file`")
@@ -121,6 +126,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		gups.Algo = core.Algorithm(*algo)
 		is.Algo = core.Algorithm(*algo)
+	}
+	if *chunk != 0 {
+		// Per-kernel params carry the override so library callers get
+		// the same knob; the global set covers every other path the
+		// driver exercises (ablations, figures, -compare).
+		core.SetChunkBytes(*chunk)
+		gups.Chunk = *chunk
+		is.Chunk = *chunk
 	}
 
 	// Observability rides through the kernels' runtime configuration:

@@ -123,6 +123,75 @@ func BenchmarkGather(b *testing.B) {
 	})
 }
 
+// benchLargeBroadcast drives a large-message broadcast with a fixed
+// chunk override: -1 pins the unsegmented baseline, 0 is auto
+// selection, >0 forces that segment size. The chunk ablation in
+// docs/PERF.md is one sweep of this helper.
+func benchLargeBroadcast(b *testing.B, elems, chunk int) {
+	b.Helper()
+	core.SetChunkBytes(chunk)
+	defer core.SetChunkBytes(0)
+	rt := xbrtime.MustNew(xbrtime.Config{NumPEs: 8})
+	defer rt.Close()
+	var dest, src uint64
+	err := rt.Run(func(pe *xbrtime.PE) error {
+		d, err := pe.Malloc(uint64(elems) * 8)
+		if err != nil {
+			return err
+		}
+		s, err := pe.Malloc(uint64(elems) * 8)
+		if err != nil {
+			return err
+		}
+		dest, src = d, s
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(elems) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Run(func(pe *xbrtime.PE) error {
+			return core.Broadcast(pe, xbrtime.TypeULong, dest, src, elems, 1, 0)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBcast1MB8PE is the large-message headline number: a 1 MiB
+// broadcast across 8 PEs with auto-selected segmentation. benchdiff
+// tracks it in the checked-in baseline next to GUPS8PE.
+func BenchmarkBcast1MB8PE(b *testing.B) { benchLargeBroadcast(b, 1<<17, 0) }
+
+// BenchmarkBcast1MB8PEUnsegmented is the same payload with
+// segmentation disabled — the pair is the speedup the pipelined
+// executor buys on the host.
+func BenchmarkBcast1MB8PEUnsegmented(b *testing.B) { benchLargeBroadcast(b, 1<<17, -1) }
+
+// BenchmarkBcastChunk sweeps the chunk size over a 256 KiB broadcast;
+// docs/PERF.md tabulates one run to justify DefaultChunkBytes and the
+// SegmentMinBytes crossover.
+func BenchmarkBcastChunk(b *testing.B) {
+	for _, c := range []struct {
+		name  string
+		chunk int
+	}{
+		{"off", -1},
+		{"4KiB", 4 << 10},
+		{"8KiB", 8 << 10},
+		{"16KiB", 16 << 10},
+		{"32KiB", 32 << 10},
+		{"64KiB", 64 << 10},
+		{"128KiB", 128 << 10},
+		{"auto", 0},
+	} {
+		b.Run(c.name, func(b *testing.B) { benchLargeBroadcast(b, 1<<15, c.chunk) })
+	}
+}
+
 func BenchmarkGUPS8PE(b *testing.B) {
 	p := GUPSParams{
 		TableWords:   1 << 18,

@@ -18,6 +18,15 @@ import (
 // transfers are contiguous by construction). The chunk geometry and
 // both phases are encoded in the compiled plan (see
 // compileScatterAllgather).
+//
+// Auto-segmentation (SelectSegments) never rewrites this algorithm:
+// it already amortises large messages by chunking across PEs, so
+// layering per-segment pipelining on top would only add flag traffic.
+// Forcing it explicitly keeps its one-shot two-phase shape too —
+// SetChunkBytes steers the binomial planners only. A plain Broadcast
+// above the segmentation threshold instead stays on the binomial tree
+// and pipelines its segments; the message-size ablation compares the
+// two large-message strategies.
 func BroadcastScatterAllgather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems, root int) error {
 	if err := validate(pe, dt, nelems, 1, root); err != nil {
 		return err

@@ -60,8 +60,19 @@ type execEnv struct {
 	stage, scratch uint64
 	ownStage       bool
 
+	// flags is the plan's symmetric flag block (FlagWords 8-byte words)
+	// backing StepSignal/StepWaitFlag dependencies.
+	flags    uint64
+	ownFlags bool
+
 	adj      []int // AdjVector displacements (borrowed)
 	per, rem int   // AdjChunks chunk geometry
+
+	segPer, segRem int // segment geometry: nelems over Plan.Segments
+
+	// lastNB is the actor's most recent non-blocking transfer of the
+	// current round; StepSignal orders its flag store after it.
+	lastNB xbrtime.Handle
 
 	cost uint64 // per-element combine cost
 }
@@ -83,10 +94,16 @@ func Execute(pe *xbrtime.PE, p *Plan, a ExecArgs) error {
 	if e.n != p.NPEs {
 		return fmt.Errorf("core: plan compiled for %d PEs executed over %d", p.NPEs, e.n)
 	}
+	if p.FlagWords > 0 && a.Team != nil {
+		return fmt.Errorf("core: segmented plans cannot run on teams: the flag block needs a symmetric world allocation")
+	}
 	e.v = VirtualRank(e.me, a.Root, e.n)
 	pe.NotePlanner(p.label)
 	if p.UsesOp {
 		e.cost = combineCost(a.DT, a.Op)
+	}
+	if p.Segments > 1 {
+		e.segPer, e.segRem = a.Nelems/p.Segments, a.Nelems%p.Segments
 	}
 	switch p.Adj {
 	case AdjVector:
@@ -104,6 +121,17 @@ func Execute(pe *xbrtime.PE, p *Plan, a ExecArgs) error {
 		}
 		e.ownStage = true
 	}
+	if p.FlagWords > 0 {
+		// The flag block is a plan-scoped symmetric allocation: every
+		// PE mallocs it at the same point of the same call sequence, so
+		// the block lands at the same address on every rank and word
+		// addresses are meaningful across PEs.
+		var err error
+		if e.flags, err = pe.Malloc(uint64(p.FlagWords) * 8); err != nil {
+			return e.fail(err)
+		}
+		e.ownFlags = true
+	}
 	if p.Scratch != BufNone {
 		var err error
 		if e.scratch, err = pe.Scratch(e.bufBytes(p.Scratch)); err != nil {
@@ -115,15 +143,25 @@ func Execute(pe *xbrtime.PE, p *Plan, a ExecArgs) error {
 			return e.fail(err)
 		}
 	}
+	if e.ownFlags {
+		if err := pe.Free(e.flags); err != nil {
+			e.ownFlags = false
+			return e.fail(err)
+		}
+	}
 	if e.ownStage {
 		return pe.Free(e.stage)
 	}
 	return nil
 }
 
-// fail unwinds a mid-plan error: the plan-managed staging buffer is
-// freed best-effort so error paths do not leak symmetric heap.
+// fail unwinds a mid-plan error: the plan-managed staging buffer and
+// flag block are freed best-effort so error paths do not leak
+// symmetric heap.
 func (e *execEnv) fail(err error) error {
+	if e.ownFlags {
+		e.pe.Free(e.flags) //nolint:errcheck // best-effort unwind
+	}
 	if e.ownStage {
 		e.pe.Free(e.stage) //nolint:errcheck // best-effort unwind
 	}
@@ -189,6 +227,7 @@ func (e *execEnv) round(r *Round) error {
 	if r.NB {
 		handles = pe.BorrowHandles(len(mine))
 	}
+	e.lastNB = xbrtime.Handle{}
 	var err error
 	for i := range mine {
 		if err = e.step(&mine[i], r, &handles); err != nil {
@@ -222,24 +261,35 @@ func (e *execEnv) step(s *Step, r *Round, handles *[]xbrtime.Handle) error {
 	case StepPut, StepGet:
 		cnt := e.count(s)
 		if s.SkipIfZero && cnt == 0 {
+			// The paired signal (if any) must not trail a stale handle.
+			e.lastNB = xbrtime.Handle{}
 			return nil
 		}
 		stride := 1
 		if s.Strided {
 			stride = a.Stride
 		}
-		dst, src := e.addr(s.Dst), e.addr(s.Src)
+		dst, src := e.addr(s.Dst, s.Strided), e.addr(s.Src, s.Strided)
 		tgt := e.rankOf(s.Peer)
 		if a.OnTransfer != nil {
 			a.OnTransfer(r.Idx, *s, cnt)
 		}
 		if s.Kind == StepPut {
 			if r.NB {
-				h, err := pe.PutNB(a.DT, dst, src, cnt, stride, tgt)
+				var h xbrtime.Handle
+				var err error
+				if e.p.FlagWords > 0 && stride == 1 {
+					// Pipelined segments move as line-granular bulk
+					// chunks; strided segments keep element streams.
+					h, err = pe.PutChunkNB(a.DT, dst, src, cnt, tgt)
+				} else {
+					h, err = pe.PutNB(a.DT, dst, src, cnt, stride, tgt)
+				}
 				if err != nil {
 					return err
 				}
 				*handles = append(*handles, h)
+				e.lastNB = h
 				return nil
 			}
 			return pe.Put(a.DT, dst, src, cnt, stride, tgt)
@@ -250,7 +300,11 @@ func (e *execEnv) step(s *Step, r *Round, handles *[]xbrtime.Handle) error {
 				return err
 			}
 			*handles = append(*handles, h)
+			e.lastNB = h
 			return nil
+		}
+		if e.p.FlagWords > 0 && stride == 1 {
+			return pe.GetChunk(a.DT, dst, src, cnt, tgt)
 		}
 		return pe.Get(a.DT, dst, src, cnt, stride, tgt)
 
@@ -259,7 +313,7 @@ func (e *execEnv) step(s *Step, r *Round, handles *[]xbrtime.Handle) error {
 		if s.SkipIfZero && cnt == 0 {
 			return nil
 		}
-		dst, src := e.addr(s.Dst), e.addr(s.Src)
+		dst, src := e.addr(s.Dst, s.DstStrided), e.addr(s.Src, s.SrcStrided)
 		if s.SkipIfAlias && dst == src {
 			return nil
 		}
@@ -267,7 +321,7 @@ func (e *execEnv) step(s *Step, r *Round, handles *[]xbrtime.Handle) error {
 
 	case StepCombine:
 		cnt := e.count(s)
-		dst, src := e.addr(s.Dst), e.addr(s.Src)
+		dst, src := e.addr(s.Dst, s.DstStrided), e.addr(s.Src, s.SrcStrided)
 		ds, ss := e.strideOf(s.DstStrided), e.strideOf(s.SrcStrided)
 		for j := 0; j < cnt; j++ {
 			x := pe.ReadElem(a.DT, dst+uint64(j*ds)*e.w)
@@ -282,6 +336,18 @@ func (e *execEnv) step(s *Step, r *Round, handles *[]xbrtime.Handle) error {
 
 	case StepBarrier:
 		return e.barrier()
+
+	case StepSignal:
+		// The flag store trails the actor's latest non-blocking
+		// transfer of the round (the segment just forwarded); in
+		// blocking rounds the clock already covers completion and the
+		// zero handle makes "now" the only floor.
+		h := e.lastNB
+		e.lastNB = xbrtime.Handle{}
+		return pe.SignalAfter(h, e.flags+uint64(s.Flag)*8, e.rankOf(s.Peer))
+
+	case StepWaitFlag:
+		return pe.WaitFlag(e.flags + uint64(s.Flag)*8)
 	}
 	return nil
 }
@@ -293,8 +359,11 @@ func (e *execEnv) strideOf(strided bool) int {
 	return 1
 }
 
-// addr resolves a symbolic location to an address.
-func (e *execEnv) addr(l Loc) uint64 {
+// addr resolves a symbolic location to an address. strided scales
+// element offsets that live in the call's strided layout (OffSeg is
+// the only stride-sensitive offset: segment k starts k segments of
+// elements — hence k segments of stride-spaced slots — into the span).
+func (e *execEnv) addr(l Loc, strided bool) uint64 {
 	var base uint64
 	switch l.Buf {
 	case BufDest:
@@ -313,9 +382,25 @@ func (e *execEnv) addr(l Loc) uint64 {
 		return base + uint64(e.adjOf(l.V))*e.w
 	case OffDisp:
 		return base + uint64(e.a.PeDisp[LogicalRank(l.V, e.a.Root, e.n)])*e.w
+	case OffSeg:
+		off := e.segOff(l.V)
+		if strided {
+			off *= e.a.Stride
+		}
+		return base + uint64(off)*e.w
 	default: // OffBlock
 		return base + uint64(l.V*e.a.Nelems)*e.w
 	}
+}
+
+// segOff is the element offset of segment k: the first nelems mod S
+// segments carry one extra element.
+func (e *execEnv) segOff(k int) int {
+	m := k
+	if m > e.segRem {
+		m = e.segRem
+	}
+	return k*e.segPer + m
 }
 
 // adjOf is the adjusted displacement of virtual rank v — adj_disp in
@@ -350,6 +435,12 @@ func (e *execEnv) count(s *Step) int {
 		return e.a.Nelems
 	case CountBlock:
 		return e.blockOf(s.CV)
+	case CountSeg:
+		n := e.segPer
+		if s.CV < e.segRem {
+			n++
+		}
+		return n
 	default: // CountSubtree
 		end := s.CV + (1 << s.CB)
 		if end > e.n {
@@ -376,11 +467,17 @@ func (e *execEnv) barrier() error {
 	return e.pe.Barrier()
 }
 
-// runPlan is the shared tail of every collective entry point: fetch
-// the cached plan (compiling on first use), open the plan's collective
-// span, and execute.
+// runPlan is the shared tail of every collective entry point: pick the
+// segmentation for the message, fetch the cached plan (compiling on
+// first use), open the plan's collective span, and execute. Team
+// executions never segment — a members-only flag allocation would
+// break the symmetric-heap contract.
 func runPlan(pe *xbrtime.PE, coll Collective, algo Algorithm, a ExecArgs) error {
-	p, err := CompilePlan(coll, algo, pe.NumPEs())
+	seg := 1
+	if a.Team == nil {
+		seg = SelectSegments(coll, algo, pe.NumPEs(), a.Nelems, a.DT.Width)
+	}
+	p, err := CompilePlanSeg(coll, algo, pe.NumPEs(), seg)
 	if err != nil {
 		return err
 	}

@@ -71,6 +71,14 @@ const (
 	// StepBarrier synchronises; with Actor == ActorAll it closes a
 	// round for every PE.
 	StepBarrier
+	// StepSignal stores a completion flag (word Flag of the plan's flag
+	// block) on Peer, ordered after the actor's latest non-blocking
+	// transfer of the round. Segmented plans use signal/wait pairs as
+	// point-to-point dependencies instead of per-round world barriers.
+	StepSignal
+	// StepWaitFlag blocks the actor until its own flag word Flag has
+	// been signalled, consuming the post.
+	StepWaitFlag
 )
 
 // String names the step kind.
@@ -86,6 +94,10 @@ func (k StepKind) String() string {
 		return "copy"
 	case StepBarrier:
 		return "barrier"
+	case StepSignal:
+		return "signal"
+	case StepWaitFlag:
+		return "waitflag"
 	}
 	return "unknown"
 }
@@ -126,6 +138,11 @@ const (
 	OffDisp
 	// OffBlock is V×nelems: fixed-size block V of an alltoall buffer.
 	OffBlock
+	// OffSeg is the element offset of segment V under the plan's
+	// segmentation of nelems (segment k starts at k·⌊nelems/S⌋ +
+	// min(k, nelems mod S)); scaled by the call's stride on strided
+	// sides.
+	OffSeg
 )
 
 // CountRef is a symbolic element count resolved at execution time.
@@ -142,6 +159,10 @@ const (
 	// virtual rank CV with height CB: virtual ranks [CV, CV+2^CB)
 	// clipped to the PE count.
 	CountSubtree
+	// CountSeg is the length of segment CV under the plan's
+	// segmentation of nelems: ⌊nelems/S⌋ plus one for the first
+	// nelems mod S segments.
+	CountSeg
 )
 
 // Loc is a symbolic address: a buffer plus an offset reference. V is
@@ -166,7 +187,11 @@ type Step struct {
 	Dst, Src Loc
 
 	Count  CountRef
-	CV, CB int // operands of CountBlock/CountSubtree
+	CV, CB int // operands of CountBlock/CountSubtree/CountSeg
+
+	// Flag is the flag-word index of a StepSignal/StepWaitFlag within
+	// the plan's flag block (see Plan.FlagWords).
+	Flag int
 
 	// Strided applies the call's element stride to a put/get (both
 	// sides); DstStrided/SrcStrided apply it per side of a copy or
@@ -252,7 +277,35 @@ type Plan struct {
 	// precomputes the operator cost.
 	UsesOp bool
 
+	// Segments is the message-segmentation factor: nelems is split into
+	// this many near-equal chunks that flow through the tree pipelined
+	// (0 or 1 = unsegmented). FlagWords is the size, in 8-byte words, of
+	// the symmetric flag block the executor allocates for the plan's
+	// signal/wait dependencies (0 = none). Depth is the compile-time
+	// critical-path length in communication steps — ⌈log₂ n⌉+S−1 for a
+	// pipelined binomial tree versus ⌈log₂ n⌉ whole-message rounds
+	// unsegmented (0 = unset; see PipelineDepth).
+	Segments  int
+	FlagWords int
+	Depth     int
+
 	label string // Collective/Algorithm, reported through NotePlanner
+}
+
+// PipelineDepth is the plan's critical-path length in communication
+// steps: the planner-recorded Depth when set, otherwise the number of
+// named (tree) rounds.
+func (p *Plan) PipelineDepth() int {
+	if p.Depth > 0 {
+		return p.Depth
+	}
+	d := 0
+	for ri := range p.Rounds {
+		if p.Rounds[ri].Name != "" {
+			d++
+		}
+	}
+	return d
 }
 
 // finalize sorts each round's steps into executor order (actor
@@ -315,6 +368,7 @@ type planKey struct {
 	coll Collective
 	algo Algorithm
 	n    int
+	seg  int
 }
 
 var (
@@ -322,16 +376,30 @@ var (
 	planCache = map[planKey]*Plan{}
 )
 
-// CompilePlan returns the plan for (collective, algorithm, nPEs),
-// compiling and caching it on first use. Repeated calls with the same
-// shape return the same *Plan; the cache uses a plain mutex-guarded
-// map so hits stay allocation-free. algo must name a registered
-// planner (AlgoAuto is resolved by the dispatchers, not here).
+// CompilePlan returns the unsegmented plan for (collective, algorithm,
+// nPEs), compiling and caching it on first use. Repeated calls with
+// the same shape return the same *Plan; the cache uses a plain
+// mutex-guarded map so hits stay allocation-free. algo must name a
+// registered planner (AlgoAuto is resolved by the dispatchers, not
+// here).
 func CompilePlan(coll Collective, algo Algorithm, nPEs int) (*Plan, error) {
+	return CompilePlanSeg(coll, algo, nPEs, 1)
+}
+
+// CompilePlanSeg is CompilePlan with a message-segmentation factor:
+// segments > 1 asks the planner for a pipelined per-segment plan
+// (falling back to the unsegmented plan when the planner has no
+// segmented form for the collective). The fallback is cached under the
+// requested key too, so repeated misses stay cheap and
+// pointer-stable.
+func CompilePlanSeg(coll Collective, algo Algorithm, nPEs, segments int) (*Plan, error) {
 	if nPEs < 1 {
 		return nil, fmt.Errorf("core: plan for %d PEs; need at least 1", nPEs)
 	}
-	key := planKey{coll, algo, nPEs}
+	if segments < 1 {
+		segments = 1
+	}
+	key := planKey{coll, algo, nPEs, segments}
 	planMu.RLock()
 	p := planCache[key]
 	planMu.RUnlock()
@@ -342,11 +410,36 @@ func CompilePlan(coll Collective, algo Algorithm, nPEs int) (*Plan, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unknown algorithm %q (registered: %v)", algo, PlannerNames())
 	}
-	p = pl.Compile(coll, nPEs)
+	if segments > 1 && pl.CompileSeg != nil {
+		p = pl.CompileSeg(coll, nPEs, segments)
+	}
+	if segments > 1 && p == nil {
+		// No segmented form: alias the unsegmented plan under this key.
+		base, err := CompilePlanSeg(coll, algo, nPEs, 1)
+		if err != nil {
+			return nil, err
+		}
+		planMu.Lock()
+		if prev := planCache[key]; prev != nil {
+			base = prev
+		} else {
+			planCache[key] = base
+		}
+		planMu.Unlock()
+		return base, nil
+	}
+	if p == nil {
+		p = pl.Compile(coll, nPEs)
+	}
 	if p == nil {
 		return nil, fmt.Errorf("core: algorithm %q does not implement %s", algo, coll)
 	}
 	p.label = coll.String() + "/" + string(algo)
+	if p.Segments > 1 {
+		p.label += fmt.Sprintf("[seg=%d]", p.Segments)
+	} else if p.FlagWords > 0 {
+		p.label += "[pipelined]"
+	}
 	p.finalize()
 	planMu.Lock()
 	if prev := planCache[key]; prev != nil {

@@ -624,3 +624,253 @@ func compileDirect(coll Collective, n int) *Plan {
 	p.Rounds = append(p.Rounds, r)
 	return p
 }
+
+// The segmented planners: the same binomial trees, but the payload is
+// split into S near-equal segments that flow through the tree as a
+// pipeline. Instead of closing every round with a world barrier, each
+// hop is ordered by a point-to-point signal/wait pair on a flag word in
+// the symmetric segment: a parent forwards segment k while segment k+1
+// is still in flight to it, so the critical path shrinks from
+// ⌈log₂ n⌉ whole-message rounds to ⌈log₂ n⌉+S−1 segment steps (Träff's
+// doubly-pipelined schedules are the reference shape). One trailing
+// barrier keeps the collective synchronising, which also guarantees
+// every flag post is consumed before the plan's flag block is freed.
+
+func compileBinomialSeg(coll Collective, n, segments int) *Plan {
+	if n < 2 || segments < 2 {
+		return nil // degenerate; the unsegmented plan is already optimal
+	}
+	switch coll {
+	case CollBroadcast:
+		return segmentedBroadcastPlan(n, segments)
+	case CollReduce:
+		return segmentedReducePlan(n, segments)
+	case CollAllReduce:
+		return segmentedAllReducePlan(n, segments)
+	case CollScatter:
+		// Scatter blocks are sized by runtime pe_msgs data, so they
+		// cannot be sub-chunked at compile time; the segmented form is
+		// the flag-pipelined tree at subtree-block granularity.
+		return pipelinedScatterPlan(n)
+	}
+	return nil
+}
+
+// segmentedBroadcastPlan pipelines Algorithm 1: one non-blocking round
+// per segment, each hop gated by the receiver's wait on the segment's
+// flag and closed by the sender's signal (ordered after the put on the
+// same channel). A PE's reception round precedes its sending rounds in
+// the put tree, so emitting tree rounds in order keeps every actor's
+// wait ahead of its forwards.
+func segmentedBroadcastPlan(n, s int) *Plan {
+	p := &Plan{
+		Collective: CollBroadcast, Algorithm: AlgoBinomial, Span: "broadcast", NPEs: n,
+		Segments: s, FlagWords: s, Depth: CeilLog2(n) + s - 1,
+	}
+	p.Rounds = append(p.Rounds, Round{Idx: -1, Steps: []Step{{
+		Kind: StepCopy, Actor: 0, Peer: -1,
+		Dst: Loc{Buf: BufDest}, Src: Loc{Buf: BufSrc},
+		Count: CountAll, DstStrided: true, SrcStrided: true,
+		SkipIfAlias: true,
+	}}})
+	edges := putTreeEdges(n)
+	for seg := 0; seg < s; seg++ {
+		r := Round{Name: "broadcast.round", Idx: seg, NB: true}
+		for _, round := range edges {
+			for _, e := range round {
+				r.Steps = append(r.Steps,
+					Step{Kind: StepWaitFlag, Actor: e.to, Peer: -1, Flag: seg},
+					Step{
+						Kind: StepPut, Actor: e.from, Peer: e.to,
+						Dst:   Loc{Buf: BufDest, Off: OffSeg, V: seg},
+						Src:   Loc{Buf: BufDest, Off: OffSeg, V: seg},
+						Count: CountSeg, CV: seg, Strided: true, SkipIfZero: true,
+					},
+					Step{Kind: StepSignal, Actor: e.from, Peer: e.to, Flag: seg},
+				)
+			}
+		}
+		p.Rounds = append(p.Rounds, r)
+	}
+	p.Rounds = append(p.Rounds, Round{Idx: -1, Steps: []Step{barrierStep()}})
+	return p
+}
+
+// segmentedReducePlan pipelines Algorithm 2: per segment, every PE
+// stages its contribution slice, then each get-tree hop runs as the
+// owner signalling "my partial for this segment is folded" and the
+// puller waiting, pulling, and combining. Flags are indexed per
+// {tree round, segment} because a PE's partial becomes ready once per
+// harvest round.
+func segmentedReducePlan(n, s int) *Plan {
+	rounds := getTreeEdges(n)
+	t := len(rounds)
+	p := &Plan{
+		Collective: CollReduce, Algorithm: AlgoBinomial, Span: "reduce", NPEs: n,
+		Stage: BufSpan, Scratch: BufSpan, UsesOp: true,
+		Segments: s, FlagWords: t * s, Depth: t + s - 1,
+	}
+	for seg := 0; seg < s; seg++ {
+		r := Round{Name: "reduce.round", Idx: seg}
+		for v := 0; v < n; v++ {
+			r.Steps = append(r.Steps, Step{
+				Kind: StepCopy, Actor: v, Peer: -1,
+				Dst:   Loc{Buf: BufStage, Off: OffSeg, V: seg},
+				Src:   Loc{Buf: BufSrc, Off: OffSeg, V: seg},
+				Count: CountSeg, CV: seg, DstStrided: true, SrcStrided: true,
+			})
+		}
+		appendSegReduceSteps(&r, rounds, s, seg, 0)
+		p.Rounds = append(p.Rounds, r)
+	}
+	p.Rounds = append(p.Rounds, Round{Idx: -1, Steps: []Step{{
+		Kind: StepCopy, Actor: 0, Peer: -1,
+		Dst: Loc{Buf: BufDest}, Src: Loc{Buf: BufStage},
+		Count: CountAll, DstStrided: true, SrcStrided: true,
+	}, barrierStep()}})
+	return p
+}
+
+// appendSegReduceSteps emits one segment's get-tree fold into r: per
+// edge the owner signals flag flagBase+t·s+seg, the puller waits,
+// pulls the owner's staged segment into scratch, and combines it in.
+// The owner's signal is emitted at its harvest round, after its own
+// pull steps of earlier rounds, so actor order encodes the dependency.
+func appendSegReduceSteps(r *Round, rounds [][]treeEdge, s, seg, flagBase int) {
+	for t, edges := range rounds {
+		for _, e := range edges {
+			f := flagBase + t*s + seg
+			r.Steps = append(r.Steps,
+				Step{Kind: StepSignal, Actor: e.to, Peer: e.from, Flag: f},
+				Step{Kind: StepWaitFlag, Actor: e.from, Peer: -1, Flag: f},
+				Step{
+					Kind: StepGet, Actor: e.from, Peer: e.to,
+					Dst:   Loc{Buf: BufScratch, Off: OffSeg, V: seg},
+					Src:   Loc{Buf: BufStage, Off: OffSeg, V: seg},
+					Count: CountSeg, CV: seg, Strided: true,
+				},
+				Step{
+					Kind: StepCombine, Actor: e.from, Peer: -1,
+					Dst:   Loc{Buf: BufStage, Off: OffSeg, V: seg},
+					Src:   Loc{Buf: BufScratch, Off: OffSeg, V: seg},
+					Count: CountSeg, CV: seg, DstStrided: true, SrcStrided: true,
+				})
+		}
+	}
+}
+
+// segmentedAllReducePlan interleaves the two phases per segment: fold
+// segment k to virtual rank 0, then pipe it straight back down the put
+// tree while segment k+1 is still folding. Broadcast-phase puts into a
+// PE's staged segment are safe because the only reduce-phase reader of
+// that slice (its harvest partner) finished before the root could have
+// completed the segment at all.
+func segmentedAllReducePlan(n, s int) *Plan {
+	up := getTreeEdges(n)
+	down := putTreeEdges(n)
+	t1 := len(up)
+	p := &Plan{
+		Collective: CollAllReduce, Algorithm: AlgoBinomial, Span: "allreduce", NPEs: n,
+		Stage: BufSpan, Scratch: BufSpan, UsesOp: true,
+		Segments: s, FlagWords: (t1 + 1) * s, Depth: t1 + len(down) + 2*(s-1),
+	}
+	idx := 0
+	for seg := 0; seg < s; seg++ {
+		r := Round{Name: "allreduce.round", Idx: idx}
+		idx++
+		for v := 0; v < n; v++ {
+			r.Steps = append(r.Steps, Step{
+				Kind: StepCopy, Actor: v, Peer: -1,
+				Dst:   Loc{Buf: BufStage, Off: OffSeg, V: seg},
+				Src:   Loc{Buf: BufSrc, Off: OffSeg, V: seg},
+				Count: CountSeg, CV: seg, DstStrided: true, SrcStrided: true,
+			})
+		}
+		appendSegReduceSteps(&r, up, s, seg, 0)
+		p.Rounds = append(p.Rounds, r)
+
+		rb := Round{Name: "allreduce.round", Idx: idx, NB: true}
+		idx++
+		f := t1*s + seg
+		for _, round := range down {
+			for _, e := range round {
+				rb.Steps = append(rb.Steps,
+					Step{Kind: StepWaitFlag, Actor: e.to, Peer: -1, Flag: f},
+					Step{
+						Kind: StepPut, Actor: e.from, Peer: e.to,
+						Dst:   Loc{Buf: BufStage, Off: OffSeg, V: seg},
+						Src:   Loc{Buf: BufStage, Off: OffSeg, V: seg},
+						Count: CountSeg, CV: seg, Strided: true, SkipIfZero: true,
+					},
+					Step{Kind: StepSignal, Actor: e.from, Peer: e.to, Flag: f},
+				)
+			}
+		}
+		p.Rounds = append(p.Rounds, rb)
+	}
+	epi := Round{Idx: -1}
+	for v := 0; v < n; v++ {
+		epi.Steps = append(epi.Steps, Step{
+			Kind: StepCopy, Actor: v, Peer: -1,
+			Dst: Loc{Buf: BufDest}, Src: Loc{Buf: BufStage},
+			Count: CountAll, DstStrided: true, SrcStrided: true,
+		})
+	}
+	epi.Steps = append(epi.Steps, barrierStep())
+	p.Rounds = append(p.Rounds, epi)
+	return p
+}
+
+// pipelinedScatterPlan is Algorithm 3 with the per-round barriers
+// replaced by the flag chain: each receiver waits for its subtree
+// block, then its own forwards (emitted in later tree rounds) push the
+// children's sub-blocks on. Blocks are sized by runtime pe_msgs data,
+// so the granularity stays one subtree block per hop and a single flag
+// word suffices — each PE receives exactly once. All puts ride one
+// non-blocking round, so a sender's forwards to different children
+// overlap like the direct alltoall exchange.
+func pipelinedScatterPlan(n int) *Plan {
+	p := &Plan{
+		Collective: CollScatter, Algorithm: AlgoBinomial, Span: "scatter", NPEs: n,
+		Stage: BufTotal, Adj: AdjVector,
+		FlagWords: 1, Depth: CeilLog2(n),
+	}
+	pro := Round{Idx: -1}
+	for v := 0; v < n; v++ {
+		pro.Steps = append(pro.Steps, Step{
+			Kind: StepCopy, Actor: 0, Peer: -1,
+			Dst:   Loc{Buf: BufStage, Off: OffAdj, V: v},
+			Src:   Loc{Buf: BufSrc, Off: OffDisp, V: v},
+			Count: CountBlock, CV: v,
+		})
+	}
+	p.Rounds = append(p.Rounds, pro)
+	r := Round{Name: "scatter.round", Idx: 0, NB: true}
+	for _, round := range putTreeEdges(n) {
+		for _, e := range round {
+			r.Steps = append(r.Steps,
+				Step{Kind: StepWaitFlag, Actor: e.to, Peer: -1, Flag: 0},
+				Step{
+					Kind: StepPut, Actor: e.from, Peer: e.to,
+					Dst:   Loc{Buf: BufStage, Off: OffAdj, V: e.to},
+					Src:   Loc{Buf: BufStage, Off: OffAdj, V: e.to},
+					Count: CountSubtree, CV: e.to, CB: e.bit, SkipIfZero: true,
+				},
+				Step{Kind: StepSignal, Actor: e.from, Peer: e.to, Flag: 0},
+			)
+		}
+	}
+	p.Rounds = append(p.Rounds, r)
+	epi := Round{Idx: -1}
+	for v := 0; v < n; v++ {
+		epi.Steps = append(epi.Steps, Step{
+			Kind: StepCopy, Actor: v, Peer: -1,
+			Dst:   Loc{Buf: BufDest},
+			Src:   Loc{Buf: BufStage, Off: OffAdj, V: v},
+			Count: CountBlock, CV: v,
+		})
+	}
+	epi.Steps = append(epi.Steps, barrierStep())
+	p.Rounds = append(p.Rounds, epi)
+	return p
+}

@@ -20,6 +20,11 @@ type Planner struct {
 	// Compile builds the plan for coll over n PEs in virtual-rank
 	// space, or returns nil when the planner does not implement coll.
 	Compile func(coll Collective, n int) *Plan
+	// CompileSeg, when non-nil, builds the segmented (pipelined) form
+	// of coll for a message split into the given number of segments; it
+	// returns nil when the planner has no segmented form for coll, and
+	// CompilePlanSeg then falls back to the unsegmented plan.
+	CompileSeg func(coll Collective, n, segments int) *Plan
 }
 
 // Supports reports whether the planner implements coll.
@@ -71,7 +76,8 @@ func init() {
 			CollBroadcast, CollReduce, CollScatter, CollGather,
 			CollAllReduce, CollAllGather,
 		},
-		Compile: compileBinomial,
+		Compile:    compileBinomial,
+		CompileSeg: compileBinomialSeg,
 	})
 	RegisterPlanner(&Planner{
 		Name: AlgoLinear,

@@ -40,6 +40,32 @@ func ReduceSchedule(n int) []Transfer {
 	return p.Transfers()
 }
 
+// SegmentedBroadcastSchedule projects the pipelined broadcast for n
+// PEs split into segments chunks: every tree edge appears once per
+// segment, with Round carrying the segment index. Returns nil for
+// n < 1 (or when the shape degenerates to the unsegmented plan).
+func SegmentedBroadcastSchedule(n, segments int) []Transfer {
+	p, err := CompilePlanSeg(CollBroadcast, AlgoBinomial, n, segments)
+	if err != nil {
+		return nil
+	}
+	return p.Transfers()
+}
+
+// SegmentedDepth is the segmented cost model behind the Figure 3
+// projection: a payload split into S segments pipelines through the
+// ⌈log₂ n⌉-deep binomial tree in ⌈log₂ n⌉+S−1 segment steps — the
+// leaves receive their first segment after ⌈log₂ n⌉ hops, and one more
+// segment drains per step thereafter — versus ⌈log₂ n⌉ whole-message
+// rounds (S·⌈log₂ n⌉ segment-sized sends on the critical path)
+// unsegmented.
+func SegmentedDepth(n, segments int) int {
+	if n < 1 || segments < 1 {
+		return 0
+	}
+	return CeilLog2(n) + segments - 1
+}
+
 // RenderTree renders the broadcast binomial tree with recursive halving
 // in the shape of paper Figure 3: one line per round listing the
 // point-to-point transfers among virtual ranks.
@@ -59,5 +85,7 @@ func RenderTree(n int) string {
 	}
 	fmt.Fprintf(&b, "  %d communication steps for %d PEs (upper bound ceil(log2 N))\n",
 		rounds, n)
+	fmt.Fprintf(&b, "  segmented pipeline: ceil(log2 N)+S-1 segment steps for S segments (S=8: %d)\n",
+		SegmentedDepth(n, 8))
 	return b.String()
 }

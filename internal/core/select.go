@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"xbgas/internal/xbrtime"
 )
@@ -44,6 +45,85 @@ const (
 // large-message algorithm is an explicit opt-in for deployments with
 // bisection bandwidth.
 const LargeMessageBytes = 16 << 10
+
+// Message-segmentation parameters (see SelectSegments). The chunk-size
+// ablation in docs/PERF.md locates the values: segmentation first pays
+// for itself once the payload clearly exceeds one chunk (the flag
+// round-trips cost ~a chunk of bandwidth), and 32 KiB chunks sit on the
+// flat part of the sweep at 8 PEs.
+const (
+	// DefaultChunkBytes is the auto-selected segment size.
+	DefaultChunkBytes = 32 << 10
+	// SegmentMinBytes is the payload size below which auto selection
+	// never segments: small messages are latency-bound and the paper's
+	// whole-message rounds are already optimal.
+	SegmentMinBytes = 64 << 10
+	// MaxSegments caps the pipeline depth so tiny chunks never flood
+	// the flag hub or the handle pools.
+	MaxSegments = 32
+)
+
+// chunkOverride holds the -chunk override: 0 = auto, >0 = forced chunk
+// bytes, <0 = segmentation disabled.
+var chunkOverride atomic.Int64
+
+// SetChunkBytes overrides the auto-selected segment size for every
+// subsequent collective: b > 0 forces ⌈bytes/b⌉ segments on
+// segmentable calls, b == 0 restores auto selection, and b < 0
+// disables segmentation entirely (the unsegmented baseline arm of the
+// chunk ablation).
+func SetChunkBytes(b int) { chunkOverride.Store(int64(b)) }
+
+// ChunkBytes returns the current -chunk override (0 = auto).
+func ChunkBytes() int { return int(chunkOverride.Load()) }
+
+// SelectSegments picks the message-segmentation factor for a
+// collective: the number of near-equal chunks the payload is split
+// into so segments pipeline through the tree (1 = unsegmented). Only
+// the binomial tree's rooted data movers segment; everything else —
+// and any payload below SegmentMinBytes under auto selection — runs
+// the paper's whole-message rounds.
+func SelectSegments(coll Collective, algo Algorithm, nPEs, nelems, width int) int {
+	if nPEs < 2 || nelems < 2 {
+		return 1
+	}
+	if algo != AlgoBinomial {
+		return 1
+	}
+	switch coll {
+	case CollBroadcast, CollReduce, CollAllReduce, CollScatter:
+	default:
+		return 1
+	}
+	chunk := ChunkBytes()
+	if chunk < 0 {
+		return 1
+	}
+	bytes := nelems * width
+	if chunk == 0 {
+		if bytes < SegmentMinBytes {
+			return 1
+		}
+		chunk = DefaultChunkBytes
+	}
+	s := (bytes + chunk - 1) / chunk
+	if s > MaxSegments {
+		s = MaxSegments
+	}
+	if s > nelems {
+		s = nelems
+	}
+	if coll == CollScatter && s > 1 {
+		// Scatter pipelines at subtree-block granularity whatever the
+		// chunk size; one canonical segmented shape keeps the cache to
+		// a single plan.
+		s = 2
+	}
+	if s < 2 {
+		return 1
+	}
+	return s
+}
 
 // String names the algorithm, rendering the zero value as "auto".
 func (a Algorithm) String() string {

@@ -281,6 +281,22 @@ func (f *Fabric) Send(src, dst int, n int, now uint64) (arrive uint64, err error
 	return now + queue + transit, nil
 }
 
+// SendAfter is Send for ordered-channel control messages: the message
+// leaves src at now but is not delivered before notBefore. Completion
+// flags use it so a flag store trailing its payload on the same path
+// cannot overtake the data it signals; the booking is otherwise
+// identical to Send.
+func (f *Fabric) SendAfter(src, dst int, n int, now, notBefore uint64) (arrive uint64, err error) {
+	arrive, err = f.Send(src, dst, n, now)
+	if err != nil {
+		return 0, err
+	}
+	if arrive < notBefore {
+		arrive = notBefore
+	}
+	return arrive, nil
+}
+
 // SetLinkState marks the directed link src→dst up or down. Sends over
 // a down link fail — the fault-injection hook used to test that
 // runtime and collective error paths propagate cleanly instead of

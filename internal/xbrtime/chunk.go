@@ -1,0 +1,163 @@
+package xbrtime
+
+import (
+	"xbgas/internal/fabric"
+	"xbgas/internal/mem"
+)
+
+// Chunk transfers: the bulk data path of the segmented plan executor.
+//
+// The element-at-a-time Put/Get model the paper's xBGAS stubs — a
+// scalar load, a remote store, one fabric message per element, with
+// an 8-byte address header on every element. That is the right model
+// for the paper's whole-message rounds, and the unsegmented plans keep
+// it. The pipelined executor instead moves each segment as one bulk
+// stream, the way a chunked protocol engine would: contiguous payload
+// is fetched line-by-line from the hierarchy (one touch per 64-byte
+// line, not per element) and injected as line-sized packets, so the
+// per-element header and issue overhead disappear and the host prices
+// one cache line, not eight element loads. Strided segments fall back
+// to the element stream — only stride-1 payload coalesces into lines.
+
+// chunkHeaderBytes is the per-packet address/command header of the
+// bulk stream (one header per line instead of one per element).
+const chunkHeaderBytes = 8
+
+// chunkLines returns the first line-aligned address covering
+// [addr, addr+bytes) and the number of cache lines it spans.
+func chunkLines(addr, bytes uint64) (first uint64, n int) {
+	first = addr &^ uint64(mem.LineSize-1)
+	n = int((addr + bytes - first + mem.LineSize - 1) / mem.LineSize)
+	return first, n
+}
+
+// PutChunkNB streams nelems contiguous elements of type dt from local
+// address src to dest on PE target as line-granular bulk packets and
+// returns without waiting for delivery. Semantically it equals
+// PutNB(dt, dest, src, nelems, 1, target); the cost model differs as
+// described above. Degenerate and diagnostic paths (self target, the
+// Spike transport, Config.ReferencePath) delegate to the element
+// stream.
+func (pe *PE) PutChunkNB(dt DType, dest, src uint64, nelems, target int) (Handle, error) {
+	if err := checkTransfer(dt, nelems, 1); err != nil {
+		return Handle{}, err
+	}
+	if err := pe.checkTarget(target); err != nil {
+		return Handle{}, err
+	}
+	if nelems == 0 {
+		return Handle{}, nil
+	}
+	if target == pe.rank || pe.rt.cfg.Transport == TransportSpike || pe.rt.cfg.ReferencePath {
+		return pe.put(dt, dest, src, nelems, 1, target, true)
+	}
+	start := pe.clock
+	pe.puts++
+	pe.putElems += uint64(nelems)
+	pe.traceComm("put", target, nelems)
+	pe.lsYield()
+
+	fab := pe.rt.machine.Fabric
+	targetNode := pe.rt.machine.Nodes[target]
+	pe.chargeOLB(target)
+
+	bytes := uint64(nelems) * uint64(dt.Width)
+	first, nLines := chunkLines(src, bytes)
+	costs := pe.costs(nLines)
+	pe.node.Hier.TouchRange(first, mem.LineSize, mem.LineSize, nLines, false, costs)
+	for i := range costs {
+		costs[i] += loadCPU
+	}
+
+	gap := issueGap(fab.Config())
+	endIssue, lastArrive, err := fab.SendStream(fabric.Stream{
+		Src:        pe.rank,
+		Dst:        target,
+		ElemBytes:  chunkHeaderBytes + mem.LineSize,
+		Start:      pe.clock,
+		PreCost:    costs,
+		Gap:        gap,
+		FlowWindow: uint64(pe.rt.cfg.InflightDepth) * gap,
+		Unrolled:   true,
+	})
+	if err != nil {
+		return Handle{}, err
+	}
+	buf := pe.bytes(int(bytes))
+	pe.node.LockedReadBytes(src, buf)
+	targetNode.LockedWriteBytes(dest, buf)
+	pe.advanceTo(endIssue)
+	h := Handle{completeAt: lastArrive, active: true}
+	if pe.ObsEnabled() {
+		pe.obsTransfer(true, start, h.completeAt, target, nelems)
+	}
+	return h, nil
+}
+
+// GetChunk pulls nelems contiguous elements of type dt from address
+// src on PE target into local dest as line-granular bulk fetches and
+// blocks until the data has landed. Semantically it equals
+// Get(dt, dest, src, nelems, 1, target) with the chunk cost model.
+func (pe *PE) GetChunk(dt DType, dest, src uint64, nelems, target int) error {
+	h, err := pe.getChunkNB(dt, dest, src, nelems, target)
+	if err != nil {
+		return err
+	}
+	pe.Wait(h)
+	return nil
+}
+
+func (pe *PE) getChunkNB(dt DType, dest, src uint64, nelems, target int) (Handle, error) {
+	if err := checkTransfer(dt, nelems, 1); err != nil {
+		return Handle{}, err
+	}
+	if err := pe.checkTarget(target); err != nil {
+		return Handle{}, err
+	}
+	if nelems == 0 {
+		return Handle{}, nil
+	}
+	if target == pe.rank || pe.rt.cfg.Transport == TransportSpike || pe.rt.cfg.ReferencePath {
+		return pe.get(dt, dest, src, nelems, 1, target, true)
+	}
+	start := pe.clock
+	pe.gets++
+	pe.getElems += uint64(nelems)
+	pe.traceComm("get", target, nelems)
+	pe.lsYield()
+
+	fab := pe.rt.machine.Fabric
+	targetNode := pe.rt.machine.Nodes[target]
+	pe.chargeOLB(target)
+
+	bytes := uint64(nelems) * uint64(dt.Width)
+	first, nLines := chunkLines(dest, bytes)
+	costs := pe.costs(nLines)
+	pe.node.Hier.TouchRange(first, mem.LineSize, mem.LineSize, nLines, true, costs)
+
+	gap := issueGap(fab.Config())
+	endIssue, lastDone, err := fab.FetchStream(fabric.Fetch{
+		Src:        pe.rank,
+		Dst:        target,
+		ReqBytes:   chunkHeaderBytes,
+		RespBytes:  chunkHeaderBytes + mem.LineSize,
+		Start:      pe.clock,
+		ReqCost:    loadCPU,
+		PostCost:   costs,
+		Gap:        gap,
+		FlowWindow: uint64(pe.rt.cfg.InflightDepth) * gap,
+		Unrolled:   true,
+	})
+	if err != nil {
+		return Handle{}, err
+	}
+	buf := pe.bytes(int(bytes))
+	targetNode.LockedReadBytes(src, buf)
+	pe.node.LockedWriteBytes(dest, buf)
+	pe.advanceTo(endIssue)
+	h := Handle{completeAt: lastDone, active: true}
+	if pe.ObsEnabled() {
+		pe.obsTransfer(false, start, h.completeAt, target, nelems)
+	}
+	return h, nil
+}

@@ -143,6 +143,7 @@ type Runtime struct {
 	pes     []*PE
 	barrier *barrierState
 	dissem  *dissemState
+	flags   *flagHub
 	ls      *lockstep // non-nil while a Deterministic Run is active
 	obsRun  *obs.Run  // non-nil when cfg.Obs is set
 }
@@ -168,6 +169,7 @@ func New(cfg Config) (*Runtime, error) {
 		machine: m,
 		barrier: newBarrierState(cfg.NumPEs),
 		dissem:  newDissemState(),
+		flags:   newFlagHub(),
 	}
 	if cfg.Obs != nil {
 		rt.obsRun = cfg.Obs.Attach(fmt.Sprintf("%d PEs", cfg.NumPEs), cfg.NumPEs)
@@ -260,6 +262,7 @@ func (rt *Runtime) Run(fn func(pe *PE) error) error {
 				errs[p.rank] = err
 				rt.barrier.breakBarrier()
 				rt.dissem.breakBarrier()
+				rt.flags.breakAll()
 			}
 		}(pe)
 	}
@@ -303,6 +306,7 @@ type PE struct {
 	// collective calls allocate nothing per call.
 	costBuf    []uint64
 	elemBuf    []uint64
+	byteBuf    []byte
 	intPool    [][]int
 	handlePool [][]Handle
 
@@ -335,6 +339,15 @@ func (pe *PE) elems(n int) []uint64 {
 		pe.elemBuf = make([]uint64, n)
 	}
 	return pe.elemBuf[:n]
+}
+
+// bytes returns the PE's reusable byte workspace (the chunk-transfer
+// staging buffer), sized to n.
+func (pe *PE) bytes(n int) []byte {
+	if cap(pe.byteBuf) < n {
+		pe.byteBuf = make([]byte, n)
+	}
+	return pe.byteBuf[:n]
 }
 
 // BorrowInts returns a zeroed []int of length n from the PE's host

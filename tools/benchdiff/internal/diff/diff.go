@@ -165,6 +165,23 @@ func (r *Report) Table() string {
 	return b.String()
 }
 
+// Regressions returns the entries whose ns/op worsened by more than
+// tol (a fraction: 0.10 = 10%) against their baseline. Entries without
+// a baseline never count — adding a new benchmark cannot fail a gate.
+// The CI regression gate (-max-regress) is built on this.
+func (r *Report) Regressions(tol float64) []Entry {
+	var out []Entry
+	for _, e := range r.Entries {
+		if e.Old == nil || e.Old.NsPerOp <= 0 {
+			continue
+		}
+		if e.New.NsPerOp > e.Old.NsPerOp*(1+tol) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // WriteJSON writes the report to path, replacing any previous content.
 func (r *Report) WriteJSON(path string) error {
 	data, err := json.MarshalIndent(r, "", "  ")

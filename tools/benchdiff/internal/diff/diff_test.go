@@ -149,6 +149,68 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRegressions(t *testing.T) {
+	const base = `BenchmarkGUPS8PE-8    10   100000000 ns/op
+BenchmarkBcast1MB8PE-8    50    20000000 ns/op
+`
+	cases := []struct {
+		name    string
+		current string
+		tol     float64
+		want    []string
+	}{
+		{
+			// 50% slower GUPS trips a 10% gate; Bcast within tolerance.
+			name: "regression caught",
+			current: `BenchmarkGUPS8PE-8    10   150000000 ns/op
+BenchmarkBcast1MB8PE-8    50    21000000 ns/op
+`,
+			tol:  0.10,
+			want: []string{"BenchmarkGUPS8PE"},
+		},
+		{
+			// 5% slower sits inside the 10% band.
+			name: "within tolerance",
+			current: `BenchmarkGUPS8PE-8    10   105000000 ns/op
+BenchmarkBcast1MB8PE-8    50    20000000 ns/op
+`,
+			tol:  0.10,
+			want: nil,
+		},
+		{
+			// A benchmark with no baseline can never fail the gate,
+			// however slow — that is how new benchmarks get seeded.
+			name: "new benchmark exempt",
+			current: `BenchmarkGUPS8PE-8    10   100000000 ns/op
+BenchmarkBrandNew-8    1   999000000000 ns/op
+`,
+			tol:  0.10,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := Compare([]byte(base), []byte(tc.current), "gate")
+			if err != nil {
+				t.Fatal(err)
+			}
+			regs := r.Regressions(tc.tol)
+			var got []string
+			for _, e := range regs {
+				got = append(got, e.Name)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("regressions = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("regressions = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
 func TestTableRenders(t *testing.T) {
 	r, err := Compare([]byte(oldOut), []byte(newOut), "tbl")
 	if err != nil {

@@ -5,11 +5,15 @@
 //
 //	benchdiff -old old.txt -new new.txt [-json BENCH_2026-08-05.json]
 //	benchdiff -new new.txt -json BENCH_2026-08-05.json
+//	benchdiff -old BENCH_2026-08-05.json -new new.txt -max-regress 0.10
 //
 // With both inputs it prints a per-benchmark table of old/new ns/op,
 // the speedup factor, and allocs/op, and writes (or updates) the JSON
 // file when -json is given. With only -new it records the current
-// numbers without a comparison column.
+// numbers without a comparison column. With -max-regress the exit
+// status becomes the CI gate: any benchmark present in the baseline
+// whose ns/op worsened by more than the given fraction fails the run
+// (benchmarks new to this run never fail the gate).
 package main
 
 import (
@@ -25,6 +29,7 @@ func main() {
 	newPath := flag.String("new", "", "current `go test -bench` output (required)")
 	jsonPath := flag.String("json", "", "JSON file to write/update (optional)")
 	label := flag.String("label", "", "label stored in the JSON record (default: current date)")
+	maxRegress := flag.Float64("max-regress", 0, "fail (exit 1) when any baselined benchmark's ns/op regresses by more than this `fraction` (0.10 = 10%)")
 	flag.Parse()
 
 	if *newPath == "" {
@@ -59,5 +64,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if *maxRegress > 0 {
+		if regs := report.Regressions(*maxRegress); len(regs) > 0 {
+			for _, e := range regs {
+				fmt.Fprintf(os.Stderr, "benchdiff: %s regressed %.1f%% (%.0f -> %.0f ns/op, tolerance %.0f%%)\n",
+					e.Name, 100*(e.New.NsPerOp/e.Old.NsPerOp-1), e.Old.NsPerOp, e.New.NsPerOp, 100**maxRegress)
+			}
+			os.Exit(1)
+		}
 	}
 }
