@@ -63,8 +63,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		isKeys      = fs.Int("is-keys", bench.DefaultISParams().TotalKeys, "IS total keys")
 		isMaxKey    = fs.Int("is-maxkey", bench.DefaultISParams().MaxKey, "IS maximum key value")
 		isIters     = fs.Int("is-iters", bench.DefaultISParams().Iterations, "IS iterations")
-		algo        = fs.String("algo", "", "force a registered collective algorithm for the GUPS/IS kernels (\"list\" prints the registry)")
+		algo        = fs.String("algo", "", "force a registered collective algorithm for the GUPS/IS kernels (\"list\" prints per-collective availability)")
 		chunk       = fs.Int("chunk", 0, "collective segmentation chunk bytes: 0 = auto, >0 forces the segment size, <0 disables segmentation")
+		sweep       = fs.String("sweep", "", "message-size sweep for a rootless collective: allreduce|allgather|reduce_scatter")
+		tune        = fs.Bool("tune", false, "calibrate the alpha-beta cost model on this machine and persist the tuning table")
+		tuning      = fs.String("tuning", "", "load a persisted tuning table for auto algorithm selection (default "+core.DefaultTuningPath+" when present)")
 
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to `file`")
@@ -113,10 +116,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 	is.Iterations = *isIters
 
 	if *algo == "list" {
-		for _, name := range core.PlannerNames() {
-			fmt.Fprintln(stdout, name)
+		// Per-collective availability: which registered planners
+		// implement each operation, with [seg] marking the ones that
+		// compile a pipelined (segmented) form for it.
+		for _, coll := range core.Collectives() {
+			var entries []string
+			for _, name := range core.PlannerNames() {
+				pl, ok := core.LookupPlanner(core.Algorithm(name))
+				if !ok || !pl.Supports(coll) {
+					continue
+				}
+				e := name
+				if pl.CompileSeg != nil && pl.CompileSeg(coll, 4, 2) != nil {
+					e += " [seg]"
+				}
+				entries = append(entries, e)
+			}
+			if len(entries) == 0 {
+				entries = []string{"(none)"}
+			}
+			fmt.Fprintf(stdout, "%-16s %s\n", coll.String()+":", strings.Join(entries, ", "))
 		}
 		return 0
+	}
+	if *tune {
+		t, err := core.Calibrate()
+		if err != nil {
+			fmt.Fprintf(stderr, "xbgas-bench: tune: %v\n", err)
+			return 1
+		}
+		core.SetTuning(t)
+		path := *tuning
+		if path == "" {
+			path = core.DefaultTuningPath
+		}
+		if err := core.SaveTuning(path, t); err != nil {
+			fmt.Fprintf(stderr, "xbgas-bench: tune: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "tuned %s: alpha=%.0fns beta=%.2fns/B elem=%.2fns/B flag=%.0fns barrier=%.0fns/PE copy=%.2f/%.2fns/B combine=%.2f/%.2fns/B\n",
+			path, t.AlphaNs, t.BetaNsPerByte, t.ElemNsPerByte, t.FlagNs, t.BarrierNs,
+			t.CopyNsPerByte, t.CopyElemNsPerByte, t.CombineNsPerByte, t.CombineElemNsPerByte)
+		if *sweep == "" {
+			return 0
+		}
+	} else if *tuning != "" {
+		if _, err := core.LoadTuning(*tuning); err != nil {
+			fmt.Fprintf(stderr, "xbgas-bench: %v\n", err)
+			return 1
+		}
 	}
 	if *algo != "" {
 		if _, ok := core.LookupPlanner(core.Algorithm(*algo)); !ok && *algo != string(core.AlgoAuto) {
@@ -207,6 +255,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *traffic {
 		run("traffic matrix", bench.TrafficMatrix)
+		did = true
+	}
+	if *sweep != "" {
+		op := bench.CollectiveOp(*sweep)
+		switch op {
+		case bench.OpAllReduce, bench.OpAllGather, bench.OpReduceScatter:
+		default:
+			fmt.Fprintf(stderr, "xbgas-bench: unknown sweep %q (allreduce|allgather|reduce_scatter)\n", *sweep)
+			return 2
+		}
+		run("sweep "+*sweep, func(w io.Writer) error { return bench.FigureSweep(w, op) })
 		did = true
 	}
 	if *gupsPEs > 0 {

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"xbgas/internal/core"
 )
 
 func TestRunTables(t *testing.T) {
@@ -85,6 +87,63 @@ func TestRunAlgoFlag(t *testing.T) {
 	args := []string{"-algo", "linear", "-gups", "2", "-gups-table", "4096", "-gups-updates", "64"}
 	if code := run(args, &out, &errBuf); code != 0 {
 		t.Fatalf("-algo linear gups: exit %d: %s", code, errBuf.String())
+	}
+}
+
+func TestRunAlgoListPerCollective(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{"-algo", "list"}, &out, &errBuf); code != 0 {
+		t.Fatalf("-algo list: exit %d: %s", code, errBuf.String())
+	}
+	checks := map[string][]string{
+		"broadcast:":      {"binomial [seg]", "ring [seg]", "scatter-allgather"},
+		"allreduce:":      {"binomial [seg]", "rabenseifner", "ring"},
+		"reduce_scatter:": {"rabenseifner", "ring"},
+		"allgather:":      {"binomial", "rabenseifner", "ring"},
+		"alltoall:":       {"direct"},
+	}
+	for line, wants := range checks {
+		var found string
+		for _, l := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(l, line) {
+				found = l
+				break
+			}
+		}
+		if found == "" {
+			t.Errorf("-algo list output has no %q line:\n%s", line, out.String())
+			continue
+		}
+		for _, w := range wants {
+			if !strings.Contains(found, w) {
+				t.Errorf("%q line missing %q: %s", line, w, found)
+			}
+		}
+	}
+}
+
+func TestRunTuningFlag(t *testing.T) {
+	var out, errBuf strings.Builder
+	path := filepath.Join(t.TempDir(), "tuning.json")
+	// Persist the defaults so loading them back leaves global selection
+	// state unchanged for the rest of the package's tests.
+	if err := core.SaveTuning(path, core.DefaultTuning()); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-tuning", path, "-gups", "2", "-gups-table", "4096", "-gups-updates", "64"}
+	if code := run(args, &out, &errBuf); code != 0 {
+		t.Fatalf("-tuning: exit %d: %s", code, errBuf.String())
+	}
+	errBuf.Reset()
+	if code := run([]string{"-tuning", filepath.Join(t.TempDir(), "missing.json"), "-table", "1"}, &out, &errBuf); code != 1 {
+		t.Errorf("missing tuning file: exit %d (%s)", code, errBuf.String())
+	}
+	errBuf.Reset()
+	if code := run([]string{"-sweep", "bogus"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown sweep op: exit %d", code)
+	}
+	if !strings.Contains(errBuf.String(), "allreduce|allgather|reduce_scatter") {
+		t.Errorf("sweep error must list valid ops: %s", errBuf.String())
 	}
 }
 

@@ -13,11 +13,14 @@ type CollectiveOp string
 
 // Collective operations measurable by RunCollective.
 const (
-	OpBroadcast CollectiveOp = "broadcast"
-	OpReduce    CollectiveOp = "reduce"
-	OpScatter   CollectiveOp = "scatter"
-	OpGather    CollectiveOp = "gather"
-	OpBarrier   CollectiveOp = "barrier"
+	OpBroadcast     CollectiveOp = "broadcast"
+	OpReduce        CollectiveOp = "reduce"
+	OpScatter       CollectiveOp = "scatter"
+	OpGather        CollectiveOp = "gather"
+	OpBarrier       CollectiveOp = "barrier"
+	OpAllReduce     CollectiveOp = "allreduce"
+	OpAllGather     CollectiveOp = "allgather"
+	OpReduceScatter CollectiveOp = "reduce_scatter"
 )
 
 // CollectiveSpec configures one collective microbenchmark.
@@ -85,6 +88,13 @@ func RunCollective(spec CollectiveSpec) (Result, error) {
 		if err != nil {
 			return err
 		}
+		// The rootless collectives write every PE's dest (the ring
+		// allgather deposits blocks remotely), so they need a symmetric
+		// destination rather than the private out buffer.
+		sym, err := pe.Malloc(span)
+		if err != nil {
+			return err
+		}
 		out, err := pe.PrivateAlloc(span)
 		if err != nil {
 			return err
@@ -107,6 +117,12 @@ func RunCollective(spec CollectiveSpec) (Result, error) {
 				err = core.ScatterWith(spec.Algo, pe, dt, out, buf, msgs, disp, spec.Nelems, spec.Root)
 			case OpGather:
 				err = core.GatherWith(spec.Algo, pe, dt, out, buf, msgs, disp, spec.Nelems, spec.Root)
+			case OpAllReduce:
+				err = core.AllReduceWith(pe, spec.Algo, dt, core.OpSum, sym, buf, spec.Nelems, spec.Stride)
+			case OpAllGather:
+				err = core.AllGatherWith(pe, spec.Algo, dt, sym, buf, msgs, disp, spec.Nelems)
+			case OpReduceScatter:
+				err = core.ReduceScatterWith(pe, spec.Algo, dt, core.OpSum, sym, buf, spec.Nelems)
 			case OpBarrier:
 				err = pe.Barrier()
 			default:
@@ -125,6 +141,9 @@ func RunCollective(spec CollectiveSpec) (Result, error) {
 			makespan = spanCyc
 		}
 		mu.Unlock()
+		if err := pe.Free(sym); err != nil {
+			return err
+		}
 		return pe.Free(buf)
 	})
 	if err != nil {

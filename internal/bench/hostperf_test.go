@@ -192,6 +192,94 @@ func BenchmarkBcastChunk(b *testing.B) {
 	}
 }
 
+// benchLargeAllreduce drives a large-message allreduce under a fixed
+// algorithm ("" = auto) with auto chunk selection. The headline pair in
+// docs/PERF.md compares auto against the pinned binomial path.
+func benchLargeAllreduce(b *testing.B, elems int, algo core.Algorithm) {
+	b.Helper()
+	rt := xbrtime.MustNew(xbrtime.Config{NumPEs: 8})
+	defer rt.Close()
+	var dest, src uint64
+	err := rt.Run(func(pe *xbrtime.PE) error {
+		d, err := pe.Malloc(uint64(elems) * 8)
+		if err != nil {
+			return err
+		}
+		s, err := pe.Malloc(uint64(elems) * 8)
+		if err != nil {
+			return err
+		}
+		dest, src = d, s
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(elems) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Run(func(pe *xbrtime.PE) error {
+			return core.AllReduceWith(pe, algo, xbrtime.TypeULong, core.OpSum, dest, src, elems, 1)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchLargeAllgather drives an allgather whose concatenated result is
+// elems elements: each of the 8 PEs contributes elems/8.
+func benchLargeAllgather(b *testing.B, elems int, algo core.Algorithm) {
+	b.Helper()
+	rt := xbrtime.MustNew(xbrtime.Config{NumPEs: 8})
+	defer rt.Close()
+	per := elems / 8
+	msgs := make([]int, 8)
+	disp := make([]int, 8)
+	for i := range msgs {
+		msgs[i] = per
+		disp[i] = i * per
+	}
+	var dest, src uint64
+	err := rt.Run(func(pe *xbrtime.PE) error {
+		d, err := pe.Malloc(uint64(elems) * 8)
+		if err != nil {
+			return err
+		}
+		s, err := pe.Malloc(uint64(per) * 8)
+		if err != nil {
+			return err
+		}
+		dest, src = d, s
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(elems) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Run(func(pe *xbrtime.PE) error {
+			return core.AllGatherWith(pe, algo, xbrtime.TypeULong, dest, src, msgs, disp, elems)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllreduce1MB8PE and BenchmarkAllgather1MB8PE are the
+// bandwidth-optimal headline numbers: 1 MiB payloads across 8 PEs with
+// the auto algorithm. Both sit in the blocking benchdiff CI gate next
+// to GUPS8PE and Bcast1MB8PE.
+func BenchmarkAllreduce1MB8PE(b *testing.B) { benchLargeAllreduce(b, 1<<17, core.AlgoAuto) }
+func BenchmarkAllgather1MB8PE(b *testing.B) { benchLargeAllgather(b, 1<<17, core.AlgoAuto) }
+
+// The pinned-binomial twins measure what auto is being compared
+// against; the ratio is the PR's acceptance criterion.
+func BenchmarkAllreduce1MB8PEBinomial(b *testing.B) { benchLargeAllreduce(b, 1<<17, core.AlgoBinomial) }
+func BenchmarkAllgather1MB8PEBinomial(b *testing.B) { benchLargeAllgather(b, 1<<17, core.AlgoBinomial) }
+
 func BenchmarkGUPS8PE(b *testing.B) {
 	p := GUPSParams{
 		TableWords:   1 << 18,

@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"xbgas/internal/core"
+	"xbgas/internal/xbrtime"
+)
+
+// Figure-style message-size sweeps for the rootless collectives: every
+// registered algorithm (plus auto) across 64 B – 1 MiB payloads, the
+// ablation behind the tuned crossover points in docs/PERF.md. Each
+// point reports both the virtual-clock makespan (the paper's metric)
+// and host wall time per invocation (what the tuning table's
+// coefficients predict), with the planner auto resolved to alongside.
+
+// SweepSizes are the payload points of a collective sweep, in elements
+// of 8 bytes: 64 B to 1 MiB in powers of four.
+var SweepSizes = []int{8, 32, 128, 512, 2048, 8192, 32768, 131072}
+
+// SweepPEs are the PE counts of the sweep grid: the paper's powers of
+// two plus its 12-core simulation environment.
+var SweepPEs = []int{2, 4, 8, 12}
+
+// SweepPoint is one measured cell of a collective sweep.
+type SweepPoint struct {
+	Op       CollectiveOp
+	Algo     core.Algorithm
+	Resolved core.Algorithm // what auto picked; == Algo for fixed algos
+	PEs      int
+	Nelems   int
+	Iters    int
+	// Cycles is the virtual-clock makespan per invocation; HostNs the
+	// host wall time per invocation on the slowest PE.
+	Cycles float64
+	HostNs float64
+}
+
+// sweepAlgos returns the algorithms worth sweeping for a collective:
+// auto plus every registered planner that implements it, minus the
+// opt-in scatter-allgather (bisection-bandwidth assumption) and the
+// degenerate direct planner.
+func sweepAlgos(op CollectiveOp) []core.Algorithm {
+	coll, ok := collOf(op)
+	if !ok {
+		return nil
+	}
+	algos := []core.Algorithm{core.AlgoAuto}
+	for _, name := range core.PlannerNames() {
+		a := core.Algorithm(name)
+		if a == core.AlgoScatterAllgather || a == core.AlgoDirect {
+			continue
+		}
+		if pl, ok := core.LookupPlanner(a); ok && pl.Supports(coll) {
+			algos = append(algos, a)
+		}
+	}
+	return algos
+}
+
+func collOf(op CollectiveOp) (core.Collective, bool) {
+	for _, c := range core.Collectives() {
+		if string(op) == c.String() {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// SweepCollective measures one (collective, algorithm, PEs, nelems)
+// cell: iters invocations, timed on both clocks. The iteration count
+// scales down with the payload so large points stay affordable.
+func SweepCollective(op CollectiveOp, algo core.Algorithm, pes, nelems, iters int) (SweepPoint, error) {
+	if iters <= 0 {
+		iters = 1
+	}
+	coll, ok := collOf(op)
+	if !ok {
+		return SweepPoint{}, fmt.Errorf("bench: %q is not sweepable", op)
+	}
+	pt := SweepPoint{Op: op, Algo: algo, PEs: pes, Nelems: nelems, Iters: iters}
+	pt.Resolved = algo.Select(coll, pes, nelems, 8)
+
+	rt, err := xbrtime.New(xbrtime.Config{NumPEs: pes})
+	if err != nil {
+		return pt, err
+	}
+	defer rt.Close()
+	dt := xbrtime.TypeInt64
+	span := uint64(nelems+1) * 8
+
+	msgs := make([]int, pes)
+	disp := make([]int, pes)
+	per, rem := nelems/pes, nelems%pes
+	off := 0
+	for i := range msgs {
+		msgs[i] = per
+		if i < rem {
+			msgs[i]++
+		}
+		disp[i] = off
+		off += msgs[i]
+	}
+
+	var mu sync.Mutex
+	var makespan uint64
+	var hostNs int64
+	err = rt.Run(func(pe *xbrtime.PE) error {
+		src, err := pe.Malloc(span)
+		if err != nil {
+			return err
+		}
+		dst, err := pe.Malloc(span)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < nelems; i++ {
+			pe.Poke(dt, src+uint64(i)*8, uint64(pe.MyPE()+i))
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		startV := pe.Now()
+		startH := time.Now()
+		for it := 0; it < iters; it++ {
+			var err error
+			switch op {
+			case OpAllReduce:
+				err = core.AllReduceWith(pe, algo, dt, core.OpSum, dst, src, nelems, 1)
+			case OpAllGather:
+				err = core.AllGatherWith(pe, algo, dt, dst, src, msgs, disp, nelems)
+			case OpReduceScatter:
+				err = core.ReduceScatterWith(pe, algo, dt, core.OpSum, dst, src, nelems)
+			case OpBroadcast:
+				err = core.BroadcastWith(algo, pe, dt, dst, src, nelems, 1, 0)
+			case OpReduce:
+				err = core.ReduceWith(algo, pe, dt, core.OpSum, dst, src, nelems, 1, 0)
+			default:
+				err = fmt.Errorf("bench: %q is not sweepable", op)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		elapsedV := pe.Now() - startV
+		elapsedH := time.Since(startH).Nanoseconds()
+		mu.Lock()
+		if elapsedV > makespan {
+			makespan = elapsedV
+		}
+		if elapsedH > hostNs {
+			hostNs = elapsedH
+		}
+		mu.Unlock()
+		if err := pe.Free(dst); err != nil {
+			return err
+		}
+		return pe.Free(src)
+	})
+	if err != nil {
+		return pt, err
+	}
+	pt.Cycles = float64(makespan) / float64(iters)
+	pt.HostNs = float64(hostNs) / float64(iters)
+	return pt, nil
+}
+
+// RunSweep measures the full grid for one collective: every sweepable
+// algorithm × SweepPEs × SweepSizes.
+func RunSweep(op CollectiveOp) ([]SweepPoint, error) {
+	var pts []SweepPoint
+	for _, pes := range SweepPEs {
+		for _, nelems := range SweepSizes {
+			// Small points finish in microseconds of host time; average
+			// enough invocations that the host-side ratio column is
+			// signal rather than scheduler noise.
+			iters := 1
+			if nelems <= 2048 {
+				iters = 25
+			}
+			for _, algo := range sweepAlgos(op) {
+				pt, err := SweepCollective(op, algo, pes, nelems, iters)
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, pt)
+			}
+		}
+	}
+	return pts, nil
+}
+
+// FigureSweep runs and prints the sweep for one collective as a
+// figure-style table: one block per PE count, one row per payload,
+// one column per algorithm (virtual cycles per invocation, the
+// fastest marked), with auto's resolution and host-time ratio to the
+// best fixed algorithm appended.
+func FigureSweep(w io.Writer, op CollectiveOp) error {
+	pts, err := RunSweep(op)
+	if err != nil {
+		return err
+	}
+	algos := sweepAlgos(op)
+	fmt.Fprintf(w, "Figure: %s latency sweep (virtual cycles/op; * = fastest fixed)\n", op)
+	cell := map[string]SweepPoint{}
+	key := func(a core.Algorithm, pes, nelems int) string {
+		return fmt.Sprintf("%s/%d/%d", a, pes, nelems)
+	}
+	for _, pt := range pts {
+		cell[key(pt.Algo, pt.PEs, pt.Nelems)] = pt
+	}
+	for _, pes := range SweepPEs {
+		fmt.Fprintf(w, "\n%d PEs\n%12s", pes, "bytes")
+		for _, a := range algos {
+			fmt.Fprintf(w, " %14s", a)
+		}
+		fmt.Fprintf(w, " %16s %10s %10s\n", "auto resolved", "virt ratio", "host ratio")
+		for _, nelems := range SweepSizes {
+			fmt.Fprintf(w, "%12d", nelems*8)
+			// Best fixed by the virtual clock (deterministic) picks the
+			// asterisk and the headline ratio; host wall time gives a
+			// second, noisier ratio for the tuned coefficients.
+			bestVirt := SweepPoint{}
+			bestHost := SweepPoint{}
+			for _, a := range algos {
+				if a == core.AlgoAuto {
+					continue
+				}
+				pt := cell[key(a, pes, nelems)]
+				if bestVirt.Algo == "" || pt.Cycles < bestVirt.Cycles {
+					bestVirt = pt
+				}
+				if bestHost.Algo == "" || pt.HostNs < bestHost.HostNs {
+					bestHost = pt
+				}
+			}
+			for _, a := range algos {
+				pt := cell[key(a, pes, nelems)]
+				mark := " "
+				if a == bestVirt.Algo {
+					mark = "*"
+				}
+				fmt.Fprintf(w, " %13.0f%s", pt.Cycles, mark)
+			}
+			auto := cell[key(core.AlgoAuto, pes, nelems)]
+			vratio, hratio := 0.0, 0.0
+			if bestVirt.Cycles > 0 {
+				vratio = auto.Cycles / bestVirt.Cycles
+			}
+			if bestHost.HostNs > 0 {
+				hratio = auto.HostNs / bestHost.HostNs
+			}
+			fmt.Fprintf(w, " %16s %9.2fx %9.2fx\n", auto.Resolved, vratio, hratio)
+		}
+	}
+	return nil
+}

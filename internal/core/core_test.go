@@ -513,19 +513,24 @@ func TestLinearMatchesBinomial(t *testing.T) {
 }
 
 func TestSelectLogic(t *testing.T) {
-	if AlgoBinomial.Select(8, 1, 8) != AlgoBinomial {
+	if AlgoBinomial.Select(CollBroadcast, 8, 1, 8) != AlgoBinomial {
 		t.Error("explicit algorithm must not be overridden")
 	}
-	if AlgoLinear.Select(8, 1, 8) != AlgoLinear {
+	if AlgoLinear.Select(CollBroadcast, 8, 1, 8) != AlgoLinear {
 		t.Error("explicit algorithm must not be overridden")
 	}
-	if AlgoAuto.Select(2, 100, 8) != AlgoLinear {
+	if AlgoAuto.Select(CollBroadcast, 2, 100, 8) != AlgoLinear {
 		t.Error("auto must pick linear for <= 2 PEs")
 	}
-	if AlgoAuto.Select(8, 100, 8) != AlgoBinomial {
-		t.Error("auto must pick binomial for > 2 PEs")
+	if AlgoAuto.Select(CollBroadcast, 8, 100, 8) != AlgoBinomial {
+		t.Error("auto must pick binomial for small messages over > 2 PEs")
 	}
-	for _, a := range []Algorithm{AlgoAuto, AlgoBinomial, AlgoLinear} {
+	// Reduce-scatter has no linear form: auto must land on a planner
+	// that implements it even at <= 2 PEs.
+	if got := AlgoAuto.Select(CollReduceScatter, 2, 100, 8); got != AlgoRing && got != AlgoRabenseifner {
+		t.Errorf("auto(reduce_scatter, 2 PEs) = %s", got)
+	}
+	for _, a := range []Algorithm{AlgoAuto, AlgoBinomial, AlgoLinear, AlgoRing, AlgoRabenseifner} {
 		if a.String() == "unknown" || a.String() == "" {
 			t.Errorf("missing name for %q", a)
 		}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTuningSaveLoadRoundTrip(t *testing.T) {
+	defer SetTuning(DefaultTuning())
+	path := filepath.Join(t.TempDir(), "fabric", "tuning.json")
+	want := DefaultTuning()
+	want.Fabric = "roundtrip"
+	want.AlphaNs = 123
+	if err := SaveTuning(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTuning(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("LoadTuning = %+v, want %+v", got, want)
+	}
+	if cur := CurrentTuning(); cur != want {
+		t.Fatalf("LoadTuning did not install the table: %+v", cur)
+	}
+}
+
+func TestLoadTuningRejectsWrongVersion(t *testing.T) {
+	defer SetTuning(DefaultTuning())
+	path := filepath.Join(t.TempDir(), "tuning.json")
+	bad := DefaultTuning()
+	bad.Version = TuningVersion + 1
+	if err := SaveTuning(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTuning(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("LoadTuning(version mismatch) err = %v, want version error", err)
+	}
+	if _, err := LoadTuning(filepath.Join(t.TempDir(), "missing.json")); !os.IsNotExist(err) {
+		t.Fatalf("LoadTuning(missing) err = %v, want not-exist", err)
+	}
+}
+
+// The structural property the model exists for: at large payloads the
+// bandwidth-optimal plans must price below the binomial tree, and the
+// flat broadcast must price above it (the root serialises every byte).
+func TestPlanCostOrdersLargeMessages(t *testing.T) {
+	tn := DefaultTuning()
+	const n, nelems, width = 8, 1 << 17, 8
+	cost := func(coll Collective, algo Algorithm) float64 {
+		seg := SelectSegments(coll, algo, n, nelems, width)
+		p, err := CompilePlanSeg(coll, algo, n, seg)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", coll, algo, err)
+		}
+		return PlanCost(p, tn, nelems, width)
+	}
+	if rab, bin := cost(CollAllReduce, AlgoRabenseifner), cost(CollAllReduce, AlgoBinomial); rab >= bin {
+		t.Errorf("1MiB allreduce: rabenseifner %.0f >= binomial %.0f", rab, bin)
+	}
+	if ring, bin := cost(CollAllGather, AlgoRing), cost(CollAllGather, AlgoBinomial); ring >= bin {
+		t.Errorf("1MiB allgather: ring %.0f >= binomial %.0f", ring, bin)
+	}
+	if bin, lin := cost(CollBroadcast, AlgoBinomial), cost(CollBroadcast, AlgoLinear); bin >= lin {
+		t.Errorf("1MiB broadcast: binomial %.0f >= linear %.0f", bin, lin)
+	}
+}
+
+// Auto decisions must react to the installed table: a fabric with free
+// bandwidth but enormous per-message latency pushes allreduce selection
+// to the shallowest plan available, and restoring the defaults brings
+// the bandwidth-optimal pick back (exercising the decision cache's
+// generation invalidation).
+func TestAutoReactsToTuning(t *testing.T) {
+	defer SetTuning(DefaultTuning())
+	const n, nelems, width = 8, 1 << 17, 8
+	before := AlgoAuto.Select(CollAllReduce, n, nelems, width)
+	if before != AlgoRabenseifner && before != AlgoRing {
+		t.Fatalf("default tuning pick = %s, want bandwidth-optimal", before)
+	}
+	slow := DefaultTuning()
+	slow.AlphaNs = 1e9 // every message costs a second; round count is all that matters
+	slow.BarrierNs = 0
+	SetTuning(slow)
+	after := AlgoAuto.Select(CollAllReduce, n, nelems, width)
+	if pAfter, _ := CompilePlan(CollAllReduce, after, n); pAfter != nil {
+		pBefore, _ := CompilePlan(CollAllReduce, AlgoRing, n)
+		if pBefore != nil && pAfter.Depth > pBefore.Depth {
+			t.Errorf("latency-dominated tuning picked %s (depth %d) over shallower options", after, pAfter.Depth)
+		}
+	}
+	SetTuning(DefaultTuning())
+	if again := AlgoAuto.Select(CollAllReduce, n, nelems, width); again != before {
+		t.Errorf("restoring tuning: pick = %s, want %s", again, before)
+	}
+}

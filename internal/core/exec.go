@@ -278,7 +278,7 @@ func (e *execEnv) step(s *Step, r *Round, handles *[]xbrtime.Handle) error {
 			if r.NB {
 				var h xbrtime.Handle
 				var err error
-				if e.p.FlagWords > 0 && stride == 1 {
+				if (e.p.FlagWords > 0 || e.p.Chunked) && stride == 1 {
 					// Pipelined segments move as line-granular bulk
 					// chunks; strided segments keep element streams.
 					h, err = pe.PutChunkNB(a.DT, dst, src, cnt, tgt)
@@ -292,6 +292,9 @@ func (e *execEnv) step(s *Step, r *Round, handles *[]xbrtime.Handle) error {
 				e.lastNB = h
 				return nil
 			}
+			if e.p.Chunked && stride == 1 {
+				return pe.PutChunk(a.DT, dst, src, cnt, tgt)
+			}
 			return pe.Put(a.DT, dst, src, cnt, stride, tgt)
 		}
 		if r.NB {
@@ -303,7 +306,7 @@ func (e *execEnv) step(s *Step, r *Round, handles *[]xbrtime.Handle) error {
 			e.lastNB = h
 			return nil
 		}
-		if e.p.FlagWords > 0 && stride == 1 {
+		if (e.p.FlagWords > 0 || e.p.Chunked) && stride == 1 {
 			return pe.GetChunk(a.DT, dst, src, cnt, tgt)
 		}
 		return pe.Get(a.DT, dst, src, cnt, stride, tgt)
@@ -317,12 +320,20 @@ func (e *execEnv) step(s *Step, r *Round, handles *[]xbrtime.Handle) error {
 		if s.SkipIfAlias && dst == src {
 			return nil
 		}
-		timedCopy(pe, a.DT, dst, src, cnt, e.strideOf(s.DstStrided), e.strideOf(s.SrcStrided))
+		ds, ss := e.strideOf(s.DstStrided), e.strideOf(s.SrcStrided)
+		if e.p.Chunked && ds == 1 && ss == 1 {
+			pe.CopyChunk(a.DT, dst, src, cnt)
+			return nil
+		}
+		timedCopy(pe, a.DT, dst, src, cnt, ds, ss)
 
 	case StepCombine:
 		cnt := e.count(s)
 		dst, src := e.addr(s.Dst, s.DstStrided), e.addr(s.Src, s.SrcStrided)
 		ds, ss := e.strideOf(s.DstStrided), e.strideOf(s.SrcStrided)
+		if e.p.Chunked && ds == 1 && ss == 1 {
+			return e.combineChunk(dst, src, cnt)
+		}
 		for j := 0; j < cnt; j++ {
 			x := pe.ReadElem(a.DT, dst+uint64(j*ds)*e.w)
 			y := pe.ReadElem(a.DT, src+uint64(j*ss)*e.w)
@@ -349,6 +360,34 @@ func (e *execEnv) step(s *Step, r *Round, handles *[]xbrtime.Handle) error {
 	case StepWaitFlag:
 		return pe.WaitFlag(e.flags + uint64(s.Flag)*8)
 	}
+	return nil
+}
+
+// combineChunk folds cnt contiguous elements of src into dst through
+// the bulk timed accessors: both ranges are read line-granular into
+// pooled word buffers, combined in host memory, and written back in one
+// bulk store. The per-element combine cost is charged in full — only
+// the load/store model changes, exactly as with chunk transfers.
+func (e *execEnv) combineChunk(dst, src uint64, cnt int) error {
+	if cnt == 0 {
+		return nil
+	}
+	pe, a := e.pe, &e.a
+	xs := pe.BorrowWords(cnt)
+	ys := pe.BorrowWords(cnt)
+	defer pe.ReturnWords(ys)
+	defer pe.ReturnWords(xs)
+	pe.ReadElemsChunk(a.DT, dst, xs)
+	pe.ReadElemsChunk(a.DT, src, ys)
+	for j := range xs {
+		v, err := Combine(a.DT, a.Op, xs[j], ys[j])
+		if err != nil {
+			return err
+		}
+		xs[j] = v
+	}
+	pe.Advance(e.cost * uint64(cnt))
+	pe.WriteElemsChunk(a.DT, dst, xs)
 	return nil
 }
 

@@ -13,39 +13,37 @@ import (
 
 // AllReduce combines nelems elements from src on every PE with op and
 // delivers the result to dest on every PE: the explicit
-// reduction-to-all call of §7. The plan composes the reduce get-tree
+// reduction-to-all call of §7. The algorithm is auto-selected from the
+// calibrated cost model: small payloads compose the reduce get-tree
 // with the broadcast put-tree over one staging buffer (see
-// binomialAllReducePlan), so the intermediate result never round-trips
-// through dest. src must be symmetric; dest must be symmetric as well
-// since the distribution phase writes it on every PE.
+// binomialAllReducePlan), large ones land on the bandwidth-optimal
+// rabenseifner or ring planner. src must be symmetric; dest must be
+// symmetric as well since the distribution phase writes it on every
+// PE.
 func AllReduce(pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint64, nelems, stride int) error {
-	if err := validate(pe, dt, nelems, stride, 0); err != nil {
-		return err
-	}
-	if _, err := Combine(dt, op, 0, 0); err != nil {
-		return err
-	}
-	return runPlan(pe, CollAllReduce, AlgoBinomial, ExecArgs{
-		DT: dt, Op: op, Dest: dest, Src: src,
-		Nelems: nelems, Stride: stride, Root: 0,
-	})
+	return AllReduceWith(pe, AlgoAuto, dt, op, dest, src, nelems, stride)
+}
+
+// ReduceScatter combines nelems elements from src on every PE with op
+// and scatters the result: PE with logical rank v receives chunk v of
+// the reduced vector — ⌊nelems/n⌋ + (v < nelems mod n) elements, the
+// same closed-form equal chunking the large-message broadcast uses —
+// at dest. Both buffers must be symmetric; the collective is rootless
+// and contiguous (stride 1).
+func ReduceScatter(pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint64, nelems int) error {
+	return ReduceScatterWith(pe, AlgoAuto, dt, op, dest, src, nelems)
 }
 
 // AllGather concatenates every PE's contribution (peMsgs[l] elements at
 // src on logical rank l, landing at element offset peDisp[l]) into dest
 // on every PE: the gather-to-all call of §7 and the analogue of
-// OpenSHMEM's collect. The plan composes the gather get-tree with a
-// full-payload broadcast put-tree over one staging buffer (see
-// binomialAllGatherPlan). dest must be symmetric.
+// OpenSHMEM's collect. The algorithm is auto-selected from the
+// calibrated cost model: small payloads compose the gather get-tree
+// with a full-payload broadcast put-tree over one staging buffer (see
+// binomialAllGatherPlan), large ones land on the ring or
+// recursive-doubling planner. dest must be symmetric.
 func AllGather(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp []int, nelems int) error {
-	if err := validateVector(pe, dt, peMsgs, peDisp, nelems, 0); err != nil {
-		return err
-	}
-	return runPlan(pe, CollAllGather, AlgoBinomial, ExecArgs{
-		DT: dt, Dest: dest, Src: src,
-		Nelems: nelems, Stride: 1, Root: 0,
-		PeMsgs: peMsgs, PeDisp: peDisp,
-	})
+	return AllGatherWith(pe, AlgoAuto, dt, dest, src, peMsgs, peDisp, nelems)
 }
 
 // Alltoall performs personalized all-to-all communication (§7): every

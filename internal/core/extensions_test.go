@@ -357,16 +357,22 @@ func TestBroadcastScatterAllgatherCorrectness(t *testing.T) {
 }
 
 func TestAutoSelectsLargeMessageAlgorithm(t *testing.T) {
-	// Auto is conservative: the tree wins at every size on the default
-	// shared-switch fabric, so scatter+all-gather is explicit opt-in.
+	// Scatter+all-gather is explicit opt-in: its advantage assumes
+	// bisection bandwidth the default fabric does not have, so auto
+	// never selects it whatever the size.
 	big := LargeMessageBytes / 8
-	if got := AlgoAuto.Select(8, big, 8); got != AlgoBinomial {
-		t.Errorf("auto(large) = %s", got)
+	if got := AlgoAuto.Select(CollBroadcast, 8, big, 8); got == AlgoScatterAllgather {
+		t.Errorf("auto(large broadcast) picked the opt-in algorithm %s", got)
 	}
-	if got := AlgoAuto.Select(8, 16, 8); got != AlgoBinomial {
+	if got := AlgoAuto.Select(CollBroadcast, 8, 16, 8); got != AlgoBinomial {
 		t.Errorf("auto(small) = %s", got)
 	}
-	if got := AlgoScatterAllgather.Select(8, big, 8); got != AlgoScatterAllgather {
+	// Large allreduce must leave the tree for a bandwidth-optimal
+	// planner.
+	if got := AlgoAuto.Select(CollAllReduce, 8, 1<<17, 8); got != AlgoRabenseifner && got != AlgoRing {
+		t.Errorf("auto(1MiB allreduce) = %s", got)
+	}
+	if got := AlgoScatterAllgather.Select(CollBroadcast, 8, big, 8); got != AlgoScatterAllgather {
 		t.Errorf("explicit choice overridden: %s", got)
 	}
 	// Strided large broadcasts through the explicit large-message

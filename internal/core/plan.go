@@ -30,6 +30,7 @@ const (
 	CollAllReduce
 	CollAllGather
 	CollAlltoall
+	CollReduceScatter
 )
 
 // String names the collective.
@@ -49,8 +50,19 @@ func (c Collective) String() string {
 		return "allgather"
 	case CollAlltoall:
 		return "alltoall"
+	case CollReduceScatter:
+		return "reduce_scatter"
 	}
 	return "unknown"
+}
+
+// Collectives lists every collective, for registry and availability
+// listings (-algo list).
+func Collectives() []Collective {
+	return []Collective{
+		CollBroadcast, CollReduce, CollScatter, CollGather,
+		CollAllReduce, CollAllGather, CollAlltoall, CollReduceScatter,
+	}
 }
 
 // StepKind is the operation a step performs.
@@ -288,6 +300,14 @@ type Plan struct {
 	Segments  int
 	FlagWords int
 	Depth     int
+
+	// Chunked opts the plan's stride-1 data movement into the bulk
+	// paths: line-granular chunk transfers (see xbrtime/chunk.go) for
+	// blocking puts/gets, and bulk timed copies/combines instead of the
+	// element-at-a-time accessors. The bandwidth-optimal planners set
+	// it — their whole point is moving large contiguous chunks — while
+	// the paper's element-at-a-time plans keep the historical model.
+	Chunked bool
 
 	label string // Collective/Algorithm, reported through NotePlanner
 }

@@ -42,11 +42,13 @@ var (
 	registry = map[Algorithm]*Planner{}
 )
 
-// RegisterPlanner adds (or replaces) a planner under its name.
+// RegisterPlanner adds (or replaces) a planner under its name and
+// invalidates cached auto decisions: the new planner is a candidate.
 func RegisterPlanner(p *Planner) {
 	regMu.Lock()
 	registry[p.Name] = p
 	regMu.Unlock()
+	invalidateAuto()
 }
 
 // LookupPlanner resolves an algorithm name to its planner.

@@ -35,6 +35,15 @@ const (
 	AlgoScatterAllgather Algorithm = "scatter-allgather"
 	// AlgoDirect forces the direct pairwise exchange (alltoall only).
 	AlgoDirect Algorithm = "direct"
+	// AlgoRing forces the bandwidth-optimal ring family: chunk-cycling
+	// reduce-scatter/allgather/allreduce and the pipelined chain
+	// broadcast/reduce (planners_bw.go).
+	AlgoRing Algorithm = "ring"
+	// AlgoRabenseifner forces recursive-halving reduce-scatter plus
+	// recursive-doubling allgather (and their composition for
+	// allreduce); power-of-two PE counts, with a ring-shaped fallback
+	// elsewhere.
+	AlgoRabenseifner Algorithm = "rabenseifner"
 )
 
 // LargeMessageBytes is the payload size past which scatter+all-gather
@@ -71,27 +80,39 @@ var chunkOverride atomic.Int64
 // subsequent collective: b > 0 forces ⌈bytes/b⌉ segments on
 // segmentable calls, b == 0 restores auto selection, and b < 0
 // disables segmentation entirely (the unsegmented baseline arm of the
-// chunk ablation).
-func SetChunkBytes(b int) { chunkOverride.Store(int64(b)) }
+// chunk ablation). Cached auto decisions are invalidated: the override
+// moves the cost of every segmented candidate.
+func SetChunkBytes(b int) {
+	chunkOverride.Store(int64(b))
+	invalidateAuto()
+}
 
 // ChunkBytes returns the current -chunk override (0 = auto).
 func ChunkBytes() int { return int(chunkOverride.Load()) }
 
 // SelectSegments picks the message-segmentation factor for a
 // collective: the number of near-equal chunks the payload is split
-// into so segments pipeline through the tree (1 = unsegmented). Only
-// the binomial tree's rooted data movers segment; everything else —
-// and any payload below SegmentMinBytes under auto selection — runs
-// the paper's whole-message rounds.
+// into so segments pipeline through the tree (1 = unsegmented). The
+// binomial tree's rooted data movers and the ring chain's
+// broadcast/reduce segment; everything else — and any payload below
+// SegmentMinBytes under auto selection — runs whole-message rounds.
 func SelectSegments(coll Collective, algo Algorithm, nPEs, nelems, width int) int {
 	if nPEs < 2 || nelems < 2 {
 		return 1
 	}
-	if algo != AlgoBinomial {
-		return 1
-	}
-	switch coll {
-	case CollBroadcast, CollReduce, CollAllReduce, CollScatter:
+	switch algo {
+	case AlgoBinomial:
+		switch coll {
+		case CollBroadcast, CollReduce, CollAllReduce, CollScatter:
+		default:
+			return 1
+		}
+	case AlgoRing:
+		switch coll {
+		case CollBroadcast, CollReduce:
+		default:
+			return 1
+		}
 	default:
 		return 1
 	}
@@ -133,37 +154,41 @@ func (a Algorithm) String() string {
 	return string(a)
 }
 
-// Select resolves AlgoAuto for a collective over nPEs PEs moving
-// nelems elements of width bytes each. With ≤ 2 PEs the tree and the
-// flat algorithm coincide, so the cheaper-bookkeeping linear form is
-// used; otherwise the binomial tree's ⌈log₂N⌉ depth wins — tree-based
-// algorithms "typically produce the highest performance for smaller
-// data transaction sizes" (§4.2) and small transactions dominate the
-// expected workloads.
-func (a Algorithm) Select(nPEs, nelems, width int) Algorithm {
+// Select resolves AlgoAuto for one collective over nPEs PEs moving
+// nelems elements of width bytes each. A fixed algorithm passes
+// through untouched. Auto is the calibrated cost model's argmin
+// (chooseAuto): with ≤ 2 PEs the tree and the flat algorithm coincide
+// so the cheaper-bookkeeping linear form is used; small payloads stay
+// on the binomial tree — tree-based algorithms "typically produce the
+// highest performance for smaller data transaction sizes" (§4.2) —
+// and large payloads land on the bandwidth-optimal ring/rabenseifner
+// planners past the tuned crossover.
+func (a Algorithm) Select(coll Collective, nPEs, nelems, width int) Algorithm {
 	if a != AlgoAuto && a != "" {
 		return a
 	}
-	if nPEs <= 2 {
-		return AlgoLinear
-	}
-	return AlgoBinomial
+	return chooseAuto(coll, nPEs, nelems, width)
 }
 
 // resolveAlgorithm normalises an algorithm request for one collective:
 // auto-selection first, then a registry lookup (unknown names are an
-// error listing what is registered), then a fall-back to the binomial
-// tree when the chosen planner does not cover this collective — the
-// pre-registry dispatch switches defaulted the same way.
+// error listing what is registered), then a fall-back when the chosen
+// planner does not cover this collective — to the binomial tree when
+// it applies (the pre-registry dispatch switches defaulted the same
+// way), otherwise to the cost model's pick (reduce-scatter has no
+// binomial form).
 func resolveAlgorithm(algo Algorithm, coll Collective, nPEs, nelems, width int) (Algorithm, error) {
-	selected := algo.Select(nPEs, nelems, width)
+	selected := algo.Select(coll, nPEs, nelems, width)
 	pl, ok := LookupPlanner(selected)
 	if !ok {
 		return "", fmt.Errorf("core: unknown algorithm %q (registered: %s)",
 			selected, strings.Join(PlannerNames(), ", "))
 	}
 	if !pl.Supports(coll) {
-		return AlgoBinomial, nil
+		if bin, ok := LookupPlanner(AlgoBinomial); ok && bin.Supports(coll) {
+			return AlgoBinomial, nil
+		}
+		return chooseAuto(coll, nPEs, nelems, width), nil
 	}
 	return selected, nil
 }
@@ -225,6 +250,67 @@ func ScatterWith(algo Algorithm, pe *xbrtime.PE, dt xbrtime.DType, dest, src uin
 		DT: dt, Dest: dest, Src: src,
 		Nelems: nelems, Stride: 1, Root: root,
 		PeMsgs: peMsgs, PeDisp: peDisp,
+	})
+}
+
+// AllReduceWith dispatches a reduction-to-all through the selector and
+// the planner registry: auto resolves against the calibrated cost
+// model, so large payloads land on the bandwidth-optimal rabenseifner
+// or ring planner and small ones stay on the binomial tree.
+func AllReduceWith(pe *xbrtime.PE, algo Algorithm, dt xbrtime.DType, op ReduceOp, dest, src uint64, nelems, stride int) error {
+	selected, err := resolveAlgorithm(algo, CollAllReduce, pe.NumPEs(), nelems, dt.Width)
+	if err != nil {
+		return err
+	}
+	if err := validate(pe, dt, nelems, stride, 0); err != nil {
+		return err
+	}
+	if _, err := Combine(dt, op, 0, 0); err != nil {
+		return err
+	}
+	return runPlan(pe, CollAllReduce, selected, ExecArgs{
+		DT: dt, Op: op, Dest: dest, Src: src,
+		Nelems: nelems, Stride: stride, Root: 0,
+	})
+}
+
+// AllGatherWith dispatches a gather-to-all through the selector and the
+// planner registry.
+func AllGatherWith(pe *xbrtime.PE, algo Algorithm, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp []int, nelems int) error {
+	selected, err := resolveAlgorithm(algo, CollAllGather, pe.NumPEs(), nelems, dt.Width)
+	if err != nil {
+		return err
+	}
+	if err := validateVector(pe, dt, peMsgs, peDisp, nelems, 0); err != nil {
+		return err
+	}
+	return runPlan(pe, CollAllGather, selected, ExecArgs{
+		DT: dt, Dest: dest, Src: src,
+		Nelems: nelems, Stride: 1, Root: 0,
+		PeMsgs: peMsgs, PeDisp: peDisp,
+	})
+}
+
+// ReduceScatterWith dispatches a reduce-scatter through the selector
+// and the planner registry: every PE contributes nelems elements at
+// src and receives its own fully-reduced chunk (the closed-form
+// equal chunking of nelems over the PEs, chunk v sized
+// ⌊nelems/n⌋ + (v < nelems mod n)) at dest. The collective is
+// rootless; only the bandwidth-optimal planners implement it.
+func ReduceScatterWith(pe *xbrtime.PE, algo Algorithm, dt xbrtime.DType, op ReduceOp, dest, src uint64, nelems int) error {
+	selected, err := resolveAlgorithm(algo, CollReduceScatter, pe.NumPEs(), nelems, dt.Width)
+	if err != nil {
+		return err
+	}
+	if err := validate(pe, dt, nelems, 1, 0); err != nil {
+		return err
+	}
+	if _, err := Combine(dt, op, 0, 0); err != nil {
+		return err
+	}
+	return runPlan(pe, CollReduceScatter, selected, ExecArgs{
+		DT: dt, Op: op, Dest: dest, Src: src,
+		Nelems: nelems, Stride: 1, Root: 0,
 	})
 }
 

@@ -308,11 +308,12 @@ type PE struct {
 	elemBuf    []uint64
 	byteBuf    []byte
 	intPool    [][]int
+	wordPool   [][]uint64
 	handlePool [][]Handle
 
 	// Workspace pool balance: borrows minus returns. Zero whenever no
 	// collective is mid-flight; the pool-leak tests assert on it.
-	intsOut, handlesOut int
+	intsOut, wordsOut, handlesOut int
 
 	// planners tallies plan executions by "collective/algorithm" label
 	// (core.Execute calls NotePlanner); StatsReport aggregates the
@@ -400,11 +401,12 @@ func (pe *PE) ReturnHandles(s []Handle) {
 }
 
 // WorkspaceOutstanding reports the PE's workspace pool imbalance:
-// borrows minus returns for the int and handle pools. Both are zero
-// whenever no collective is mid-flight; tests assert on it to catch
-// leaked borrows (success and error paths alike).
+// borrows minus returns for the int and word pools (first value) and
+// the handle pool (second). Both are zero whenever no collective is
+// mid-flight; tests assert on it to catch leaked borrows (success and
+// error paths alike).
 func (pe *PE) WorkspaceOutstanding() (ints, handles int) {
-	return pe.intsOut, pe.handlesOut
+	return pe.intsOut + pe.wordsOut, pe.handlesOut
 }
 
 // NotePlanner tallies one collective plan execution under its

@@ -9,23 +9,50 @@
 //
 // With both inputs it prints a per-benchmark table of old/new ns/op,
 // the speedup factor, and allocs/op, and writes (or updates) the JSON
-// file when -json is given. With only -new it records the current
-// numbers without a comparison column. With -max-regress the exit
-// status becomes the CI gate: any benchmark present in the baseline
-// whose ns/op worsened by more than the given fraction fails the run
-// (benchmarks new to this run never fail the gate).
+// file when -json is given. When -old is omitted the newest
+// BENCH_*.json in the working directory (by modification time, name as
+// tiebreak) is used as the baseline, so `benchdiff -new new.txt` from
+// the repo root always compares against the latest checked-in record.
+// Pass `-old none` to record without a comparison. With -max-regress
+// the exit status becomes the CI gate: any benchmark present in the
+// baseline whose ns/op worsened by more than the given fraction fails
+// the run (benchmarks new to this run never fail the gate).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"xbgas/tools/benchdiff/internal/diff"
 )
 
+// pickBaseline returns the newest BENCH_*.json in dir — newest by
+// modification time, lexically greatest name breaking ties (fresh
+// checkouts stamp every file alike). Empty when none exist.
+func pickBaseline(dir string) string {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) == 0 {
+		return ""
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		fi, ei := os.Stat(matches[i])
+		fj, ej := os.Stat(matches[j])
+		if ei != nil || ej != nil {
+			return matches[i] < matches[j]
+		}
+		if !fi.ModTime().Equal(fj.ModTime()) {
+			return fi.ModTime().Before(fj.ModTime())
+		}
+		return matches[i] < matches[j]
+	})
+	return matches[len(matches)-1]
+}
+
 func main() {
-	oldPath := flag.String("old", "", "baseline `go test -bench` output (optional)")
+	oldPath := flag.String("old", "", "baseline `go test -bench` output (default: newest BENCH_*.json in the working directory; \"none\" skips the comparison)")
 	newPath := flag.String("new", "", "current `go test -bench` output (required)")
 	jsonPath := flag.String("json", "", "JSON file to write/update (optional)")
 	label := flag.String("label", "", "label stored in the JSON record (default: current date)")
@@ -42,6 +69,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(1)
+	}
+	if *oldPath == "none" {
+		*oldPath = ""
+	} else if *oldPath == "" {
+		if picked := pickBaseline("."); picked != "" {
+			*oldPath = picked
+			fmt.Printf("baseline: %s\n", picked)
+		}
 	}
 	var oldData []byte
 	if *oldPath != "" {

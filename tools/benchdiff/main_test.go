@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func touch(t *testing.T, path string, mtime time.Time) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickBaselineNewestByMtime(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now().Add(-time.Hour)
+	touch(t, filepath.Join(dir, "BENCH_2026-08-05.json"), base)
+	touch(t, filepath.Join(dir, "BENCH_2026-08-06-pr5.json"), base.Add(2*time.Minute))
+	touch(t, filepath.Join(dir, "BENCH_2026-08-06.json"), base.Add(time.Minute))
+	touch(t, filepath.Join(dir, "notes.json"), base.Add(time.Hour))
+
+	got := pickBaseline(dir)
+	want := filepath.Join(dir, "BENCH_2026-08-06-pr5.json")
+	if got != want {
+		t.Fatalf("pickBaseline = %q, want %q", got, want)
+	}
+}
+
+func TestPickBaselineNameBreaksTies(t *testing.T) {
+	dir := t.TempDir()
+	// A fresh checkout stamps every baseline with the same mtime; the
+	// lexically greatest (latest-dated) name must win.
+	same := time.Now().Add(-time.Hour)
+	touch(t, filepath.Join(dir, "BENCH_2026-08-05.json"), same)
+	touch(t, filepath.Join(dir, "BENCH_2026-08-06.json"), same)
+
+	got := pickBaseline(dir)
+	want := filepath.Join(dir, "BENCH_2026-08-06.json")
+	if got != want {
+		t.Fatalf("pickBaseline = %q, want %q", got, want)
+	}
+}
+
+func TestPickBaselineEmpty(t *testing.T) {
+	if got := pickBaseline(t.TempDir()); got != "" {
+		t.Fatalf("pickBaseline on empty dir = %q, want empty", got)
+	}
+}
