@@ -15,7 +15,11 @@
 //	xbgas-bench -gups N             # one GUPS measurement on N PEs
 //
 // GUPS/IS parameters can be scaled with -gups-table, -gups-updates,
-// -is-keys, -is-maxkey, -is-iters. The kernels' collective algorithm
+// -is-keys, -is-maxkey, -is-iters. The fabric topology for kernels and
+// sweeps is set with -topo (e.g. -topo grouped:8x16, -topo torus:32x32;
+// echoed in StatsReport); -sweep runs a message-size sweep for one
+// collective and -scale the 64–1024-PE scale-out grid across flat,
+// grouped, and torus fabrics. The kernels' collective algorithm
 // can be forced with -algo (use `-algo list` to print the registered
 // planners) and message segmentation with -chunk (0 = auto-select,
 // >0 forces that segment size in bytes, <0 disables segmentation);
@@ -65,7 +69,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		isIters     = fs.Int("is-iters", bench.DefaultISParams().Iterations, "IS iterations")
 		algo        = fs.String("algo", "", "force a registered collective algorithm for the GUPS/IS kernels (\"list\" prints per-collective availability)")
 		chunk       = fs.Int("chunk", 0, "collective segmentation chunk bytes: 0 = auto, >0 forces the segment size, <0 disables segmentation")
-		sweep       = fs.String("sweep", "", "message-size sweep for a rootless collective: allreduce|allgather|reduce_scatter")
+		sweep       = fs.String("sweep", "", "message-size sweep for a collective: allreduce|allgather|reduce_scatter|broadcast|reduce")
+		scale       = fs.String("scale", "", "scale-out sweep (64-1024 PEs x flat/grouped/torus) for a collective: allreduce|allgather")
+		topo        = fs.String("topo", "", "fabric topology spec for kernels and sweeps: flat|ring|torus[:WxH]|hypercube|grouped:[Gx]P|dragonfly:RxP")
 		tune        = fs.Bool("tune", false, "calibrate the alpha-beta cost model on this machine and persist the tuning table")
 		tuning      = fs.String("tuning", "", "load a persisted tuning table for auto algorithm selection (default "+core.DefaultTuningPath+" when present)")
 
@@ -157,7 +163,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "tuned %s: alpha=%.0fns beta=%.2fns/B elem=%.2fns/B flag=%.0fns barrier=%.0fns/PE copy=%.2f/%.2fns/B combine=%.2f/%.2fns/B\n",
 			path, t.AlphaNs, t.BetaNsPerByte, t.ElemNsPerByte, t.FlagNs, t.BarrierNs,
 			t.CopyNsPerByte, t.CopyElemNsPerByte, t.CombineNsPerByte, t.CombineElemNsPerByte)
-		if *sweep == "" {
+		if *sweep == "" && *scale == "" {
 			return 0
 		}
 	} else if *tuning != "" {
@@ -174,6 +180,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		gups.Algo = core.Algorithm(*algo)
 		is.Algo = core.Algorithm(*algo)
+	}
+	if *topo != "" {
+		gups.Runtime.TopoSpec = *topo
+		is.Runtime.TopoSpec = *topo
 	}
 	if *chunk != 0 {
 		// Per-kernel params carry the override so library callers get
@@ -260,12 +270,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *sweep != "" {
 		op := bench.CollectiveOp(*sweep)
 		switch op {
-		case bench.OpAllReduce, bench.OpAllGather, bench.OpReduceScatter:
+		case bench.OpAllReduce, bench.OpAllGather, bench.OpReduceScatter,
+			bench.OpBroadcast, bench.OpReduce:
 		default:
-			fmt.Fprintf(stderr, "xbgas-bench: unknown sweep %q (allreduce|allgather|reduce_scatter)\n", *sweep)
+			fmt.Fprintf(stderr, "xbgas-bench: unknown sweep %q (allreduce|allgather|reduce_scatter|broadcast|reduce)\n", *sweep)
 			return 2
 		}
-		run("sweep "+*sweep, func(w io.Writer) error { return bench.FigureSweep(w, op) })
+		run("sweep "+*sweep, func(w io.Writer) error { return bench.FigureSweep(w, op, *topo) })
+		did = true
+	}
+	if *scale != "" {
+		op := bench.CollectiveOp(*scale)
+		switch op {
+		case bench.OpAllReduce, bench.OpAllGather:
+		default:
+			fmt.Fprintf(stderr, "xbgas-bench: unknown scale sweep %q (allreduce|allgather)\n", *scale)
+			return 2
+		}
+		run("scale "+*scale, func(w io.Writer) error { return bench.FigureScale(w, op) })
 		did = true
 	}
 	if *gupsPEs > 0 {

@@ -11,7 +11,8 @@
 //
 // The program runs on an N-node machine with the paper's memory
 // configuration (256-entry TLB, 8-way 16KB L1 / 8MB L2) on a
-// fully-connected fabric; remote nodes are addressable through object
+// fully-connected fabric by default (-topo selects ring, torus,
+// grouped, ... shapes); remote nodes are addressable through object
 // IDs 1..N (ID = rank+1). Output written via the write ecall goes to
 // standard output; exit code, retired instructions, simulated cycles,
 // and remote-access counts are reported on standard error.
@@ -24,6 +25,7 @@ import (
 	"os"
 
 	"xbgas/internal/asm"
+	"xbgas/internal/fabric"
 	"xbgas/internal/obs"
 	"xbgas/internal/sim"
 )
@@ -38,6 +40,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var (
 		nodes   = fs.Int("nodes", 2, "number of simulated nodes")
 		node    = fs.Int("node", 0, "node to run the program on")
+		topo    = fs.String("topo", "", "fabric topology spec: flat|ring|torus[:WxH]|hypercube|grouped:[Gx]P|dragonfly:RxP")
 		max     = fs.Uint64("max", 100_000_000, "instruction budget (0 = unlimited)")
 		spmd    = fs.Bool("spmd", false, "run the program on every node concurrently (enables the barrier ecall)")
 		itrace  = fs.String("itrace", "", "write an instruction trace to `file` (\"-\" = stderr; single-node runs)")
@@ -69,7 +72,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "xbgas-run: %v\n", err)
 		return 1
 	}
-	m, err := sim.NewMachine(sim.DefaultConfig(*nodes))
+	cfg := sim.DefaultConfig(*nodes)
+	if *topo != "" {
+		t, err := fabric.ParseTopo(*topo, *nodes)
+		if err != nil {
+			fmt.Fprintf(stderr, "xbgas-run: %v\n", err)
+			return 2
+		}
+		cfg.Topology = t
+	}
+	m, err := sim.NewMachine(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "xbgas-run: %v\n", err)
 		return 1

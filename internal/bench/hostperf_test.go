@@ -196,8 +196,12 @@ func BenchmarkBcastChunk(b *testing.B) {
 // algorithm ("" = auto) with auto chunk selection. The headline pair in
 // docs/PERF.md compares auto against the pinned binomial path.
 func benchLargeAllreduce(b *testing.B, elems int, algo core.Algorithm) {
+	benchLargeAllreduceOn(b, elems, algo, xbrtime.Config{NumPEs: 8})
+}
+
+func benchLargeAllreduceOn(b *testing.B, elems int, algo core.Algorithm, cfg xbrtime.Config) {
 	b.Helper()
-	rt := xbrtime.MustNew(xbrtime.Config{NumPEs: 8})
+	rt := xbrtime.MustNew(cfg)
 	defer rt.Close()
 	var dest, src uint64
 	err := rt.Run(func(pe *xbrtime.PE) error {
@@ -279,6 +283,15 @@ func BenchmarkAllgather1MB8PE(b *testing.B) { benchLargeAllgather(b, 1<<17, core
 // against; the ratio is the PR's acceptance criterion.
 func BenchmarkAllreduce1MB8PEBinomial(b *testing.B) { benchLargeAllreduce(b, 1<<17, core.AlgoBinomial) }
 func BenchmarkAllgather1MB8PEBinomial(b *testing.B) { benchLargeAllgather(b, 1<<17, core.AlgoBinomial) }
+
+// BenchmarkAllreduce1MB64PEGrouped is the scale-out headline: the same
+// 1 MiB payload on 64 PEs packed 8-per-node, where auto resolves to the
+// hierarchical planner. Its name carries the PE count and topology so
+// benchdiff refuses to compare it against flat or 8-PE baselines.
+func BenchmarkAllreduce1MB64PEGrouped(b *testing.B) {
+	benchLargeAllreduceOn(b, 1<<17, core.AlgoAuto,
+		xbrtime.Config{NumPEs: 64, TopoSpec: "grouped:8"})
+}
 
 func BenchmarkGUPS8PE(b *testing.B) {
 	p := GUPSParams{

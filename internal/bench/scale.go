@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"xbgas/internal/core"
+)
+
+// Scale-out sweeps: the 64–1024-PE grids behind docs/PERF.md's
+// scale-out section. Unlike the figure sweeps (which mirror the paper's
+// 2–12-PE evaluation), these run each cell once on the virtual clock
+// across flat, grouped, and torus fabrics, and budget host work so the
+// grid stays CI-feasible — a skipped cell prints as "-" rather than
+// silently narrowing the grid.
+
+// ScalePEs are the PE counts of the scale-out grid.
+var ScalePEs = []int{64, 256, 1024}
+
+// ScaleSizes are the payload points in 8-byte elements: 64 B, 4 KiB,
+// 64 KiB, 1 MiB.
+var ScaleSizes = []int{8, 512, 8192, 131072}
+
+// ScaleHostBudgetNs bounds the estimated host cost of a single scale
+// cell; cells estimated above it are skipped and reported as such. 45 s
+// keeps every 1 MiB cell at 64 PEs (the acceptance evidence) while
+// dropping the 1 MiB rows at 256+ PEs — 1 MiB completion at full scale
+// is covered by the lockstep test, not the grid.
+var ScaleHostBudgetNs = 45e9
+
+// ScaleTopos returns the -topo specs swept at a PE count: flat, one
+// grouped shape (nodes of √n-ish width so node count and width both
+// grow), and the near-square torus.
+func ScaleTopos(pes int) []string {
+	per := 8
+	switch {
+	case pes >= 1024:
+		per = 32
+	case pes >= 256:
+		per = 16
+	}
+	return []string{"", fmt.Sprintf("grouped:%d", per), "torus"}
+}
+
+// scaleAlgos is the algorithm panel of the scale grid: auto plus the
+// planners whose schedules stay affordable at the PE count. Ring's
+// 2(n−1) synchronised rounds price it out above 256 PEs regardless of
+// payload, so it is dropped there rather than budgeted per cell.
+func scaleAlgos(op CollectiveOp, pes int) []core.Algorithm {
+	coll, ok := collOf(op)
+	if !ok {
+		return nil
+	}
+	candidates := []core.Algorithm{
+		core.AlgoAuto, core.AlgoBinomial, core.AlgoRing,
+		core.AlgoRabenseifner, core.AlgoPAT, core.AlgoHier,
+	}
+	var algos []core.Algorithm
+	for _, a := range candidates {
+		if a == core.AlgoRing && pes > 256 {
+			continue
+		}
+		if a != core.AlgoAuto {
+			if pl, ok := core.LookupPlanner(a); !ok || !pl.Supports(coll) {
+				continue
+			}
+		}
+		algos = append(algos, a)
+	}
+	return algos
+}
+
+// scaleHostCostNs estimates the host cost of one cell: per-PE payload
+// movement (the dominant memmove volume of the schedule) plus a
+// per-round synchronisation term across all PEs. The constants are
+// deliberately pessimistic — the budget exists to drop cells that would
+// stall CI, not to rank algorithms.
+func scaleHostCostNs(algo core.Algorithm, pes, nelems int) float64 {
+	bytes := float64(nelems) * 8
+	logN := float64(core.CeilLog2(pes))
+	perPE, rounds := 2*bytes, 4*float64(pes)
+	switch algo {
+	case core.AlgoBinomial:
+		perPE, rounds = bytes*logN, 2*logN
+	case core.AlgoPAT:
+		perPE, rounds = 2*bytes, 2*logN
+	case core.AlgoRing:
+		perPE, rounds = 2*bytes, 2*float64(pes)
+	case core.AlgoRabenseifner, core.AlgoHier, core.AlgoAuto:
+		perPE, rounds = 2*bytes, 4*logN
+	}
+	// ~100 ns of host work per scheduled byte per PE (measured: a
+	// 64-PE 1 MiB allreduce cell runs ~15 s — chunk loops, goroutine
+	// wakeups, and virtual-clock booking dominate the raw memmove), and
+	// ~100 µs to turn a barrier round over 1024 goroutines (scaled
+	// linearly in PE count).
+	return float64(pes)*perPE*100.0 + rounds*float64(pes)*100.0
+}
+
+// RunScale measures the scale-out grid for one collective. Skipped
+// cells (over budget) come back with Iters == 0.
+func RunScale(op CollectiveOp) ([]SweepPoint, error) {
+	var pts []SweepPoint
+	for _, pes := range ScalePEs {
+		for _, topo := range ScaleTopos(pes) {
+			for _, nelems := range ScaleSizes {
+				for _, algo := range scaleAlgos(op, pes) {
+					if scaleHostCostNs(algo, pes, nelems) > ScaleHostBudgetNs {
+						pts = append(pts, SweepPoint{
+							Op: op, Algo: algo, Topo: topo, PEs: pes, Nelems: nelems,
+						})
+						continue
+					}
+					pt, err := SweepCollective(op, algo, pes, nelems, 1, topo)
+					if err != nil {
+						return nil, err
+					}
+					pts = append(pts, pt)
+				}
+			}
+		}
+	}
+	return pts, nil
+}
+
+// FigureScale runs and prints the scale-out grid for one collective:
+// one block per (PE count, topology), one row per payload, one column
+// per algorithm (virtual cycles per invocation, fastest fixed marked),
+// with auto's resolution appended. "-" marks cells skipped by the host
+// budget or algorithms absent at that scale.
+func FigureScale(w io.Writer, op CollectiveOp) error {
+	pts, err := RunScale(op)
+	if err != nil {
+		return err
+	}
+	cell := map[string]SweepPoint{}
+	for _, pt := range pts {
+		cell[fmt.Sprintf("%s/%s/%d/%d", pt.Algo, pt.Topo, pt.PEs, pt.Nelems)] = pt
+	}
+	fmt.Fprintf(w, "Scale-out: %s (virtual cycles/op; * = fastest fixed, - = skipped)\n", op)
+	allAlgos := scaleAlgos(op, 0)
+	for _, pes := range ScalePEs {
+		for _, topo := range ScaleTopos(pes) {
+			label := topo
+			if label == "" {
+				label = "flat"
+			}
+			fmt.Fprintf(w, "\n%d PEs, %s\n%12s", pes, label, "bytes")
+			for _, a := range allAlgos {
+				fmt.Fprintf(w, " %14s", a)
+			}
+			fmt.Fprintf(w, " %16s\n", "auto resolved")
+			for _, nelems := range ScaleSizes {
+				fmt.Fprintf(w, "%12d", nelems*8)
+				best := SweepPoint{}
+				for _, a := range allAlgos {
+					pt, ok := cell[fmt.Sprintf("%s/%s/%d/%d", a, topo, pes, nelems)]
+					if !ok || pt.Iters == 0 || a == core.AlgoAuto {
+						continue
+					}
+					if best.Algo == "" || pt.Cycles < best.Cycles {
+						best = pt
+					}
+				}
+				for _, a := range allAlgos {
+					pt, ok := cell[fmt.Sprintf("%s/%s/%d/%d", a, topo, pes, nelems)]
+					if !ok || pt.Iters == 0 {
+						fmt.Fprintf(w, " %14s", "-")
+						continue
+					}
+					mark := " "
+					if a == best.Algo {
+						mark = "*"
+					}
+					fmt.Fprintf(w, " %13.0f%s", pt.Cycles, mark)
+				}
+				auto := cell[fmt.Sprintf("%s/%s/%d/%d", core.AlgoAuto, topo, pes, nelems)]
+				fmt.Fprintf(w, " %16s\n", auto.Resolved)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"xbgas/internal/core"
+)
+
+// TestScaleRingControl measures ring at 512 PEs × 1 MiB — the scale
+// panel drops ring above 256 PEs, so this is the out-of-panel control
+// behind PERF.md's claim that the exclusion doesn't hide a winner.
+// 512 is the ceiling for a direct measurement: at 1024 PEs the ring's
+// ~2(n−1) flag-signaled rounds across n PEs exhaust >128 GiB of host
+// RSS before the first op completes (per-round flag blocks and step
+// state scale with rounds × PEs), so the 64→256→512 trend stands in
+// for the 1024 point. Gated like the spotlight below.
+func TestScaleRingControl(t *testing.T) {
+	if os.Getenv("XBGAS_SPOTLIGHT") != "1" {
+		t.Skip("set XBGAS_SPOTLIGHT=1 to run the multi-minute 1 MiB cells")
+	}
+	for _, op := range []CollectiveOp{OpAllGather, OpAllReduce} {
+		pt, err := SweepCollective(op, core.AlgoRing, 512, 131072, 1, "grouped:16")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("%s 512PE grouped:16 1MiB ring: %.0f cycles\n", op, pt.Cycles)
+	}
+}
+
+// TestScale1MiBSpotlight captures the 1 MiB rows the scale grid's host
+// budget skips: 256 and 1024 PEs on their grouped fabrics, every
+// planner in the scale panel. These are the acceptance numbers behind
+// docs/PERF.md's scale-out section. Each 1024-PE cell costs minutes of
+// host time, so the test only runs when XBGAS_SPOTLIGHT=1:
+//
+//	XBGAS_SPOTLIGHT=1 go test ./internal/bench/ -run TestScale1MiBSpotlight -v -timeout 120m
+func TestScale1MiBSpotlight(t *testing.T) {
+	if os.Getenv("XBGAS_SPOTLIGHT") != "1" {
+		t.Skip("set XBGAS_SPOTLIGHT=1 to run the multi-minute 1 MiB cells")
+	}
+	const nelems = 131072
+	cases := []struct {
+		pes  int
+		topo string
+	}{
+		{256, "grouped:16"},
+		{1024, "grouped:32"},
+	}
+	for _, op := range []CollectiveOp{OpAllGather, OpAllReduce} {
+		for _, c := range cases {
+			for _, algo := range scaleAlgos(op, c.pes) {
+				pt, err := SweepCollective(op, algo, c.pes, nelems, 1, c.topo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := ""
+				if algo == core.AlgoAuto {
+					res = " -> " + string(pt.Resolved)
+				}
+				// fmt so each cell streams as it completes; t.Logf would
+				// buffer the whole hour until the test returns.
+				fmt.Printf("%s %dPE %s 1MiB %s%s: %.0f cycles\n", op, c.pes, c.topo, algo, res, pt.Cycles)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"xbgas/internal/core"
+	"xbgas/internal/fabric"
 	"xbgas/internal/xbrtime"
 )
 
@@ -30,6 +31,7 @@ type SweepPoint struct {
 	Op       CollectiveOp
 	Algo     core.Algorithm
 	Resolved core.Algorithm // what auto picked; == Algo for fixed algos
+	Topo     string         // -topo spec; "" = flat
 	PEs      int
 	Nelems   int
 	Iters    int
@@ -71,9 +73,10 @@ func collOf(op CollectiveOp) (core.Collective, bool) {
 }
 
 // SweepCollective measures one (collective, algorithm, PEs, nelems)
-// cell: iters invocations, timed on both clocks. The iteration count
-// scales down with the payload so large points stay affordable.
-func SweepCollective(op CollectiveOp, algo core.Algorithm, pes, nelems, iters int) (SweepPoint, error) {
+// cell on the fabric named by the -topo spec ("" = flat): iters
+// invocations, timed on both clocks. The iteration count scales down
+// with the payload so large points stay affordable.
+func SweepCollective(op CollectiveOp, algo core.Algorithm, pes, nelems, iters int, topo string) (SweepPoint, error) {
 	if iters <= 0 {
 		iters = 1
 	}
@@ -81,10 +84,10 @@ func SweepCollective(op CollectiveOp, algo core.Algorithm, pes, nelems, iters in
 	if !ok {
 		return SweepPoint{}, fmt.Errorf("bench: %q is not sweepable", op)
 	}
-	pt := SweepPoint{Op: op, Algo: algo, PEs: pes, Nelems: nelems, Iters: iters}
-	pt.Resolved = algo.Select(coll, pes, nelems, 8)
+	pt := SweepPoint{Op: op, Algo: algo, Topo: topo, PEs: pes, Nelems: nelems, Iters: iters}
+	pt.Resolved = algo.SelectFor(coll, pes, nelems, 8, topoShape(topo, pes))
 
-	rt, err := xbrtime.New(xbrtime.Config{NumPEs: pes})
+	rt, err := xbrtime.New(xbrtime.Config{NumPEs: pes, TopoSpec: topo})
 	if err != nil {
 		return pt, err
 	}
@@ -171,9 +174,26 @@ func SweepCollective(op CollectiveOp, algo core.Algorithm, pes, nelems, iters in
 	return pt, nil
 }
 
+// topoShape resolves a -topo spec to the planner Shape it implies for
+// pes PEs; a bad or empty spec is flat (New will reject bad specs
+// properly — the shape only steers selection).
+func topoShape(topo string, pes int) core.Shape {
+	if topo == "" {
+		return core.Shape{}
+	}
+	t, err := fabric.ParseTopo(topo, pes)
+	if err != nil {
+		return core.Shape{}
+	}
+	if g, ok := t.(fabric.NodeGrouper); ok {
+		return core.Shape{PerNode: g.PEsPerNode()}
+	}
+	return core.Shape{}
+}
+
 // RunSweep measures the full grid for one collective: every sweepable
-// algorithm × SweepPEs × SweepSizes.
-func RunSweep(op CollectiveOp) ([]SweepPoint, error) {
+// algorithm × SweepPEs × SweepSizes, on the -topo spec's fabric.
+func RunSweep(op CollectiveOp, topo string) ([]SweepPoint, error) {
 	var pts []SweepPoint
 	for _, pes := range SweepPEs {
 		for _, nelems := range SweepSizes {
@@ -185,7 +205,7 @@ func RunSweep(op CollectiveOp) ([]SweepPoint, error) {
 				iters = 25
 			}
 			for _, algo := range sweepAlgos(op) {
-				pt, err := SweepCollective(op, algo, pes, nelems, iters)
+				pt, err := SweepCollective(op, algo, pes, nelems, iters, topo)
 				if err != nil {
 					return nil, err
 				}
@@ -201,13 +221,17 @@ func RunSweep(op CollectiveOp) ([]SweepPoint, error) {
 // one column per algorithm (virtual cycles per invocation, the
 // fastest marked), with auto's resolution and host-time ratio to the
 // best fixed algorithm appended.
-func FigureSweep(w io.Writer, op CollectiveOp) error {
-	pts, err := RunSweep(op)
+func FigureSweep(w io.Writer, op CollectiveOp, topo string) error {
+	pts, err := RunSweep(op, topo)
 	if err != nil {
 		return err
 	}
 	algos := sweepAlgos(op)
-	fmt.Fprintf(w, "Figure: %s latency sweep (virtual cycles/op; * = fastest fixed)\n", op)
+	label := topo
+	if label == "" {
+		label = "flat"
+	}
+	fmt.Fprintf(w, "Figure: %s latency sweep on %s (virtual cycles/op; * = fastest fixed)\n", op, label)
 	cell := map[string]SweepPoint{}
 	key := func(a core.Algorithm, pes, nelems int) string {
 		return fmt.Sprintf("%s/%d/%d", a, pes, nelems)

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xbgas/internal/fabric"
 	"xbgas/internal/xbrtime"
 )
 
@@ -56,10 +57,26 @@ type Tuning struct {
 	CopyElemNsPerByte    float64 `json:"copy_elem_ns_per_byte"`
 	CombineNsPerByte     float64 `json:"combine_ns_per_byte"`
 	CombineElemNsPerByte float64 `json:"combine_elem_ns_per_byte"`
+
+	// Per-link-class transfer coefficients for grouped (Classed)
+	// topologies, calibrated on the simulator's virtual clock: a 2-PE
+	// fabric is built with both PEs on one node (intra) and on two
+	// nodes (inter) and blocking chunked puts are timed in cycles.
+	// Unlike the host-time coefficients above — which price what the
+	// host pays to simulate a step — these price what the modelled
+	// fabric charges for it, which is what a grouped topology's
+	// makespan is made of. PlanCostShape swaps them in for the α/β of
+	// put/get steps when the shape is grouped; all-zero (a v1 table)
+	// disables class pricing.
+	IntraAlphaNs       float64 `json:"intra_alpha_ns,omitempty"`
+	IntraBetaNsPerByte float64 `json:"intra_beta_ns_per_byte,omitempty"`
+	InterAlphaNs       float64 `json:"inter_alpha_ns,omitempty"`
+	InterBetaNsPerByte float64 `json:"inter_beta_ns_per_byte,omitempty"`
 }
 
-// TuningVersion is the persisted-table schema version.
-const TuningVersion = 1
+// TuningVersion is the persisted-table schema version. Version 2 added
+// the per-link-class coefficients.
+const TuningVersion = 2
 
 // DefaultTuningPath is where SaveTuning/LoadTuning look when given "".
 const DefaultTuningPath = "docs/TUNING.json"
@@ -82,6 +99,10 @@ func DefaultTuning() Tuning {
 		CopyElemNsPerByte:    15.5,
 		CombineNsPerByte:     5.49,
 		CombineElemNsPerByte: 25.5,
+		IntraAlphaNs:         121,
+		IntraBetaNsPerByte:   1.03,
+		InterAlphaNs:         629,
+		InterBetaNsPerByte:   3.55,
 	}
 }
 
@@ -157,13 +178,27 @@ func CostModel(p *Plan, nelems, width int) float64 {
 }
 
 // PlanCost prices a plan under an explicit tuning table, in modelled
-// nanoseconds. Blocking plans cost the sum over rounds of the most
-// loaded actor's work plus each closing barrier; flag-pipelined plans
-// cost the most loaded actor's local work plus PipelineDepth hops of
-// one segment each. Counts are resolved with the equal-block model
-// (block v ≈ ⌈nelems/n⌉), which is exact for AdjChunks plans and the
-// common uniform-vector case.
+// nanoseconds; it is PlanCostShape over the flat shape.
 func PlanCost(p *Plan, tn Tuning, nelems, width int) float64 {
+	return PlanCostShape(p, tn, Shape{}, nelems, width)
+}
+
+// PlanCostShape prices a plan under an explicit tuning table and fabric
+// shape, in modelled nanoseconds. Blocking plans cost the sum over
+// rounds of the most loaded actor's work plus each closing barrier;
+// flag-pipelined plans cost the most loaded actor's local work plus
+// PipelineDepth hops of one segment each. Counts are resolved with the
+// equal-block model (block v ≈ ⌈nelems/n⌉), which is exact for
+// AdjChunks plans and the common uniform-vector case.
+//
+// On a grouped shape each put/get is priced with the per-link-class
+// α/β of its endpoints' nodes (virtual-clock coefficients; see Tuning),
+// evaluated in virtual-rank space — exact at the canonical root 0 and a
+// rotation elsewhere. Element-path transfers keep the host element β as
+// a floor: their per-element accessor cost dominates any wire rate.
+// Local copy/combine/barrier terms keep the host coefficients on every
+// shape.
+func PlanCostShape(p *Plan, tn Tuning, sh Shape, nelems, width int) float64 {
 	n := p.NPEs
 	if n < 1 {
 		n = 1
@@ -174,6 +209,13 @@ func PlanCost(p *Plan, tn Tuning, nelems, width int) float64 {
 			return per + 1
 		}
 		return per
+	}
+	adjOf := func(v int) int {
+		m := v
+		if m > rem {
+			m = rem
+		}
+		return v*per + m
 	}
 	segs := p.Segments
 	if segs < 1 {
@@ -186,34 +228,87 @@ func PlanCost(p *Plan, tn Tuning, nelems, width int) float64 {
 		}
 		return q
 	}
-	count := func(s *Step) int {
+	countOne := func(s *Step, cv int) int {
 		switch s.Count {
 		case CountBlock:
-			return blockOf(s.CV)
+			return blockOf(cv)
 		case CountSubtree:
-			hi := s.CV + (1 << uint(s.CB))
+			hi := cv + (1 << uint(s.CB))
 			if hi > n {
 				hi = n
 			}
-			c := 0
-			for v := s.CV; v < hi; v++ {
-				c += blockOf(v)
+			return adjOf(hi) - adjOf(cv)
+		case CountRun:
+			hi := cv + s.CB
+			if hi > n {
+				hi = n
 			}
-			return c
+			if hi <= cv {
+				return 0
+			}
+			return adjOf(hi) - adjOf(cv)
 		case CountSeg:
-			return segOf(s.CV)
+			return segOf(cv)
 		}
 		return nelems
 	}
+	// count is the step's total payload across its multi-block
+	// expansion; msgs its message multiplicity.
+	count := func(s *Step) int {
+		if s.Blocks <= 1 {
+			return countOne(s, s.CV)
+		}
+		total, cv := 0, s.CV
+		for t := 0; t < s.Blocks; t++ {
+			total += countOne(s, cv)
+			if s.Count == CountBlock || s.Count == CountRun {
+				cv += s.BStride
+			}
+		}
+		return total
+	}
+	msgs := func(s *Step) float64 {
+		if s.Blocks > 1 {
+			return float64(s.Blocks)
+		}
+		return 1
+	}
+	bulk := p.Chunked || p.FlagWords > 0
 	xferB := tn.ElemNsPerByte
-	if p.Chunked || p.FlagWords > 0 {
+	if bulk {
 		xferB = tn.BetaNsPerByte
 	}
+	grouped := !sh.flat(n) && tn.IntraAlphaNs > 0 && tn.InterAlphaNs > 0
+	// alphaBeta resolves a transfer's α/β from its endpoints' link
+	// class. Virtual ranks map to nodes directly: pricing is anchored
+	// at root 0, where virtual and logical ranks coincide.
+	alphaBeta := func(actor, peer int) (float64, float64) {
+		if !grouped || peer < 0 {
+			return tn.AlphaNs, xferB
+		}
+		a, b := tn.IntraAlphaNs, tn.IntraBetaNsPerByte
+		if actor/sh.PerNode != peer/sh.PerNode {
+			a, b = tn.InterAlphaNs, tn.InterBetaNsPerByte
+		}
+		if !bulk && xferB > b {
+			b = xferB
+		}
+		return a, b
+	}
 	copyB, combB := tn.CopyElemNsPerByte, tn.CombineElemNsPerByte
-	if p.Chunked || p.FlagWords > 0 {
+	if bulk {
 		copyB, combB = tn.CopyNsPerByte, tn.CombineNsPerByte
 	}
 	barrier := tn.BarrierNs * float64(n)
+	if grouped {
+		// On a grouped shape the transfer terms are virtual-clock prices,
+		// so the barrier must be too: a dissemination barrier is
+		// ⌈log₂n⌉ exchange rounds with mostly cross-node partners, not
+		// the host's linear-in-n goroutine turnover. Mixing the units
+		// charges every round a barrier ~n/log n too large and skews
+		// selection toward low-round-count plans regardless of topology.
+		barrier = tn.InterAlphaNs * float64(CeilLog2(n))
+	}
 
 	if p.FlagWords > 0 {
 		// Pipelined: segments stream through the dependency chain, so
@@ -243,7 +338,16 @@ func PlanCost(p *Plan, tn Tuning, nelems, width int) float64 {
 				l = v
 			}
 		}
-		hop := tn.AlphaNs + tn.FlagNs + float64(segOf(0)*width)*xferB
+		hopA := tn.AlphaNs
+		if grouped {
+			// Pipelined chains thread every PE, so hops cross node
+			// boundaries; the inter coefficients are the safe bound.
+			hopA = tn.InterAlphaNs
+			if bulk {
+				xferB = tn.InterBetaNsPerByte
+			}
+		}
+		hop := hopA + tn.FlagNs + float64(segOf(0)*width)*xferB
 		return l + float64(p.PipelineDepth())*hop + barrier
 	}
 
@@ -266,11 +370,13 @@ func PlanCost(p *Plan, tn Tuning, nelems, width int) float64 {
 			b := float64(count(s) * width)
 			switch s.Kind {
 			case StepPut:
-				acc[s.Actor] += tn.AlphaNs + b*xferB
+				a, bb := alphaBeta(s.Actor, s.Peer)
+				acc[s.Actor] += msgs(s)*a + b*bb
 			case StepGet:
 				// A get is a round trip — request out, data back — so it
 				// pays the message latency twice where a put pays once.
-				acc[s.Actor] += 2*tn.AlphaNs + b*xferB
+				a, bb := alphaBeta(s.Actor, s.Peer)
+				acc[s.Actor] += msgs(s)*2*a + b*bb
 			case StepCopy:
 				acc[s.Actor] += b * copyB
 			case StepCombine:
@@ -303,6 +409,7 @@ type autoKey struct {
 	coll Collective
 	n    int
 	sz   int
+	per  int // shape PEs-per-node; 0 = flat
 }
 
 var (
@@ -352,7 +459,7 @@ func rootedColl(coll Collective) bool {
 // large-message scatter+all-gather broadcast stays an explicit opt-in
 // — its advantage assumes bisection bandwidth the default fabric does
 // not have.
-func chooseAuto(coll Collective, nPEs, nelems, width int) Algorithm {
+func chooseAuto(coll Collective, nPEs, nelems, width int, sh Shape) Algorithm {
 	if nPEs <= 2 {
 		if pl, ok := LookupPlanner(AlgoLinear); ok && pl.Supports(coll) {
 			return AlgoLinear
@@ -369,8 +476,12 @@ func chooseAuto(coll Collective, nPEs, nelems, width int) Algorithm {
 			return AlgoBinomial
 		}
 	}
+	per := sh.PerNode
+	if sh.flat(nPEs) {
+		per = 0
+	}
 	sz := bits.Len(uint(nelems * width))
-	key := autoKey{coll, nPEs, sz}
+	key := autoKey{coll, nPEs, sz, per}
 	gen := autoGen.Load()
 	autoMu.Lock()
 	if autoCacheGen != gen {
@@ -382,7 +493,7 @@ func chooseAuto(coll Collective, nPEs, nelems, width int) Algorithm {
 		return a
 	}
 	autoMu.Unlock()
-	best := cheapestPlanner(coll, nPEs, nelems, width)
+	best := cheapestPlanner(coll, nPEs, nelems, width, sh)
 	autoMu.Lock()
 	if autoCacheGen == gen {
 		autoCache[key] = best
@@ -394,8 +505,13 @@ func chooseAuto(coll Collective, nPEs, nelems, width int) Algorithm {
 // cheapestPlanner prices every registered planner that implements coll
 // (each under its own segmentation choice) and returns the argmin; ties
 // resolve to the alphabetically first name so decisions are stable.
-func cheapestPlanner(coll Collective, nPEs, nelems, width int) Algorithm {
+// The topology-scoped planners (hierarchical, PAT) enter the candidate
+// set only on a grouped shape: on flat fabrics they bring no structure
+// the flat planners lack, and keeping them out preserves the flat
+// decisions the 8-PE gates pin down.
+func cheapestPlanner(coll Collective, nPEs, nelems, width int, sh Shape) Algorithm {
 	tn := CurrentTuning()
+	flat := sh.flat(nPEs)
 	var best Algorithm
 	var bestCost float64
 	for _, name := range PlannerNames() {
@@ -403,16 +519,19 @@ func cheapestPlanner(coll Collective, nPEs, nelems, width int) Algorithm {
 		if algo == AlgoScatterAllgather {
 			continue
 		}
+		if flat && (algo == AlgoHier || algo == AlgoPAT) {
+			continue
+		}
 		pl, ok := LookupPlanner(algo)
 		if !ok || !pl.Supports(coll) {
 			continue
 		}
 		seg := SelectSegments(coll, algo, nPEs, nelems, width)
-		p, err := CompilePlanSeg(coll, algo, nPEs, seg)
+		p, err := CompilePlanFor(coll, algo, nPEs, seg, sh)
 		if err != nil || p == nil {
 			continue
 		}
-		c := PlanCost(p, tn, nelems, width)
+		c := PlanCostShape(p, tn, sh, nelems, width)
 		if best == "" || c < bestCost {
 			best, bestCost = algo, c
 		}
@@ -421,6 +540,12 @@ func cheapestPlanner(coll Collective, nPEs, nelems, width int) Algorithm {
 		return AlgoBinomial
 	}
 	return best
+}
+
+// shapeOf projects a PE's fabric topology onto the planner Shape: the
+// PEs-per-node grouping when the topology declares one, flat otherwise.
+func shapeOf(pe *xbrtime.PE) Shape {
+	return Shape{PerNode: pe.PEsPerNode()}
 }
 
 // Calibrate measures the tuning coefficients on the current build's
@@ -592,7 +717,82 @@ func Calibrate() (Tuning, error) {
 		return t, err
 	}
 	t.BarrierNs = float64(barNs.Load()) / float64(kBar*nBar)
+
+	// Per-link-class coefficients, measured on the simulator's virtual
+	// clock (cycles ≈ modelled ns): the same 2-PE transfer pattern is
+	// timed with both PEs on one node and on two nodes of a grouped
+	// fabric. These price what the modelled fabric charges a transfer,
+	// not what the host pays to simulate it — the distinction the
+	// host-time α/β above cannot make, since the host does identical
+	// work either way.
+	t.IntraAlphaNs, t.IntraBetaNsPerByte, err =
+		classAlphaBeta(fabric.Grouped{PerNode: 2, N: 2})
+	if err != nil {
+		return t, err
+	}
+	t.InterAlphaNs, t.InterBetaNsPerByte, err =
+		classAlphaBeta(fabric.Grouped{PerNode: 1, N: 2})
+	if err != nil {
+		return t, err
+	}
 	return t, nil
+}
+
+// classAlphaBeta times blocking puts between the two PEs of a 2-PE
+// runtime on the given topology and reads the cost off PE 0's virtual
+// clock: α from a train of single-element puts, β from one large
+// chunked put with the α share subtracted.
+func classAlphaBeta(topo fabric.Topology) (alpha, beta float64, err error) {
+	const (
+		elems = 1 << 15
+		msgs  = 256
+	)
+	dt := xbrtime.TypeULong
+	rt, err := xbrtime.New(xbrtime.Config{NumPEs: 2, Topology: topo})
+	if err != nil {
+		return 0, 0, err
+	}
+	var calErr error
+	runErr := rt.Run(func(pe *xbrtime.PE) error {
+		dest, err := pe.Malloc(elems * uint64(dt.Width))
+		if err != nil {
+			return err
+		}
+		src, err := pe.Malloc(elems * uint64(dt.Width))
+		if err != nil {
+			return err
+		}
+		if pe.MyPE() != 0 {
+			return pe.Barrier()
+		}
+		// Warm the source lines through the hierarchy first: the wire's
+		// per-byte cost is what distinguishes the link classes, and a
+		// cold first pass would hide it behind identical DRAM fills.
+		if err := pe.PutChunk(dt, dest, src, elems, 1); err != nil {
+			calErr = err
+			return pe.Barrier()
+		}
+		start := pe.Now()
+		for i := 0; i < msgs; i++ {
+			if err := pe.Put(dt, dest, src, 1, 1, 1); err != nil {
+				calErr = err
+				return pe.Barrier()
+			}
+		}
+		alpha = float64(pe.Now()-start) / msgs
+		start = pe.Now()
+		if err := pe.PutChunk(dt, dest, src, elems, 1); err != nil {
+			calErr = err
+			return pe.Barrier()
+		}
+		chunk := float64(pe.Now() - start)
+		beta = maxf(chunk-alpha, 0) / float64(elems*dt.Width)
+		return pe.Barrier()
+	})
+	if runErr != nil {
+		return 0, 0, runErr
+	}
+	return alpha, beta, calErr
 }
 
 func maxf(a, b float64) float64 {

@@ -214,7 +214,7 @@ func (e *execEnv) round(r *Round) error {
 			if s.Kind == StepPut || s.Kind == StepGet {
 				transfers++
 				peer = e.rankOf(s.Peer)
-				moved += e.count(s)
+				moved += e.stepCount(s)
 			}
 		}
 		if transfers > 1 {
@@ -256,6 +256,9 @@ func (e *execEnv) round(r *Round) error {
 
 // step executes one plan step for this PE.
 func (e *execEnv) step(s *Step, r *Round, handles *[]xbrtime.Handle) error {
+	if s.Blocks > 1 {
+		return e.stepBlocks(s, r, handles)
+	}
 	pe, a := e.pe, &e.a
 	switch s.Kind {
 	case StepPut, StepGet:
@@ -361,6 +364,37 @@ func (e *execEnv) step(s *Step, r *Round, handles *[]xbrtime.Handle) error {
 		return pe.WaitFlag(e.flags + uint64(s.Flag)*8)
 	}
 	return nil
+}
+
+// stepBlocks expands a multi-block step (Step.Blocks): the body runs
+// Blocks times, each repetition advancing the block-indexed operands by
+// BStride. The expansion happens here rather than at compile time so a
+// plan stays O(rounds·actors) in memory even when every actor
+// redistributes n blocks.
+func (e *execEnv) stepBlocks(s *Step, r *Round, handles *[]xbrtime.Handle) error {
+	c := *s
+	c.Blocks = 0
+	for t := 0; t < s.Blocks; t++ {
+		if err := e.step(&c, r, handles); err != nil {
+			return err
+		}
+		c.Dst = shiftLoc(c.Dst, s.BStride)
+		c.Src = shiftLoc(c.Src, s.BStride)
+		if c.Count == CountBlock || c.Count == CountRun {
+			c.CV += s.BStride
+		}
+	}
+	return nil
+}
+
+// shiftLoc advances a location's block operand by d when the offset is
+// block-indexed.
+func shiftLoc(l Loc, d int) Loc {
+	switch l.Off {
+	case OffAdj, OffDisp, OffBlock:
+		l.V += d
+	}
+	return l
 }
 
 // combineChunk folds cnt contiguous elements of src into dst through
@@ -480,6 +514,15 @@ func (e *execEnv) count(s *Step) int {
 			n++
 		}
 		return n
+	case CountRun:
+		end := s.CV + s.CB
+		if end > e.n {
+			end = e.n
+		}
+		if end <= s.CV {
+			return 0
+		}
+		return e.adjOf(end) - e.adjOf(s.CV)
 	default: // CountSubtree
 		end := s.CV + (1 << s.CB)
 		if end > e.n {
@@ -487,6 +530,24 @@ func (e *execEnv) count(s *Step) int {
 		}
 		return e.adjOf(end) - e.adjOf(s.CV)
 	}
+}
+
+// stepCount is count summed over a multi-block step's expansion, for
+// span accounting.
+func (e *execEnv) stepCount(s *Step) int {
+	if s.Blocks <= 1 {
+		return e.count(s)
+	}
+	total := 0
+	c := *s
+	c.Blocks = 0
+	for t := 0; t < s.Blocks; t++ {
+		total += e.count(&c)
+		if c.Count == CountBlock || c.Count == CountRun {
+			c.CV += s.BStride
+		}
+	}
+	return total
 }
 
 // rankOf maps a virtual rank to a transfer target: the logical rank
@@ -513,10 +574,14 @@ func (e *execEnv) barrier() error {
 // break the symmetric-heap contract.
 func runPlan(pe *xbrtime.PE, coll Collective, algo Algorithm, a ExecArgs) error {
 	seg := 1
+	sh := Shape{}
 	if a.Team == nil {
 		seg = SelectSegments(coll, algo, pe.NumPEs(), a.Nelems, a.DT.Width)
+		// Teams stay on flat plans: member ranks scramble the node
+		// grouping the shaped planners schedule against.
+		sh = shapeOf(pe)
 	}
-	p, err := CompilePlanSeg(coll, algo, pe.NumPEs(), seg)
+	p, err := CompilePlanFor(coll, algo, pe.NumPEs(), seg, sh)
 	if err != nil {
 		return err
 	}

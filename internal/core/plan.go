@@ -175,6 +175,11 @@ const (
 	// segmentation of nelems: ⌊nelems/S⌋ plus one for the first
 	// nelems mod S segments.
 	CountSeg
+	// CountRun is the aggregate of the CB consecutive blocks starting
+	// at virtual rank CV, clipped to the PE count: adj(min(CV+CB, n)) −
+	// adj(CV). The hierarchical and PAT planners move runs of blocks in
+	// one transfer; pair it with an OffAdj offset at the same CV.
+	CountRun
 )
 
 // Loc is a symbolic address: a buffer plus an offset reference. V is
@@ -218,6 +223,14 @@ type Step struct {
 	// the same address (the broadcast root staging copy when
 	// dest == src).
 	SkipIfAlias bool
+
+	// Blocks > 1 repeats the step for the block ids CV, CV+BStride, …,
+	// CV+(Blocks−1)·BStride: each repetition advances the block-indexed
+	// operands (OffAdj/OffDisp/OffBlock V, CountBlock/CountRun CV) by
+	// BStride. One symbolic step thus expresses an n-block
+	// redistribution — the allgather epilogues and the hierarchical
+	// rail exchanges — without O(n) step records per actor.
+	Blocks, BStride int
 }
 
 // Round is one synchronisation epoch of a plan. Steps are sorted by
@@ -371,11 +384,17 @@ func (p *Plan) Transfers() []Transfer {
 		r := &p.Rounds[ri]
 		for si := range r.Steps {
 			s := &r.Steps[si]
-			switch s.Kind {
-			case StepPut:
-				out = append(out, Transfer{Round: r.Idx, Kind: StepPut, From: s.Actor, To: s.Peer})
-			case StepGet:
-				out = append(out, Transfer{Round: r.Idx, Kind: StepGet, From: s.Peer, To: s.Actor})
+			reps := 1
+			if s.Blocks > 1 {
+				reps = s.Blocks
+			}
+			for k := 0; k < reps; k++ {
+				switch s.Kind {
+				case StepPut:
+					out = append(out, Transfer{Round: r.Idx, Kind: StepPut, From: s.Actor, To: s.Peer})
+				case StepGet:
+					out = append(out, Transfer{Round: r.Idx, Kind: StepGet, From: s.Peer, To: s.Actor})
+				}
 			}
 		}
 	}
@@ -383,12 +402,15 @@ func (p *Plan) Transfers() []Transfer {
 }
 
 // planKey is the cache shape: everything else (root, nelems, stride,
-// counts, team) is resolved at execution time.
+// counts, team) is resolved at execution time. per is the topology
+// shape's PEs-per-node for shape-aware planners, 0 for every other
+// plan.
 type planKey struct {
 	coll Collective
 	algo Algorithm
 	n    int
 	seg  int
+	per  int
 }
 
 var (
@@ -419,7 +441,7 @@ func CompilePlanSeg(coll Collective, algo Algorithm, nPEs, segments int) (*Plan,
 	if segments < 1 {
 		segments = 1
 	}
-	key := planKey{coll, algo, nPEs, segments}
+	key := planKey{coll, algo, nPEs, segments, 0}
 	planMu.RLock()
 	p := planCache[key]
 	planMu.RUnlock()
@@ -460,6 +482,58 @@ func CompilePlanSeg(coll Collective, algo Algorithm, nPEs, segments int) (*Plan,
 	} else if p.FlagWords > 0 {
 		p.label += "[pipelined]"
 	}
+	p.finalize()
+	planMu.Lock()
+	if prev := planCache[key]; prev != nil {
+		p = prev // lost a compile race; keep the first plan canonical
+	} else {
+		planCache[key] = p
+	}
+	planMu.Unlock()
+	return p, nil
+}
+
+// Shape carries the fabric grouping a shape-aware planner compiles
+// against: PerNode is the nominal PEs per physical node of the
+// topology (fabric.NodeGrouper), with the last node possibly partial.
+// The zero Shape — and PerNode 1, and a single node holding every PE —
+// mean flat.
+type Shape struct {
+	PerNode int
+}
+
+// flat reports whether the shape carries no usable grouping for an
+// n-PE plan.
+func (sh Shape) flat(n int) bool {
+	return sh.PerNode <= 1 || sh.PerNode >= n
+}
+
+// CompilePlanFor is CompilePlanSeg for a fabric shape: a planner that
+// registers a CompileShaped hook receives the grouping and its plans
+// are cached per (collective, algorithm, nPEs, PerNode). Every other
+// planner — and every flat shape — shares the unshaped cache entries.
+// Shaped plans have no segmented forms (the two-level schedules chunk
+// internally), so the segment factor is dropped on the shaped path.
+func CompilePlanFor(coll Collective, algo Algorithm, nPEs, segments int, sh Shape) (*Plan, error) {
+	pl, ok := LookupPlanner(algo)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q (registered: %v)", algo, PlannerNames())
+	}
+	if pl.CompileShaped == nil || sh.flat(nPEs) {
+		return CompilePlanSeg(coll, algo, nPEs, segments)
+	}
+	key := planKey{coll, algo, nPEs, 1, sh.PerNode}
+	planMu.RLock()
+	p := planCache[key]
+	planMu.RUnlock()
+	if p != nil {
+		return p, nil
+	}
+	p = pl.CompileShaped(coll, nPEs, sh)
+	if p == nil {
+		return nil, fmt.Errorf("core: algorithm %q does not implement %s", algo, coll)
+	}
+	p.label = coll.String() + "/" + string(algo)
 	p.finalize()
 	planMu.Lock()
 	if prev := planCache[key]; prev != nil {

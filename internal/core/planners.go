@@ -365,14 +365,12 @@ func binomialAllGatherPlan(n int) *Plan {
 	}
 	epi := Round{Idx: -1}
 	for v := 0; v < n; v++ {
-		for u := 0; u < n; u++ {
-			epi.Steps = append(epi.Steps, Step{
-				Kind: StepCopy, Actor: v, Peer: -1,
-				Dst:   Loc{Buf: BufDest, Off: OffDisp, V: u},
-				Src:   Loc{Buf: BufStage, Off: OffAdj, V: u},
-				Count: CountBlock, CV: u,
-			})
-		}
+		epi.Steps = append(epi.Steps, Step{
+			Kind: StepCopy, Actor: v, Peer: -1,
+			Dst:   Loc{Buf: BufDest, Off: OffDisp, V: 0},
+			Src:   Loc{Buf: BufStage, Off: OffAdj, V: 0},
+			Count: CountBlock, CV: 0, Blocks: n, BStride: 1,
+		})
 	}
 	p.Rounds = append(p.Rounds, epi)
 	return p

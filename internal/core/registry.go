@@ -25,6 +25,11 @@ type Planner struct {
 	// returns nil when the planner has no segmented form for coll, and
 	// CompilePlanSeg then falls back to the unsegmented plan.
 	CompileSeg func(coll Collective, n, segments int) *Plan
+	// CompileShaped, when non-nil, builds the plan against a fabric
+	// shape (CompilePlanFor): the hierarchical planners schedule
+	// intra-node and inter-node phases separately. Flat shapes fall
+	// back to Compile.
+	CompileShaped func(coll Collective, n int, sh Shape) *Plan
 }
 
 // Supports reports whether the planner implements coll.

@@ -44,6 +44,19 @@ const (
 	// allreduce); power-of-two PE counts, with a ring-shaped fallback
 	// elsewhere.
 	AlgoRabenseifner Algorithm = "rabenseifner"
+	// AlgoHier forces the topology-aware two-level family
+	// (planners_hier.go): intra-node and inter-node phases scheduled
+	// separately against the fabric's node grouping, so bulk volume
+	// crosses the narrow inter-node links once per node instead of once
+	// per PE. On flat topologies it degenerates to a single-group
+	// (ring-shaped) schedule.
+	AlgoHier Algorithm = "hierarchical"
+	// AlgoPAT forces the Bruck-style parallel-aggregated-tree planner
+	// (planners_pat.go): log₂ n rounds of doubling block runs for
+	// allgather and the time-reversed mirror for reduce-scatter, at any
+	// PE count. Its log-depth schedule is the scale-out alternative to
+	// the ring's n−1 rounds at 1k+ PEs.
+	AlgoPAT Algorithm = "pat"
 )
 
 // LargeMessageBytes is the payload size past which scatter+all-gather
@@ -164,10 +177,18 @@ func (a Algorithm) String() string {
 // and large payloads land on the bandwidth-optimal ring/rabenseifner
 // planners past the tuned crossover.
 func (a Algorithm) Select(coll Collective, nPEs, nelems, width int) Algorithm {
+	return a.SelectFor(coll, nPEs, nelems, width, Shape{})
+}
+
+// SelectFor is Select against a fabric shape: on a grouped topology the
+// shape admits the hierarchical candidates and prices every plan with
+// the per-link-class coefficients, so auto resolves differently intra-
+// vs inter-node. The flat shape reproduces Select exactly.
+func (a Algorithm) SelectFor(coll Collective, nPEs, nelems, width int, sh Shape) Algorithm {
 	if a != AlgoAuto && a != "" {
 		return a
 	}
-	return chooseAuto(coll, nPEs, nelems, width)
+	return chooseAuto(coll, nPEs, nelems, width, sh)
 }
 
 // resolveAlgorithm normalises an algorithm request for one collective:
@@ -177,8 +198,8 @@ func (a Algorithm) Select(coll Collective, nPEs, nelems, width int) Algorithm {
 // it applies (the pre-registry dispatch switches defaulted the same
 // way), otherwise to the cost model's pick (reduce-scatter has no
 // binomial form).
-func resolveAlgorithm(algo Algorithm, coll Collective, nPEs, nelems, width int) (Algorithm, error) {
-	selected := algo.Select(coll, nPEs, nelems, width)
+func resolveAlgorithm(algo Algorithm, coll Collective, nPEs, nelems, width int, sh Shape) (Algorithm, error) {
+	selected := algo.SelectFor(coll, nPEs, nelems, width, sh)
 	pl, ok := LookupPlanner(selected)
 	if !ok {
 		return "", fmt.Errorf("core: unknown algorithm %q (registered: %s)",
@@ -188,7 +209,7 @@ func resolveAlgorithm(algo Algorithm, coll Collective, nPEs, nelems, width int) 
 		if bin, ok := LookupPlanner(AlgoBinomial); ok && bin.Supports(coll) {
 			return AlgoBinomial, nil
 		}
-		return chooseAuto(coll, nPEs, nelems, width), nil
+		return chooseAuto(coll, nPEs, nelems, width, sh), nil
 	}
 	return selected, nil
 }
@@ -197,7 +218,7 @@ func resolveAlgorithm(algo Algorithm, coll Collective, nPEs, nelems, width int) 
 // planner registry. The large-message algorithm applies only to
 // contiguous (stride 1) broadcasts; strided calls stay on the tree.
 func BroadcastWith(algo Algorithm, pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems, stride, root int) error {
-	selected, err := resolveAlgorithm(algo, CollBroadcast, pe.NumPEs(), nelems, dt.Width)
+	selected, err := resolveAlgorithm(algo, CollBroadcast, pe.NumPEs(), nelems, dt.Width, shapeOf(pe))
 	if err != nil {
 		return err
 	}
@@ -220,7 +241,7 @@ func BroadcastWith(algo Algorithm, pe *xbrtime.PE, dt xbrtime.DType, dest, src u
 // ReduceWith dispatches a reduction through the selector and the
 // planner registry.
 func ReduceWith(algo Algorithm, pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, dest, src uint64, nelems, stride, root int) error {
-	selected, err := resolveAlgorithm(algo, CollReduce, pe.NumPEs(), nelems, dt.Width)
+	selected, err := resolveAlgorithm(algo, CollReduce, pe.NumPEs(), nelems, dt.Width, shapeOf(pe))
 	if err != nil {
 		return err
 	}
@@ -239,7 +260,7 @@ func ReduceWith(algo Algorithm, pe *xbrtime.PE, dt xbrtime.DType, op ReduceOp, d
 // ScatterWith dispatches a scatter through the selector and the
 // planner registry.
 func ScatterWith(algo Algorithm, pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp []int, nelems, root int) error {
-	selected, err := resolveAlgorithm(algo, CollScatter, pe.NumPEs(), nelems, dt.Width)
+	selected, err := resolveAlgorithm(algo, CollScatter, pe.NumPEs(), nelems, dt.Width, shapeOf(pe))
 	if err != nil {
 		return err
 	}
@@ -258,7 +279,7 @@ func ScatterWith(algo Algorithm, pe *xbrtime.PE, dt xbrtime.DType, dest, src uin
 // model, so large payloads land on the bandwidth-optimal rabenseifner
 // or ring planner and small ones stay on the binomial tree.
 func AllReduceWith(pe *xbrtime.PE, algo Algorithm, dt xbrtime.DType, op ReduceOp, dest, src uint64, nelems, stride int) error {
-	selected, err := resolveAlgorithm(algo, CollAllReduce, pe.NumPEs(), nelems, dt.Width)
+	selected, err := resolveAlgorithm(algo, CollAllReduce, pe.NumPEs(), nelems, dt.Width, shapeOf(pe))
 	if err != nil {
 		return err
 	}
@@ -277,7 +298,7 @@ func AllReduceWith(pe *xbrtime.PE, algo Algorithm, dt xbrtime.DType, op ReduceOp
 // AllGatherWith dispatches a gather-to-all through the selector and the
 // planner registry.
 func AllGatherWith(pe *xbrtime.PE, algo Algorithm, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp []int, nelems int) error {
-	selected, err := resolveAlgorithm(algo, CollAllGather, pe.NumPEs(), nelems, dt.Width)
+	selected, err := resolveAlgorithm(algo, CollAllGather, pe.NumPEs(), nelems, dt.Width, shapeOf(pe))
 	if err != nil {
 		return err
 	}
@@ -298,7 +319,7 @@ func AllGatherWith(pe *xbrtime.PE, algo Algorithm, dt xbrtime.DType, dest, src u
 // ⌊nelems/n⌋ + (v < nelems mod n)) at dest. The collective is
 // rootless; only the bandwidth-optimal planners implement it.
 func ReduceScatterWith(pe *xbrtime.PE, algo Algorithm, dt xbrtime.DType, op ReduceOp, dest, src uint64, nelems int) error {
-	selected, err := resolveAlgorithm(algo, CollReduceScatter, pe.NumPEs(), nelems, dt.Width)
+	selected, err := resolveAlgorithm(algo, CollReduceScatter, pe.NumPEs(), nelems, dt.Width, shapeOf(pe))
 	if err != nil {
 		return err
 	}
@@ -317,7 +338,7 @@ func ReduceScatterWith(pe *xbrtime.PE, algo Algorithm, dt xbrtime.DType, op Redu
 // GatherWith dispatches a gather through the selector and the planner
 // registry.
 func GatherWith(algo Algorithm, pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, peMsgs, peDisp []int, nelems, root int) error {
-	selected, err := resolveAlgorithm(algo, CollGather, pe.NumPEs(), nelems, dt.Width)
+	selected, err := resolveAlgorithm(algo, CollGather, pe.NumPEs(), nelems, dt.Width, shapeOf(pe))
 	if err != nil {
 		return err
 	}

@@ -49,6 +49,18 @@ type Config struct {
 	// rather than building unbounded backlog). Zero selects the
 	// default.
 	QueueCap uint64
+	// IntraHopLatency overrides HopLatency on intra-node hops of a
+	// Classed topology (Grouped, Dragonfly): PEs sharing a node talk
+	// over the on-node fabric, not the network. Zero keeps HopLatency.
+	// Inert on single-class topologies.
+	IntraHopLatency uint64
+	// IntraByteCost overrides ByteCost on intra-node hops of a Classed
+	// topology. Zero keeps ByteCost.
+	IntraByteCost uint64
+	// InterByteCost overrides ByteCost on inter-node hops of a Classed
+	// topology (the network link is narrower than the on-node fabric).
+	// Zero keeps ByteCost.
+	InterByteCost uint64
 }
 
 const (
@@ -58,7 +70,11 @@ const (
 
 // DefaultConfig returns the xBGAS-style cost model used in the
 // evaluation: cheap user-space injection, single-switch latency,
-// 1 byte/cycle links, DMA-speed receiver service.
+// 1 byte/cycle links, DMA-speed receiver service. On grouped (Classed)
+// topologies the intra-node overrides make the on-node fabric ~5×
+// lower-latency and 4× wider than the inter-node network
+// (intra α = 60+40 = 100 vs inter α = 60+2·250 = 560 cycles); on flat
+// topologies they are inert.
 func DefaultConfig() Config {
 	return Config{
 		InjectionOverhead: 60,
@@ -68,6 +84,9 @@ func DefaultConfig() Config {
 		ReceiverGap:       8,
 		SwitchGap:         15,
 		SwitchByteCost:    0,
+		IntraHopLatency:   40,
+		IntraByteCost:     1,
+		InterByteCost:     4,
 	}
 }
 
@@ -83,6 +102,9 @@ func MessageConfig() Config {
 		ReceiverGap:       400,
 		SwitchGap:         15,
 		SwitchByteCost:    0,
+		IntraHopLatency:   40,
+		IntraByteCost:     1,
+		InterByteCost:     4,
 	}
 }
 
@@ -94,7 +116,8 @@ type shard struct {
 	mu  sync.Mutex
 	acc account
 	// Per-source traffic counters into this destination (the shard's
-	// column of the traffic matrix), owned by the shard lock.
+	// column of the traffic matrix), owned by the shard lock and
+	// allocated on the first message in (shard.ensure).
 	matMsgs  []uint64
 	matBytes []uint64
 	// NIC-side contention seen by messages into this destination:
@@ -103,6 +126,16 @@ type shard struct {
 	// (which is not attributable to one link). Owned by the shard lock.
 	stall     uint64
 	peakQueue uint64
+}
+
+// ensure allocates the shard's booking ring and traffic column on first
+// use. Callers must hold the shard lock.
+func (sh *shard) ensure(n int) {
+	if sh.matMsgs == nil {
+		sh.acc.init()
+		sh.matMsgs = make([]uint64, n)
+		sh.matBytes = make([]uint64, n)
+	}
 }
 
 // Fabric is a contention-aware network shared by all simulated nodes.
@@ -124,6 +157,7 @@ type shard struct {
 type Fabric struct {
 	cfg      Config
 	topo     Topology
+	classed  Classed // non-nil when topo distinguishes link classes
 	window   uint64
 	queueCap uint64
 
@@ -168,12 +202,12 @@ func New(topo Topology, cfg Config) (*Fabric, error) {
 		queueCap: qcap,
 		recv:     make([]shard, n),
 	}
+	f.classed, _ = topo.(Classed)
+	// Shard booking rings and traffic-matrix columns are allocated
+	// lazily on first use (shard.ensure): a 4096-PE fabric would
+	// otherwise pay ~0.5 GiB up front even for runs that touch a
+	// handful of NICs. Only the shared switch account is eager.
 	f.switchAc.init()
-	for i := range f.recv {
-		f.recv[i].acc.init()
-		f.recv[i].matMsgs = make([]uint64, n)
-		f.recv[i].matBytes = make([]uint64, n)
-	}
 	return f, nil
 }
 
@@ -193,15 +227,44 @@ func (f *Fabric) Topology() Topology { return f.topo }
 func (f *Fabric) Config() Config { return f.cfg }
 
 // TransitCost returns the uncontended cost of moving n bytes from src to
-// dst: injection + hops·α + n·β. A self-send costs only the injection
-// overhead (the paper's runtime turns PE-local "remote" accesses into
-// plain loads and stores, but collectives never self-send anyway).
+// dst: injection + hops·α + n·β. On a Classed topology the hop and byte
+// coefficients come from the link class (intra-node traffic rides the
+// on-node fabric). A self-send costs only the injection overhead (the
+// paper's runtime turns PE-local "remote" accesses into plain loads and
+// stores, but collectives never self-send anyway).
 func (f *Fabric) TransitCost(src, dst int, n int) uint64 {
 	if n < 0 {
 		n = 0
 	}
 	hops := uint64(f.topo.Hops(src, dst))
-	return f.cfg.InjectionOverhead + hops*f.cfg.HopLatency + uint64(n)*f.cfg.ByteCost
+	hop := f.cfg.HopLatency
+	if f.classed != nil && src != dst && f.cfg.IntraHopLatency > 0 &&
+		f.classed.Class(src, dst) == ClassIntra {
+		hop = f.cfg.IntraHopLatency
+	}
+	return f.cfg.InjectionOverhead + hops*hop + uint64(n)*f.classByteCost(src, dst)
+}
+
+// classByteCost returns the per-byte serialisation cost of the src→dst
+// link: the flat ByteCost, or the class override on a Classed topology.
+func (f *Fabric) classByteCost(src, dst int) uint64 {
+	bc := f.cfg.ByteCost
+	if f.classed != nil && src != dst {
+		if f.classed.Class(src, dst) == ClassIntra {
+			if f.cfg.IntraByteCost > 0 {
+				bc = f.cfg.IntraByteCost
+			}
+		} else if f.cfg.InterByteCost > 0 {
+			bc = f.cfg.InterByteCost
+		}
+	}
+	return bc
+}
+
+// intraLink reports whether src→dst stays on one physical node of a
+// Classed topology. Intra-node traffic never crosses the shared switch.
+func (f *Fabric) intraLink(src, dst int) bool {
+	return f.classed != nil && (src == dst || f.classed.Class(src, dst) == ClassIntra)
 }
 
 // linkDown reports whether the directed link src→dst is down.
@@ -220,9 +283,12 @@ func (f *Fabric) checkPair(src, dst int) error {
 }
 
 // recvService returns the receiver-side service time of an n-byte
-// message.
-func (f *Fabric) recvService(n int) uint64 {
-	return f.cfg.ReceiverGap + uint64(n)*f.cfg.ByteCost
+// message over the src→dst link. The per-byte share rides the link's
+// class: a pipelined stream into a node across the narrow inter-node
+// network drains at that link's serialisation rate, so the class byte
+// cost — not just the transit latency — must gate stream throughput.
+func (f *Fabric) recvService(src, dst, n int) uint64 {
+	return f.cfg.ReceiverGap + uint64(n)*f.classByteCost(src, dst)
 }
 
 // switchService returns the shared-switch service time of an n-byte
@@ -255,7 +321,8 @@ func (f *Fabric) Send(src, dst int, n int, now uint64) (arrive uint64, err error
 
 	sh := &f.recv[dst]
 	sh.mu.Lock()
-	queue := sh.acc.book(f.window, f.queueCap, now, f.recvService(n))
+	sh.ensure(len(f.recv))
+	queue := sh.acc.book(f.window, f.queueCap, now, f.recvService(src, dst, n))
 	sh.matMsgs[src]++
 	sh.matBytes[src] += uint64(n)
 	sh.stall += queue
@@ -264,7 +331,7 @@ func (f *Fabric) Send(src, dst int, n int, now uint64) (arrive uint64, err error
 	}
 	sh.mu.Unlock()
 
-	if f.cfg.SwitchGap > 0 {
+	if f.cfg.SwitchGap > 0 && !f.intraLink(src, dst) {
 		f.switchMu.Lock()
 		if qs := f.switchAc.book(f.window, f.queueCap, now, f.switchService(n)); qs > queue {
 			queue = qs
@@ -352,7 +419,7 @@ func (f *Fabric) Traffic() (msgs, bytes [][]uint64) {
 	for d := 0; d < n; d++ {
 		sh := &f.recv[d]
 		sh.mu.Lock()
-		for s := 0; s < n; s++ {
+		for s := 0; s < n && sh.matMsgs != nil; s++ {
 			msgs[s][d] = sh.matMsgs[s]
 			bytes[s][d] = sh.matBytes[s]
 		}
@@ -362,14 +429,16 @@ func (f *Fabric) Traffic() (msgs, bytes [][]uint64) {
 }
 
 // Reset clears occupancy and statistics, for reuse between benchmark
-// repetitions.
+// repetitions. Shards never touched stay unallocated.
 func (f *Fabric) Reset() {
 	for d := range f.recv {
 		sh := &f.recv[d]
 		sh.mu.Lock()
-		sh.acc.init()
-		for s := range sh.matMsgs {
-			sh.matMsgs[s], sh.matBytes[s] = 0, 0
+		if sh.matMsgs != nil {
+			sh.acc.init()
+			for s := range sh.matMsgs {
+				sh.matMsgs[s], sh.matBytes[s] = 0, 0
+			}
 		}
 		sh.stall, sh.peakQueue = 0, 0
 		sh.mu.Unlock()

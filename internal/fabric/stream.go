@@ -14,8 +14,9 @@ import (
 // cycles between them). Bookings that fall off the ring are treated as
 // drained: a message timestamped more than ringWindows windows before
 // the newest booking in its slot's residue class sees an idle
-// resource. Each account costs 64 KiB; even a 64-node fabric stays
-// around 4 MiB.
+// resource. Each account costs 64 KiB once allocated; accounts are
+// allocated lazily (shard.ensure) so only NICs that actually receive
+// traffic pay it, keeping 1k–4k-PE fabrics affordable.
 const ringWindows = 4096
 
 // emptyWindow marks an unused ring slot. Virtual time would need ~2^75
@@ -30,12 +31,16 @@ const emptyWindow = ^uint64(0)
 //
 // Callers must hold the lock that owns the account.
 type account struct {
-	wid    [ringWindows]uint64
-	booked [ringWindows]uint64
+	wid    []uint64
+	booked []uint64
 }
 
-// init empties every slot.
+// init allocates the ring on first use and empties every slot.
 func (a *account) init() {
+	if a.wid == nil {
+		a.wid = make([]uint64, ringWindows)
+		a.booked = make([]uint64, ringWindows)
+	}
 	for i := range a.wid {
 		a.wid[i] = emptyWindow
 		a.booked[i] = 0
@@ -117,15 +122,16 @@ func (f *Fabric) SendStream(s Stream) (endIssue, lastArrive uint64, err error) {
 		return s.Start, 0, nil
 	}
 	transit := f.TransitCost(s.Src, s.Dst, s.ElemBytes)
-	recvSvc := f.recvService(s.ElemBytes)
+	recvSvc := f.recvService(s.Src, s.Dst, s.ElemBytes)
 	swSvc := f.switchService(s.ElemBytes)
-	useSwitch := f.cfg.SwitchGap > 0
+	useSwitch := f.cfg.SwitchGap > 0 && !f.intraLink(s.Src, s.Dst)
 
 	var sent, stall uint64
 	issue := s.Start
 
 	sh := &f.recv[s.Dst]
 	sh.mu.Lock()
+	sh.ensure(len(f.recv))
 	if useSwitch {
 		f.switchMu.Lock()
 	}
@@ -226,11 +232,11 @@ func (f *Fabric) FetchStream(q Fetch) (endIssue, lastDone uint64, err error) {
 	transitReq := f.TransitCost(q.Src, q.Dst, q.ReqBytes)
 	transitData := f.TransitCost(q.Dst, q.Src, q.RespBytes)
 	transit := transitReq + transitData
-	reqSvc := f.recvService(q.ReqBytes)
-	dataSvc := f.recvService(q.RespBytes)
+	reqSvc := f.recvService(q.Src, q.Dst, q.ReqBytes)
+	dataSvc := f.recvService(q.Dst, q.Src, q.RespBytes)
 	swReqSvc := f.switchService(q.ReqBytes)
 	swDataSvc := f.switchService(q.RespBytes)
-	useSwitch := f.cfg.SwitchGap > 0
+	useSwitch := f.cfg.SwitchGap > 0 && !f.intraLink(q.Src, q.Dst)
 
 	var reqSent, dataSent, stall uint64
 	issue := q.Start
@@ -248,6 +254,8 @@ func (f *Fabric) FetchStream(q Fetch) (endIssue, lastDone uint64, err error) {
 	if hi != lo {
 		hi.mu.Lock()
 	}
+	shReq.ensure(len(f.recv))
+	shData.ensure(len(f.recv))
 	if useSwitch {
 		f.switchMu.Lock()
 	}

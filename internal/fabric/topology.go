@@ -13,6 +13,8 @@ package fabric
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
+	"strings"
 )
 
 // Topology yields the hop distance between nodes. Implementations must
@@ -111,4 +113,271 @@ func (h Hypercube) Nodes() int { return 1 << h.Dim }
 // Hops implements Topology.
 func (h Hypercube) Hops(src, dst int) int {
 	return bits.OnesCount(uint(src ^ dst))
+}
+
+// LinkClass partitions a topology's links into cost classes. The flat
+// topologies have a single class; grouped topologies distinguish the
+// on-node fabric from the inter-node network, and the Config's
+// Intra*/Inter* overrides price them differently.
+type LinkClass uint8
+
+// Link classes.
+const (
+	// ClassIntra: both endpoints share a physical node.
+	ClassIntra LinkClass = iota
+	// ClassInter: the message crosses the inter-node network.
+	ClassInter
+)
+
+// Classed is implemented by topologies whose links fall into more than
+// one cost class. Class is only asked for src != dst.
+type Classed interface {
+	Topology
+	Class(src, dst int) LinkClass
+}
+
+// NodeGrouper is implemented by topologies that pack several PEs onto
+// one physical node; consumers (the hierarchical planners, the cost
+// model) read the grouping to build two-level schedules. PEsPerNode is
+// the nominal node width; when the PE count is not a multiple the last
+// node is partial.
+type NodeGrouper interface {
+	PEsPerNode() int
+}
+
+// Grouped models a cluster of multi-PE nodes behind one switch: PE p
+// lives on node p/PerNode, so intra-node pairs are one (on-node) hop
+// apart and inter-node pairs pay two hops — out through the node's NIC,
+// across the switch, and in. The last node is partial when N is not a
+// multiple of PerNode.
+type Grouped struct {
+	PerNode int // PEs per node (≥ 1)
+	N       int // total PEs
+}
+
+// Name implements Topology.
+func (g Grouped) Name() string {
+	nodes := 0
+	if g.PerNode > 0 {
+		nodes = (g.N + g.PerNode - 1) / g.PerNode
+	}
+	return fmt.Sprintf("grouped-%dx%d", nodes, g.PerNode)
+}
+
+// Nodes implements Topology.
+func (g Grouped) Nodes() int { return g.N }
+
+// NodeOf returns the physical node of PE p.
+func (g Grouped) NodeOf(p int) int {
+	if g.PerNode <= 1 {
+		return p
+	}
+	return p / g.PerNode
+}
+
+// Hops implements Topology.
+func (g Grouped) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	if g.NodeOf(src) == g.NodeOf(dst) {
+		return 1
+	}
+	return 2
+}
+
+// Class implements Classed.
+func (g Grouped) Class(src, dst int) LinkClass {
+	if g.NodeOf(src) == g.NodeOf(dst) {
+		return ClassIntra
+	}
+	return ClassInter
+}
+
+// PEsPerNode implements NodeGrouper.
+func (g Grouped) PEsPerNode() int {
+	if g.PerNode < 1 {
+		return 1
+	}
+	return g.PerNode
+}
+
+// Dragonfly is the grouped variant of a dragonfly network: nodes of
+// PerNode PEs, NodesPer nodes per router group, all-to-all links inside
+// a group and one global hop between groups. Intra-node pairs are one
+// hop; inter-node pairs inside a group pay two; pairs across groups pay
+// three (local, global, local).
+type Dragonfly struct {
+	NodesPer int // nodes per router group (≥ 1)
+	PerNode  int // PEs per node (≥ 1)
+	N        int // total PEs
+}
+
+// Name implements Topology.
+func (d Dragonfly) Name() string {
+	per := d.PEsPerNode()
+	nodes := (d.N + per - 1) / per
+	np := d.NodesPer
+	if np < 1 {
+		np = 1
+	}
+	groups := (nodes + np - 1) / np
+	return fmt.Sprintf("dragonfly-%dx%dx%d", groups, np, per)
+}
+
+// Nodes implements Topology.
+func (d Dragonfly) Nodes() int { return d.N }
+
+// NodeOf returns the physical node of PE p.
+func (d Dragonfly) NodeOf(p int) int { return p / d.PEsPerNode() }
+
+// groupOf returns the router group of PE p.
+func (d Dragonfly) groupOf(p int) int {
+	np := d.NodesPer
+	if np < 1 {
+		np = 1
+	}
+	return d.NodeOf(p) / np
+}
+
+// Hops implements Topology.
+func (d Dragonfly) Hops(src, dst int) int {
+	switch {
+	case src == dst:
+		return 0
+	case d.NodeOf(src) == d.NodeOf(dst):
+		return 1
+	case d.groupOf(src) == d.groupOf(dst):
+		return 2
+	}
+	return 3
+}
+
+// Class implements Classed.
+func (d Dragonfly) Class(src, dst int) LinkClass {
+	if d.NodeOf(src) == d.NodeOf(dst) {
+		return ClassIntra
+	}
+	return ClassInter
+}
+
+// PEsPerNode implements NodeGrouper.
+func (d Dragonfly) PEsPerNode() int {
+	if d.PerNode < 1 {
+		return 1
+	}
+	return d.PerNode
+}
+
+// ParseTopo builds a topology for n PEs from a -topo spec:
+//
+//	flat | full          fully connected (the default)
+//	ring                 bidirectional ring
+//	torus | torus:WxH    2-D torus (auto-factored near-square when
+//	                     W and H are omitted; W·H must equal n)
+//	hypercube            binary hypercube (n must be a power of two)
+//	grouped:P            nodes of P PEs each (⌈n/P⌉ nodes)
+//	grouped:GxP          G nodes of P PEs; n may leave the last node
+//	                     partial but must exceed (G−1)·P
+//	dragonfly:RxP        router groups of R nodes of P PEs each
+func ParseTopo(spec string, n int) (Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fabric: topology for %d PEs", n)
+	}
+	name, arg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	dims, err := parseDims(arg)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: -topo %q: %v", spec, err)
+	}
+	switch name {
+	case "", "flat", "full", "fully-connected":
+		return FullyConnected{N: n}, nil
+	case "ring":
+		return Ring{N: n}, nil
+	case "torus":
+		var w, h int
+		switch len(dims) {
+		case 0:
+			w = torusWidth(n)
+			if w == 0 {
+				return nil, fmt.Errorf("fabric: -topo torus: %d PEs have no 2-D factorisation", n)
+			}
+			h = n / w
+		case 2:
+			w, h = dims[0], dims[1]
+		default:
+			return nil, fmt.Errorf("fabric: -topo %q: want torus or torus:WxH", spec)
+		}
+		if w*h != n {
+			return nil, fmt.Errorf("fabric: -topo %q: %dx%d torus needs %d PEs, runtime has %d", spec, w, h, w*h, n)
+		}
+		return Torus2D{W: w, H: h}, nil
+	case "hypercube":
+		d := 0
+		for (1 << d) < n {
+			d++
+		}
+		if (1 << d) != n {
+			return nil, fmt.Errorf("fabric: -topo hypercube: %d PEs is not a power of two", n)
+		}
+		return Hypercube{Dim: d}, nil
+	case "grouped":
+		switch len(dims) {
+		case 1:
+			return Grouped{PerNode: dims[0], N: n}, nil
+		case 2:
+			g, p := dims[0], dims[1]
+			if n > g*p || n <= (g-1)*p {
+				return nil, fmt.Errorf("fabric: -topo %q: %d nodes of %d PEs hold %d..%d PEs, runtime has %d",
+					spec, g, p, (g-1)*p+1, g*p, n)
+			}
+			return Grouped{PerNode: p, N: n}, nil
+		}
+		return nil, fmt.Errorf("fabric: -topo %q: want grouped:P or grouped:GxP", spec)
+	case "dragonfly":
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("fabric: -topo %q: want dragonfly:RxP (R nodes per group, P PEs per node)", spec)
+		}
+		return Dragonfly{NodesPer: dims[0], PerNode: dims[1], N: n}, nil
+	}
+	return nil, fmt.Errorf("fabric: unknown topology %q (flat, ring, torus[:WxH], hypercube, grouped:[Gx]P, dragonfly:RxP)", spec)
+}
+
+// parseDims splits an "AxB"-style dimension suffix into positive ints.
+func parseDims(arg string) ([]int, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	parts := strings.Split(arg, "x")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+// torusWidth returns the largest divisor of n at most √n (the
+// near-square factorisation), or 0 for primes and n < 4.
+func torusWidth(n int) int {
+	for w := intSqrt(n); w >= 2; w-- {
+		if n%w == 0 {
+			return w
+		}
+	}
+	return 0
+}
+
+func intSqrt(n int) int {
+	w := 0
+	for (w+1)*(w+1) <= n {
+		w++
+	}
+	return w
 }

@@ -1,0 +1,142 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Metric-property tests for the topology family at non-power-of-two
+// sizes: Hops must be a metric (identity, symmetry, triangle
+// inequality) on every topology, or the cost model prices impossible
+// routes.
+
+func TestHopsMetricProperties(t *testing.T) {
+	topos := []Topology{
+		Ring{N: 13},
+		Ring{N: 100},
+		Torus2D{W: 5, H: 7},
+		Torus2D{W: 3, H: 11},
+		Grouped{PerNode: 5, N: 12},  // last node partial
+		Grouped{PerNode: 16, N: 96}, // even nodes
+		Grouped{PerNode: 1, N: 9},   // degenerate: every PE its own node
+		Dragonfly{NodesPer: 3, PerNode: 4, N: 50},
+		FullyConnected{N: 23},
+	}
+	for _, topo := range topos {
+		n := topo.Nodes()
+		f := func(a, b, c uint16) bool {
+			x, y, z := int(a)%n, int(b)%n, int(c)%n
+			hxy := topo.Hops(x, y)
+			// Identity and positivity.
+			if topo.Hops(x, x) != 0 || (x != y && hxy < 1) {
+				return false
+			}
+			// Symmetry.
+			if hxy != topo.Hops(y, x) {
+				return false
+			}
+			// Triangle inequality through any intermediate z.
+			return hxy <= topo.Hops(x, z)+topo.Hops(z, y)
+		}
+		cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(7))}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", topo.Name(), err)
+		}
+	}
+}
+
+func TestGroupedClasses(t *testing.T) {
+	g := Grouped{PerNode: 4, N: 10} // nodes {0..3} {4..7} {8,9}
+	cases := []struct {
+		src, dst int
+		class    LinkClass
+		hops     int
+	}{
+		{0, 3, ClassIntra, 1},
+		{0, 4, ClassInter, 2},
+		{8, 9, ClassIntra, 1},
+		{7, 8, ClassInter, 2},
+	}
+	for _, c := range cases {
+		if got := g.Class(c.src, c.dst); got != c.class {
+			t.Errorf("Class(%d,%d) = %v, want %v", c.src, c.dst, got, c.class)
+		}
+		if got := g.Hops(c.src, c.dst); got != c.hops {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.hops)
+		}
+	}
+	if got := g.PEsPerNode(); got != 4 {
+		t.Errorf("PEsPerNode = %d, want 4", got)
+	}
+}
+
+func TestDragonflyHops(t *testing.T) {
+	d := Dragonfly{NodesPer: 2, PerNode: 3, N: 18} // groups of 6 PEs
+	cases := []struct{ src, dst, hops int }{
+		{0, 0, 0},
+		{0, 2, 1},  // same node
+		{0, 3, 2},  // same group, other node
+		{0, 6, 3},  // other group
+		{5, 17, 3}, // group 0 to group 2
+	}
+	for _, c := range cases {
+		if got := d.Hops(c.src, c.dst); got != c.hops {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.hops)
+		}
+	}
+	if d.Class(0, 2) != ClassIntra || d.Class(0, 3) != ClassInter {
+		t.Error("dragonfly link classes wrong")
+	}
+}
+
+func TestParseTopo(t *testing.T) {
+	good := []struct {
+		spec string
+		n    int
+		name string
+	}{
+		{"", 8, "fully-connected"},
+		{"flat", 8, "fully-connected"},
+		{"ring", 12, "ring"},
+		{"torus", 12, "torus-3x4"},
+		{"torus:32x32", 1024, "torus-32x32"},
+		{"hypercube", 16, "hypercube-4"},
+		{"grouped:16", 96, "grouped-6x16"},
+		{"grouped:8x16", 128, "grouped-8x16"},
+		{"grouped:8x16", 121, "grouped-8x16"}, // partial last node
+		{"dragonfly:4x8", 256, "dragonfly-8x4x8"},
+	}
+	for _, c := range good {
+		topo, err := ParseTopo(c.spec, c.n)
+		if err != nil {
+			t.Errorf("ParseTopo(%q, %d): %v", c.spec, c.n, err)
+			continue
+		}
+		if topo.Name() != c.name {
+			t.Errorf("ParseTopo(%q, %d) = %s, want %s", c.spec, c.n, topo.Name(), c.name)
+		}
+		if topo.Nodes() != c.n {
+			t.Errorf("ParseTopo(%q, %d): Nodes = %d", c.spec, c.n, topo.Nodes())
+		}
+	}
+	bad := []struct {
+		spec string
+		n    int
+	}{
+		{"torus:4x4", 12},  // dims don't match n
+		{"torus", 13},      // prime has no 2-D shape
+		{"hypercube", 12},  // not a power of two
+		{"grouped", 12},    // missing width
+		{"grouped:8x16", 300}, // more PEs than G*P
+		{"grouped:8x16", 112}, // fewer than (G-1)*P+1
+		{"dragonfly:4", 64},
+		{"mesh", 8},
+		{"grouped:0", 8},
+	}
+	for _, c := range bad {
+		if topo, err := ParseTopo(c.spec, c.n); err == nil {
+			t.Errorf("ParseTopo(%q, %d) = %s, want error", c.spec, c.n, topo.Name())
+		}
+	}
+}

@@ -65,6 +65,11 @@ type Config struct {
 	Mem mem.Config
 	// Topology overrides the network topology (nil = fully connected).
 	Topology fabric.Topology
+	// TopoSpec names a topology by spec string ("torus:32x32",
+	// "grouped:8x16", ...; see fabric.ParseTopo) and is resolved against
+	// NumPEs when Topology is nil. The CLI -topo flags feed through
+	// here.
+	TopoSpec string
 	// Fabric overrides the network cost model (zero value = xBGAS
 	// defaults).
 	Fabric fabric.Config
@@ -152,6 +157,13 @@ type Runtime struct {
 func New(cfg Config) (*Runtime, error) {
 	if cfg.NumPEs <= 0 {
 		return nil, fmt.Errorf("xbrtime: NumPEs must be positive, got %d", cfg.NumPEs)
+	}
+	if cfg.Topology == nil && cfg.TopoSpec != "" {
+		topo, err := fabric.ParseTopo(cfg.TopoSpec, cfg.NumPEs)
+		if err != nil {
+			return nil, fmt.Errorf("xbrtime: %w", err)
+		}
+		cfg.Topology = topo
 	}
 	cfg.fillDefaults()
 	m, err := sim.NewMachine(sim.Config{
@@ -425,6 +437,17 @@ func (pe *PE) MyPE() int { return pe.rank }
 
 // NumPEs returns the number of PEs: xbrtime_num_pes().
 func (pe *PE) NumPEs() int { return pe.rt.cfg.NumPEs }
+
+// PEsPerNode returns the fabric topology's node grouping — how many
+// consecutive PE ranks share a node — or 1 when the topology has no
+// node structure. The collective planners use it to split schedules
+// into intra-node and inter-node phases.
+func (pe *PE) PEsPerNode() int {
+	if g, ok := pe.rt.machine.Fabric.Topology().(fabric.NodeGrouper); ok {
+		return g.PEsPerNode()
+	}
+	return 1
+}
 
 // Runtime returns the owning runtime.
 func (pe *PE) Runtime() *Runtime { return pe.rt }

@@ -5,15 +5,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 )
 
-// Bench is one parsed benchmark line.
+// Bench is one parsed benchmark line. PEs and Topo are the benchmark's
+// scale, parsed from its name (see scaleOf) and persisted in the JSON so
+// reports state what fabric each number was measured on.
 type Bench struct {
 	Name     string  `json:"name"`
+	PEs      int     `json:"pes,omitempty"`
+	Topo     string  `json:"topo,omitempty"`
 	NsPerOp  float64 `json:"ns_per_op"`
 	BPerOp   float64 `json:"b_per_op,omitempty"`
 	AllocsOp float64 `json:"allocs_per_op,omitempty"`
@@ -27,6 +32,35 @@ type Entry struct {
 	New        Bench    `json:"new"`
 	Speedup    float64  `json:"speedup,omitempty"` // old ns/op ÷ new ns/op
 	AllocDelta *float64 `json:"alloc_delta,omitempty"`
+	// ScaleMismatch flags a baseline recorded at a different PE count or
+	// topology than the current run: the numbers are not comparable, so
+	// no speedup is computed and the table says why.
+	ScaleMismatch string `json:"scale_mismatch,omitempty"`
+}
+
+// topoTokens are the topology markers recognised in benchmark names, in
+// matching order. "Ring" is deliberately absent: name suffixes like
+// Allreduce1MB8PERing name the ring *algorithm*, not a ring fabric.
+var topoTokens = []string{"Dragonfly", "Grouped", "Torus", "Hypercube"}
+
+var peRe = regexp.MustCompile(`(\d+)PE`)
+
+// scaleOf parses a benchmark's scale from its name: the last "<n>PE"
+// token gives the PE count, a topology token (Grouped, Torus, ...)
+// gives the fabric, defaulting to flat when a PE count is present.
+func scaleOf(name string) (pes int, topo string) {
+	if m := peRe.FindAllStringSubmatch(name, -1); len(m) > 0 {
+		pes, _ = strconv.Atoi(m[len(m)-1][1])
+	}
+	for _, t := range topoTokens {
+		if strings.Contains(name, t) {
+			return pes, strings.ToLower(t)
+		}
+	}
+	if pes > 0 {
+		topo = "flat"
+	}
+	return pes, topo
 }
 
 // Report is the full comparison, serialised to BENCH_*.json.
@@ -56,6 +90,7 @@ func Parse(out []byte) (map[string]Bench, error) {
 			}
 		}
 		b := Bench{Name: name}
+		b.PEs, b.Topo = scaleOf(name)
 		ok := false
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -102,7 +137,13 @@ func ParseBaseline(out []byte) (map[string]Bench, error) {
 	}
 	res := make(map[string]Bench, len(r.Entries))
 	for _, e := range r.Entries {
-		res[e.Name] = e.New
+		b := e.New
+		// Baselines written before the scale fields existed derive them
+		// from the name, same as a fresh parse.
+		if b.PEs == 0 && b.Topo == "" {
+			b.PEs, b.Topo = scaleOf(b.Name)
+		}
+		res[e.Name] = b
 	}
 	return res, nil
 }
@@ -136,31 +177,56 @@ func Compare(oldOut, newOut []byte, label string) (*Report, error) {
 		if o, found := oldB[n]; found {
 			oc := o
 			e.Old = &oc
-			if e.New.NsPerOp > 0 {
-				e.Speedup = o.NsPerOp / e.New.NsPerOp
+			if o.PEs != e.New.PEs || o.Topo != e.New.Topo {
+				e.ScaleMismatch = fmt.Sprintf("baseline %dPE/%s vs current %dPE/%s",
+					o.PEs, orDash(o.Topo), e.New.PEs, orDash(e.New.Topo))
+			} else {
+				if e.New.NsPerOp > 0 {
+					e.Speedup = o.NsPerOp / e.New.NsPerOp
+				}
+				d := e.New.AllocsOp - o.AllocsOp
+				e.AllocDelta = &d
 			}
-			d := e.New.AllocsOp - o.AllocsOp
-			e.AllocDelta = &d
 		}
 		r.Entries = append(r.Entries, e)
 	}
 	return r, nil
 }
 
-// Table renders the report for terminals.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Table renders the report for terminals. Entries whose baseline was
+// recorded at a different scale print SCALE! in the speedup column and
+// the mismatch detail after the row.
 func (r *Report) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-28s %14s %14s %9s %12s %12s\n",
-		"benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs")
+	fmt.Fprintf(&b, "%-28s %6s %10s %14s %14s %9s %12s %12s\n",
+		"benchmark", "PEs", "topo", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs")
 	for _, e := range r.Entries {
 		oldNs, oldAllocs, speed := "-", "-", "-"
 		if e.Old != nil {
 			oldNs = fmt.Sprintf("%.0f", e.Old.NsPerOp)
 			oldAllocs = fmt.Sprintf("%.0f", e.Old.AllocsOp)
-			speed = fmt.Sprintf("%.2fx", e.Speedup)
+			if e.ScaleMismatch != "" {
+				speed = "SCALE!"
+			} else {
+				speed = fmt.Sprintf("%.2fx", e.Speedup)
+			}
 		}
-		fmt.Fprintf(&b, "%-28s %14s %14.0f %9s %12s %12.0f\n",
-			e.Name, oldNs, e.New.NsPerOp, speed, oldAllocs, e.New.AllocsOp)
+		pes := "-"
+		if e.New.PEs > 0 {
+			pes = strconv.Itoa(e.New.PEs)
+		}
+		fmt.Fprintf(&b, "%-28s %6s %10s %14s %14.0f %9s %12s %12.0f\n",
+			e.Name, pes, orDash(e.New.Topo), oldNs, e.New.NsPerOp, speed, oldAllocs, e.New.AllocsOp)
+		if e.ScaleMismatch != "" {
+			fmt.Fprintf(&b, "  ^ not comparable: %s\n", e.ScaleMismatch)
+		}
 	}
 	return b.String()
 }
@@ -172,7 +238,7 @@ func (r *Report) Table() string {
 func (r *Report) Regressions(tol float64) []Entry {
 	var out []Entry
 	for _, e := range r.Entries {
-		if e.Old == nil || e.Old.NsPerOp <= 0 {
+		if e.Old == nil || e.Old.NsPerOp <= 0 || e.ScaleMismatch != "" {
 			continue
 		}
 		if e.New.NsPerOp > e.Old.NsPerOp*(1+tol) {

@@ -223,3 +223,55 @@ func TestTableRenders(t *testing.T) {
 		}
 	}
 }
+
+func TestScaleOf(t *testing.T) {
+	cases := []struct {
+		name string
+		pes  int
+		topo string
+	}{
+		{"BenchmarkGUPS8PE", 8, "flat"},
+		{"BenchmarkAllreduce1MB8PEBinomial", 8, "flat"},
+		{"BenchmarkAllreduce1MB64PEGrouped", 64, "grouped"},
+		{"BenchmarkAllgather1MB256PETorus", 256, "torus"},
+		{"BenchmarkAllreduce1MB8PERing", 8, "flat"}, // ring algorithm, flat fabric
+		{"BenchmarkPutElem", 0, ""},
+	}
+	for _, c := range cases {
+		pes, topo := scaleOf(c.name)
+		if pes != c.pes || topo != c.topo {
+			t.Errorf("scaleOf(%q) = %d/%q, want %d/%q", c.name, pes, topo, c.pes, c.topo)
+		}
+	}
+}
+
+func TestCompareScaleMismatch(t *testing.T) {
+	// Same benchmark name, but the baseline JSON records it at another
+	// scale: the comparison must be flagged, not silently averaged in.
+	base := &Report{Label: "old", Entries: []Entry{{
+		Name: "BenchmarkAllreduce1MBGrouped",
+		New: Bench{Name: "BenchmarkAllreduce1MBGrouped", PEs: 64, Topo: "grouped",
+			NsPerOp: 1000},
+	}}}
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The current run's name carries no PE token, so it parses as a
+	// different (unknown) scale.
+	cur := "BenchmarkAllreduce1MBGrouped-8    100    3000 ns/op\n"
+	r, err := Compare(data, []byte(cur), "mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := r.Entries[0]
+	if e.ScaleMismatch == "" || e.Speedup != 0 {
+		t.Fatalf("want scale mismatch, got %+v", e)
+	}
+	if regs := r.Regressions(0.10); len(regs) != 0 {
+		t.Fatalf("mismatched scales must not gate: %+v", regs)
+	}
+	if tab := r.Table(); !strings.Contains(tab, "SCALE!") || !strings.Contains(tab, "not comparable") {
+		t.Fatalf("table should flag the mismatch:\n%s", tab)
+	}
+}
