@@ -74,6 +74,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		topo        = fs.String("topo", "", "fabric topology spec for kernels and sweeps: flat|ring|torus[:WxH]|hypercube|grouped:[Gx]P|dragonfly:RxP")
 		tune        = fs.Bool("tune", false, "calibrate the alpha-beta cost model on this machine and persist the tuning table")
 		tuning      = fs.String("tuning", "", "load a persisted tuning table for auto algorithm selection (default "+core.DefaultTuningPath+" when present)")
+		audit       = fs.Bool("audit", false, "audit the cost model: replay the collective grid and compare measured virtual cost against PlanCostShape")
+		auditPEs    = fs.Int("audit-pes", 8, "PE count for -audit (<=16 runs in deterministic lockstep)")
+		auditJSON   = fs.String("audit-json", "", "also write the -audit report as JSON to `file` (for tools/tracelens -audit)")
 
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to `file`")
@@ -200,6 +203,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var rec *obs.Recorder
 	if *traceOut != "" || *metrics {
 		rec = obs.NewRecorder(obs.Options{Trace: *traceOut != "", Metrics: *metrics})
+		// Stamp the model identity into the recorder so the trace header
+		// carries it; tools/tracelens refuses to audit a trace against a
+		// mismatched tuning table.
+		tn := core.CurrentTuning()
+		rec.SetModelMeta(obs.ModelMeta{
+			TuningVersion:      tn.Version,
+			TuningFabric:       tn.Fabric,
+			TuningCalibratedAt: tn.CalibratedAt,
+			ChunkBytes:         core.ChunkBytes(),
+		})
 		gups.Runtime.Obs = rec
 		is.Runtime.Obs = rec
 	}
@@ -288,6 +301,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		run("scale "+*scale, func(w io.Writer) error { return bench.FigureScale(w, op) })
+		did = true
+	}
+	if *audit {
+		run(fmt.Sprintf("audit %d PEs", *auditPEs), func(w io.Writer) error {
+			opt := bench.AuditOptions{PEs: *auditPEs}
+			if *topo != "" {
+				opt.Topos = []string{*topo}
+			}
+			rep, err := bench.RunAudit(opt)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprint(w, rep.Markdown()); err != nil {
+				return err
+			}
+			if *auditJSON != "" {
+				f, err := os.Create(*auditJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 		did = true
 	}
 	if *gupsPEs > 0 {

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"xbgas/internal/core"
+)
+
+// A small deterministic audit the structural assertions run against:
+// one collective, two sizes, 4 PEs in lockstep, flat fabric only.
+func smallAudit(t *testing.T) *AuditReport {
+	t.Helper()
+	rep, err := RunAudit(AuditOptions{
+		PEs:   4,
+		Topos: []string{""},
+		Sizes: []int{64, 1024},
+		Colls: []CollectiveOp{OpBroadcast},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRunAuditStructure(t *testing.T) {
+	rep := smallAudit(t)
+	if !rep.Lockstep {
+		t.Error("4-PE audit should run in lockstep")
+	}
+	if rep.PEs != 4 {
+		t.Errorf("PEs = %d, want 4", rep.PEs)
+	}
+	if rep.TuningVersion != core.TuningVersion {
+		t.Errorf("TuningVersion = %d, want %d", rep.TuningVersion, core.TuningVersion)
+	}
+	if len(rep.Cells) == 0 {
+		t.Fatal("audit produced no cells")
+	}
+	algos := map[string]bool{}
+	for _, c := range rep.Cells {
+		algos[c.Algo] = true
+		if c.Collective != "broadcast" || c.Topo != "flat" || c.PEs != 4 {
+			t.Errorf("unexpected cell coordinates: %+v", c)
+		}
+		if c.Bytes != c.Nelems*8 {
+			t.Errorf("cell bytes %d != nelems %d * 8", c.Bytes, c.Nelems)
+		}
+		if c.PredictedNs <= 0 || c.MeasuredCycles <= 0 {
+			t.Errorf("cell has non-positive cost: %+v", c)
+		}
+	}
+	// Flat audits must exclude the topology-scoped planners.
+	if algos["hierarchical"] || algos["pat"] {
+		t.Errorf("flat audit included topology-scoped planners: %v", algos)
+	}
+	if len(rep.Series) == 0 {
+		t.Fatal("audit produced no series")
+	}
+	for _, s := range rep.Series {
+		if s.Scale <= 0 {
+			t.Errorf("series %s/%s has non-positive scale %v", s.Collective, s.Algo, s.Scale)
+		}
+	}
+}
+
+func TestRunAuditDeterministicMeasurement(t *testing.T) {
+	// Lockstep cells are schedule-independent: two runs must measure
+	// identical virtual cycles for every cell.
+	a, b := smallAudit(t), smallAudit(t)
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i].MeasuredCycles != b.Cells[i].MeasuredCycles {
+			t.Errorf("cell %s/%s n=%d: measured %v then %v — lockstep audit not deterministic",
+				a.Cells[i].Collective, a.Cells[i].Algo, a.Cells[i].Nelems,
+				a.Cells[i].MeasuredCycles, b.Cells[i].MeasuredCycles)
+		}
+	}
+}
+
+func TestAuditScaledErrAndWorstCells(t *testing.T) {
+	rep := smallAudit(t)
+	// The geometric-mean scale makes per-series log errors sum to zero,
+	// so scaled errors must straddle (or touch) zero within a series.
+	for _, s := range rep.Series {
+		var logSum float64
+		n := 0
+		for _, c := range rep.Cells {
+			if c.Algo != s.Algo {
+				continue
+			}
+			logSum += math.Log1p(c.ScaledErr)
+			n++
+		}
+		if n == 0 {
+			t.Fatalf("series %s/%s has no cells", s.Collective, s.Algo)
+		}
+		if math.Abs(logSum) > 1e-9 {
+			t.Errorf("series %s: scaled log errors sum to %v, want 0", s.Algo, logSum)
+		}
+	}
+	worst := rep.WorstCells(3)
+	for i := 1; i < len(worst); i++ {
+		if math.Abs(worst[i].ScaledErr) > math.Abs(worst[i-1].ScaledErr) {
+			t.Error("WorstCells is not sorted by |scaled err|")
+		}
+	}
+	if got := rep.MaxScaledErr(); len(worst) > 0 && got != math.Abs(worst[0].ScaledErr) {
+		t.Errorf("MaxScaledErr %v != worst cell %v", got, math.Abs(worst[0].ScaledErr))
+	}
+}
+
+// TestAuditReportRendering is the golden-structure test for the two
+// report formats: every section marker of the markdown and every JSON
+// field tracelens -audit depends on.
+func TestAuditReportRendering(t *testing.T) {
+	rep := smallAudit(t)
+	md := rep.Markdown()
+	for _, want := range []string{
+		"# Cost-model audit: 4 PEs (lockstep)",
+		"Tuning: version",
+		"## Topology flat",
+		"| collective | algo | bytes | predicted | measured (cyc) | raw err | scaled err |",
+		"## Per-series α–β fits",
+		"## Worst mispriced cells",
+		"| broadcast | binomial |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back AuditReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("JSON does not round-trip: %v", err)
+	}
+	if len(back.Cells) != len(rep.Cells) || len(back.Series) != len(rep.Series) {
+		t.Errorf("round-trip lost rows: %d/%d cells, %d/%d series",
+			len(back.Cells), len(rep.Cells), len(back.Series), len(rep.Series))
+	}
+	if back.Cells[0].ScaledErr != rep.Cells[0].ScaledErr {
+		t.Error("round-trip lost scaled_err")
+	}
+}
+
+func TestDefaultGroupedSpec(t *testing.T) {
+	cases := []struct {
+		pes  int
+		want string
+	}{
+		{8, "grouped:4"},
+		{256, "grouped:16"},
+		{2, ""},
+		{4, "grouped:2"},
+	}
+	for _, c := range cases {
+		if got := defaultGroupedSpec(c.pes); got != c.want {
+			t.Errorf("defaultGroupedSpec(%d) = %q, want %q", c.pes, got, c.want)
+		}
+	}
+}
+
+func TestLinFit(t *testing.T) {
+	// y = 3 + 2x exactly.
+	a, b := linFit([][2]float64{{1, 5}, {2, 7}, {4, 11}})
+	if math.Abs(a-3) > 1e-9 || math.Abs(b-2) > 1e-9 {
+		t.Errorf("linFit = (%v, %v), want (3, 2)", a, b)
+	}
+	if a, b := linFit(nil); a != 0 || b != 0 {
+		t.Errorf("empty linFit = (%v, %v)", a, b)
+	}
+	// One distinct x: mean, slope 0.
+	if a, b := linFit([][2]float64{{2, 4}, {2, 6}}); a != 5 || b != 0 {
+		t.Errorf("degenerate linFit = (%v, %v), want (5, 0)", a, b)
+	}
+}

@@ -77,6 +77,15 @@ func collOf(op CollectiveOp) (core.Collective, bool) {
 // invocations, timed on both clocks. The iteration count scales down
 // with the payload so large points stay affordable.
 func SweepCollective(op CollectiveOp, algo core.Algorithm, pes, nelems, iters int, topo string) (SweepPoint, error) {
+	return sweepCell(op, algo, pes, nelems, iters, topo, false)
+}
+
+// sweepCell is the shared measurement core of SweepCollective and the
+// cost-model auditor. deterministic runs the cell in lockstep mode so
+// the measured makespan is schedule-independent (the auditor compares
+// it against the cost model's prediction; a free-running measurement
+// would add scheduler noise to the error).
+func sweepCell(op CollectiveOp, algo core.Algorithm, pes, nelems, iters int, topo string, deterministic bool) (SweepPoint, error) {
 	if iters <= 0 {
 		iters = 1
 	}
@@ -87,7 +96,7 @@ func SweepCollective(op CollectiveOp, algo core.Algorithm, pes, nelems, iters in
 	pt := SweepPoint{Op: op, Algo: algo, Topo: topo, PEs: pes, Nelems: nelems, Iters: iters}
 	pt.Resolved = algo.SelectFor(coll, pes, nelems, 8, topoShape(topo, pes))
 
-	rt, err := xbrtime.New(xbrtime.Config{NumPEs: pes, TopoSpec: topo})
+	rt, err := xbrtime.New(xbrtime.Config{NumPEs: pes, TopoSpec: topo, Deterministic: deterministic})
 	if err != nil {
 		return pt, err
 	}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xbgas/internal/obs"
+	"xbgas/internal/xbrtime"
+)
+
+// Differential test for the critical-path extractor: in lockstep mode
+// the extracted path of a collective call must span EXACTLY the
+// executor's measured completion time (max end − min start across
+// PEs, taken independently in the SPMD body), its links must tile
+// that interval, and at a bandwidth-bound payload at least 95% of it
+// must be attributed to concrete step categories rather than the
+// overhead residual.
+func TestCriticalPathMatchesMeasuredCompletion(t *testing.T) {
+	const nelems = 4096 // 32 KiB: large enough that entry skew is noise
+	cases := []struct {
+		algo Algorithm
+		n    int
+		topo string
+	}{
+		{AlgoBinomial, 8, ""},
+		{AlgoBinomial, 12, ""},
+		{AlgoBinomial, 48, ""},
+		{AlgoRing, 8, ""},
+		{AlgoRing, 12, ""},
+		{AlgoRing, 48, ""},
+		{AlgoHier, 8, "grouped:4"},
+		{AlgoHier, 12, "grouped:4"},
+		{AlgoHier, 48, "grouped:8"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		name := fmt.Sprintf("%s/n=%d", tc.algo, tc.n)
+		if tc.topo != "" {
+			name += "/" + tc.topo
+		}
+		t.Run(name, func(t *testing.T) {
+			rec := obs.NewRecorder(obs.Options{Trace: true})
+			rt := xbrtime.MustNew(xbrtime.Config{
+				NumPEs: tc.n, TopoSpec: tc.topo, Deterministic: true, Obs: rec,
+			})
+			defer rt.Close()
+
+			var mu sync.Mutex
+			var minStart, maxEnd uint64
+			first := true
+			err := rt.Run(func(pe *xbrtime.PE) error {
+				w := uint64(xbrtime.TypeLong.Width)
+				dst, err := pe.Malloc(nelems * w)
+				if err != nil {
+					return err
+				}
+				src, err := pe.PrivateAlloc(nelems * w)
+				if err != nil {
+					return err
+				}
+				if err := pe.Barrier(); err != nil {
+					return err
+				}
+				before := pe.Now()
+				if err := BroadcastWith(tc.algo, pe, xbrtime.TypeLong, dst, src, nelems, 1, 0); err != nil {
+					return err
+				}
+				after := pe.Now()
+				mu.Lock()
+				if first || before < minStart {
+					minStart = before
+				}
+				if first || after > maxEnd {
+					maxEnd = after
+				}
+				first = false
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			run := rec.Runs()[0]
+			if got := run.NumCalls(); got != 1 {
+				t.Fatalf("NumCalls = %d, want 1", got)
+			}
+			cp, ok := run.ExtractCallPath(0)
+			if !ok {
+				t.Fatal("ExtractCallPath(0) not ok")
+			}
+
+			// The virtual clock does not advance between the body's
+			// pe.Now() and the executor opening the call record, so the
+			// path must span the measured completion exactly.
+			measured := maxEnd - minStart
+			if cp.Total() != measured {
+				t.Errorf("critical path Total = %d, executor measured %d (span [%d,%d] vs [%d,%d])",
+					cp.Total(), measured, cp.Start, cp.End, minStart, maxEnd)
+			}
+
+			// Structural invariant: links tile [Start, End].
+			if len(cp.Links) == 0 {
+				t.Fatal("path has no links")
+			}
+			if cp.Links[0].End != cp.End {
+				t.Errorf("first link ends at %d, want %d", cp.Links[0].End, cp.End)
+			}
+			for i := 0; i+1 < len(cp.Links); i++ {
+				if cp.Links[i+1].End != cp.Links[i].Start {
+					t.Errorf("links %d/%d do not tile", i, i+1)
+				}
+			}
+			if last := cp.Links[len(cp.Links)-1]; last.Start != cp.Start {
+				t.Errorf("last link starts at %d, want %d", last.Start, cp.Start)
+			}
+
+			if cov := cp.Coverage(); cov < 0.95 {
+				by := cp.ByCat()
+				t.Errorf("coverage = %.3f, want >= 0.95 (overhead %d of %d cycles; byCat %v)",
+					cov, by[obs.CatOverhead], cp.Total(), by)
+			}
+		})
+	}
+}

@@ -75,13 +75,18 @@ type execEnv struct {
 	lastNB xbrtime.Handle
 
 	cost uint64 // per-element combine cost
+
+	// slog, when non-nil, receives the category and releaser of every
+	// executed step's virtual-clock interval — the raw material of the
+	// critical-path extractor. Nil whenever tracing is off.
+	slog *obs.StepLog
 }
 
 // Execute runs a compiled plan with the given arguments. Every PE of
 // the plan's world (or team) must call it collectively, like any other
 // collective entry point.
 func Execute(pe *xbrtime.PE, p *Plan, a ExecArgs) error {
-	e := execEnv{pe: pe, p: p, a: a, w: uint64(a.DT.Width)}
+	e := execEnv{pe: pe, p: p, a: a, w: uint64(a.DT.Width), slog: pe.StepLog()}
 	if a.Team != nil {
 		r, ok := a.Team.Rank(pe)
 		if !ok {
@@ -230,14 +235,27 @@ func (e *execEnv) round(r *Round) error {
 	e.lastNB = xbrtime.Handle{}
 	var err error
 	for i := range mine {
-		if err = e.step(&mine[i], r, &handles); err != nil {
+		if e.slog == nil {
+			if err = e.step(&mine[i], r, &handles); err != nil {
+				break
+			}
+			continue
+		}
+		t0 := pe.Now()
+		err = e.step(&mine[i], r, &handles)
+		e.noteStep(mine[i].Kind, t0)
+		if err != nil {
 			break
 		}
 	}
 	if r.NB {
+		t0 := pe.Now()
 		for _, h := range handles {
 			pe.Wait(h)
 		}
+		// The handle drain is where a non-blocking round pays for its
+		// own in-flight transfers.
+		e.slog.Note(obs.CatDataWait, t0, pe.Now())
 		pe.ReturnHandles(handles)
 	}
 	if err != nil {
@@ -245,13 +263,36 @@ func (e *execEnv) round(r *Round) error {
 	}
 	for i := r.tail; i < len(r.Steps); i++ {
 		if r.Steps[i].Kind == StepBarrier {
+			t0 := pe.Now()
 			if err := e.barrier(); err != nil {
 				return err
 			}
+			e.slog.NoteWait(obs.CatBarrierWait, t0, pe.Now(), pe.LastWaitBy())
 		}
 	}
 	pe.FinishRound(span)
 	return nil
+}
+
+// noteStep files the just-executed step's interval under its
+// attribution category; wait steps carry the releasing rank so the
+// critical-path extractor can follow the dependency to another PE.
+func (e *execEnv) noteStep(k StepKind, start uint64) {
+	end := e.pe.Now()
+	switch k {
+	case StepPut, StepGet:
+		e.slog.Note(obs.CatTransfer, start, end)
+	case StepCopy:
+		e.slog.Note(obs.CatCopy, start, end)
+	case StepCombine:
+		e.slog.Note(obs.CatCombine, start, end)
+	case StepSignal:
+		e.slog.Note(obs.CatSignal, start, end)
+	case StepWaitFlag:
+		e.slog.NoteWait(obs.CatFlagWait, start, end, e.pe.LastWaitBy())
+	case StepBarrier:
+		e.slog.NoteWait(obs.CatBarrierWait, start, end, e.pe.LastWaitBy())
+	}
 }
 
 // step executes one plan step for this PE.
@@ -585,7 +626,7 @@ func runPlan(pe *xbrtime.PE, coll Collective, algo Algorithm, a ExecArgs) error 
 	if err != nil {
 		return err
 	}
-	cs := pe.StartCollective(p.Span, a.Root, a.Nelems)
+	cs := pe.StartCollective(p.Span, p.Label(), a.Root, a.Nelems)
 	defer pe.FinishCollective(cs)
 	return Execute(pe, p, a)
 }

@@ -72,7 +72,7 @@ func Alltoall(pe *xbrtime.PE, dt xbrtime.DType, dest, src uint64, nelems int) er
 	}
 	// Rootless: the collective span carries -1 in the root slot, and the
 	// plan executes with virtual rank == logical rank (root 0).
-	cs := pe.StartCollective(p.Span, -1, nelems*n)
+	cs := pe.StartCollective(p.Span, p.Label(), -1, nelems*n)
 	defer pe.FinishCollective(cs)
 	return Execute(pe, p, ExecArgs{
 		DT: dt, Dest: dest, Src: src,

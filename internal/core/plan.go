@@ -325,6 +325,11 @@ type Plan struct {
 	label string // Collective/Algorithm, reported through NotePlanner
 }
 
+// Label returns the plan's identity string —
+// "collective/algorithm[seg=N]" — the key NotePlanner tallies under
+// and the "plan" arg trace analyzers map spans back to plans with.
+func (p *Plan) Label() string { return p.label }
+
 // PipelineDepth is the plan's critical-path length in communication
 // steps: the planner-recorded Depth when set, otherwise the number of
 // named (tree) rounds.

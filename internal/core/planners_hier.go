@@ -285,7 +285,7 @@ func hierLeaderAllReducePlan(n, P int) *Plan {
 		idx++
 		for i := 0; i < g; i++ {
 			peer := ((i - 1 + g) % g) * P
-			s := ((i - 1 - r) % g + g) % g
+			s := ((i-1-r)%g + g) % g
 			cv, cb := bounds[s], bounds[s+1]-bounds[s]
 			rd.Steps = append(rd.Steps, Step{
 				Kind: StepGet, Actor: i * P, Peer: peer,
@@ -390,7 +390,7 @@ func hierRailAllGatherPlan(n, P int) *Plan {
 		for v := 0; v < n; v++ {
 			i, m := v/P, v%P
 			peer := i*P + (m-1+P)%P
-			mp := ((m - 1 - r) % P + P) % P
+			mp := ((m-1-r)%P + P) % P
 			rd.Steps = append(rd.Steps, Step{
 				Kind: StepGet, Actor: v, Peer: peer,
 				Dst:   Loc{Buf: BufStage, Off: OffAdj, V: mp},
@@ -479,7 +479,7 @@ func hierLeaderAllGatherPlan(n, P int) *Plan {
 		idx++
 		for i := 0; i < g; i++ {
 			peer := ((i - 1 + g) % g) * P
-			s := ((i - 1 - r) % g + g) % g
+			s := ((i-1-r)%g + g) % g
 			rd.Steps = append(rd.Steps, Step{
 				Kind: StepGet, Actor: i * P, Peer: peer,
 				Dst:   Loc{Buf: BufStage, Off: OffAdj, V: s * P},

@@ -52,7 +52,7 @@ func TeamBroadcast(pe *xbrtime.PE, t *xbrtime.Team, dt xbrtime.DType, dest, src 
 	if err != nil {
 		return err
 	}
-	cs := pe.StartCollective("team_broadcast", root, nelems)
+	cs := pe.StartCollective("team_broadcast", "", root, nelems)
 	defer pe.FinishCollective(cs)
 	return Execute(pe, p, ExecArgs{
 		DT: dt, Dest: dest, Src: src,
@@ -79,7 +79,7 @@ func TeamReduce(pe *xbrtime.PE, t *xbrtime.Team, dt xbrtime.DType, op ReduceOp, 
 	if err != nil {
 		return err
 	}
-	cs := pe.StartCollective("team_reduce", root, nelems)
+	cs := pe.StartCollective("team_reduce", "", root, nelems)
 	defer pe.FinishCollective(cs)
 	return Execute(pe, p, ExecArgs{
 		DT: dt, Op: op, Dest: dest, Src: src,

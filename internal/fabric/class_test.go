@@ -1,0 +1,118 @@
+package fabric
+
+import "testing"
+
+// Per-link-class accounting: grouped topologies split every NIC's
+// traffic into intra- and inter-node shares; flat topologies have no
+// node-local links, so everything books as inter.
+
+func TestClassSplitGrouped(t *testing.T) {
+	cfg := Config{InjectionOverhead: 10, HopLatency: 5, ByteCost: 1, ReceiverGap: 3}
+	f := MustNew(Grouped{PerNode: 2, N: 4}, cfg) // nodes {0,1} and {2,3}
+	if !f.ClassedTopo() {
+		t.Fatal("grouped fabric does not report ClassedTopo")
+	}
+	if _, err := f.Send(0, 1, 8, 100); err != nil { // intra: same node
+		t.Fatal(err)
+	}
+	if _, err := f.Send(0, 2, 16, 100); err != nil { // inter: crosses nodes
+		t.Fatal(err)
+	}
+	st := f.NICStats()
+	if st[1].Intra.Msgs != 1 || st[1].Intra.Bytes != 8 {
+		t.Errorf("NIC 1 intra = %+v, want 1 msg / 8 B", st[1].Intra)
+	}
+	if st[1].Inter.Msgs != 0 {
+		t.Errorf("NIC 1 inter = %+v, want empty", st[1].Inter)
+	}
+	if st[2].Inter.Msgs != 1 || st[2].Inter.Bytes != 16 {
+		t.Errorf("NIC 2 inter = %+v, want 1 msg / 16 B", st[2].Inter)
+	}
+	if st[2].Intra.Msgs != 0 {
+		t.Errorf("NIC 2 intra = %+v, want empty", st[2].Intra)
+	}
+	// The class split must always sum to the NIC totals.
+	for i, s := range st {
+		if s.Intra.Msgs+s.Inter.Msgs != s.Msgs {
+			t.Errorf("NIC %d: class msgs %d+%d != total %d", i, s.Intra.Msgs, s.Inter.Msgs, s.Msgs)
+		}
+		if s.Intra.Bytes+s.Inter.Bytes != s.Bytes {
+			t.Errorf("NIC %d: class bytes %d+%d != total %d", i, s.Intra.Bytes, s.Inter.Bytes, s.Bytes)
+		}
+		if s.Intra.StallCycles+s.Inter.StallCycles != s.StallCycles {
+			t.Errorf("NIC %d: class stall %d+%d != total %d", i,
+				s.Intra.StallCycles, s.Inter.StallCycles, s.StallCycles)
+		}
+	}
+}
+
+func TestClassStallAttribution(t *testing.T) {
+	// Serialise three inter-node messages at one receiver: the queueing
+	// delay must land in the inter class.
+	cfg := Config{ReceiverGap: 100}
+	f := MustNew(Grouped{PerNode: 2, N: 4}, cfg)
+	for i := 0; i < 3; i++ {
+		if _, err := f.Send(0, 2, 8, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.NICStats()[2]
+	if st.Inter.StallCycles == 0 {
+		t.Error("serialised inter traffic recorded no inter-class stall")
+	}
+	if st.Intra.StallCycles != 0 {
+		t.Errorf("intra class stall = %d, want 0", st.Intra.StallCycles)
+	}
+	if st.Inter.StallCycles != st.StallCycles {
+		t.Errorf("inter stall %d != NIC stall %d", st.Inter.StallCycles, st.StallCycles)
+	}
+}
+
+func TestClassFlatBooksInter(t *testing.T) {
+	cfg := Config{InjectionOverhead: 10}
+	f := MustNew(FullyConnected{4}, cfg)
+	if f.ClassedTopo() {
+		t.Fatal("flat fabric reports ClassedTopo")
+	}
+	if _, err := f.Send(0, 1, 8, 100); err != nil {
+		t.Fatal(err)
+	}
+	st := f.NICStats()[1]
+	if st.Intra.Msgs != 0 || st.Inter.Msgs != 1 {
+		t.Errorf("flat send booked intra=%d inter=%d, want 0/1", st.Intra.Msgs, st.Inter.Msgs)
+	}
+}
+
+func TestClassCountersResetWithFabric(t *testing.T) {
+	f := MustNew(Grouped{PerNode: 2, N: 4}, Config{ReceiverGap: 50})
+	for i := 0; i < 2; i++ {
+		if _, err := f.Send(0, 2, 8, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Reset()
+	st := f.NICStats()[2]
+	if st.Inter != (ClassStats{}) || st.Intra != (ClassStats{}) {
+		t.Errorf("Reset left class counters: intra=%+v inter=%+v", st.Intra, st.Inter)
+	}
+}
+
+// TestSendZeroAllocsWithoutObs guards the per-class accounting added
+// to the Send hot path: with no observability run attached it must
+// stay allocation-free.
+func TestSendZeroAllocsWithoutObs(t *testing.T) {
+	f := MustNew(Grouped{PerNode: 2, N: 4}, Config{InjectionOverhead: 10, ReceiverGap: 3})
+	if _, err := f.Send(0, 2, 8, 100); err != nil {
+		t.Fatal(err)
+	}
+	now := uint64(1000)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := f.Send(0, 2, 8, now); err != nil {
+			t.Fatal(err)
+		}
+		now += 10
+	})
+	if allocs != 0 {
+		t.Errorf("Send with per-class counters and no obs: %.1f allocs/op, want 0", allocs)
+	}
+}

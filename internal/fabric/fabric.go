@@ -126,6 +126,33 @@ type shard struct {
 	// (which is not attributable to one link). Owned by the shard lock.
 	stall     uint64
 	peakQueue uint64
+	// Per-link-class split of the same traffic (classIntra/classInter).
+	// On flat topologies every link is a network link and books as
+	// inter. Owned by the shard lock.
+	cls [2]classCounters
+}
+
+// classCounters is one link class's share of a NIC's traffic and
+// NIC-side contention.
+type classCounters struct {
+	msgs, bytes, stall, peak uint64
+}
+
+// Link-class indices for the per-shard and per-metrics splits. They
+// mirror ClassIntra/ClassInter but are plain array indices so flat
+// (classless) fabrics can book too.
+const (
+	classIntra = 0
+	classInter = 1
+)
+
+// classIdx maps the src→dst link to its counter index. Flat fabrics
+// have no on-node links, so everything is inter-node network traffic.
+func (f *Fabric) classIdx(src, dst int) int {
+	if f.intraLink(src, dst) {
+		return classIntra
+	}
+	return classInter
 }
 
 // ensure allocates the shard's booking ring and traffic column on first
@@ -136,6 +163,33 @@ func (sh *shard) ensure(n int) {
 		sh.matMsgs = make([]uint64, n)
 		sh.matBytes = make([]uint64, n)
 	}
+}
+
+// bookClass folds one message's NIC-side queueing into the link-class
+// split. Callers must hold the shard lock.
+func (sh *shard) bookClass(cls int, bytes, queue uint64) {
+	c := &sh.cls[cls]
+	c.msgs++
+	c.bytes += bytes
+	c.stall += queue
+	if queue > c.peak {
+		c.peak = queue
+	}
+}
+
+// sampleCounters emits one point on each of the NIC's counter tracks
+// after a booking: the queueing delay the message saw and the
+// cumulative per-class stall and load. Callers must hold the shard
+// lock (the cumulative values read coherently) and have checked
+// f.obs != nil.
+func (f *Fabric) sampleCounters(dst int, now, queue uint64, sh *shard) {
+	fc := f.obs.FabricCounters(dst)
+	if fc == nil {
+		return
+	}
+	fc.Queue.Sample(now, float64(queue), 0)
+	fc.Stall.Sample(now, float64(sh.cls[classIntra].stall), float64(sh.cls[classInter].stall))
+	fc.Load.Sample(now, float64(sh.cls[classIntra].bytes), float64(sh.cls[classInter].bytes))
 }
 
 // Fabric is a contention-aware network shared by all simulated nodes.
@@ -318,6 +372,7 @@ func (f *Fabric) Send(src, dst int, n int, now uint64) (arrive uint64, err error
 		return 0, fmt.Errorf("fabric: link %d->%d is down", src, dst)
 	}
 	transit := f.TransitCost(src, dst, n)
+	cls := f.classIdx(src, dst)
 
 	sh := &f.recv[dst]
 	sh.mu.Lock()
@@ -329,9 +384,14 @@ func (f *Fabric) Send(src, dst int, n int, now uint64) (arrive uint64, err error
 	if queue > sh.peakQueue {
 		sh.peakQueue = queue
 	}
+	sh.bookClass(cls, uint64(n), queue)
+	nicQueue := queue
+	if f.obs != nil {
+		f.sampleCounters(dst, now, queue, sh)
+	}
 	sh.mu.Unlock()
 
-	if f.cfg.SwitchGap > 0 && !f.intraLink(src, dst) {
+	if f.cfg.SwitchGap > 0 && cls == classInter {
 		f.switchMu.Lock()
 		if qs := f.switchAc.book(f.window, f.queueCap, now, f.switchService(n)); qs > queue {
 			queue = qs
@@ -344,6 +404,7 @@ func (f *Fabric) Send(src, dst int, n int, now uint64) (arrive uint64, err error
 	f.bytes.Add(uint64(n))
 	if f.obs != nil {
 		f.obs.FabricMetrics().AddStall(queue)
+		f.obs.FabricMetrics().AddClass(cls, 1, uint64(n), nicQueue)
 	}
 	return now + queue + transit, nil
 }
@@ -441,6 +502,7 @@ func (f *Fabric) Reset() {
 			}
 		}
 		sh.stall, sh.peakQueue = 0, 0
+		sh.cls = [2]classCounters{}
 		sh.mu.Unlock()
 	}
 	f.switchMu.Lock()

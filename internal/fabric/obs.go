@@ -19,7 +19,25 @@ type NICStats struct {
 	Bytes       uint64 // payload bytes received
 	StallCycles uint64 // cumulative queueing delay at this NIC
 	PeakQueue   uint64 // worst single-message queueing delay, cycles
+
+	// Per-link-class split of the same traffic. On flat topologies
+	// every link is a network link, so Intra stays zero and Inter
+	// mirrors the totals.
+	Intra, Inter ClassStats
 }
+
+// ClassStats is one link class's share of a NIC's traffic and NIC-side
+// contention.
+type ClassStats struct {
+	Msgs        uint64
+	Bytes       uint64
+	StallCycles uint64
+	PeakQueue   uint64
+}
+
+// ClassedTopo reports whether the fabric's topology distinguishes
+// intra- from inter-node link classes (grouped, dragonfly).
+func (f *Fabric) ClassedTopo() bool { return f.classed != nil }
 
 // NICStats returns one entry per destination node.
 func (f *Fabric) NICStats() []NICStats {
@@ -37,6 +55,14 @@ func (f *Fabric) NICStats() []NICStats {
 			Bytes:       bytes,
 			StallCycles: sh.stall,
 			PeakQueue:   sh.peakQueue,
+			Intra: ClassStats{
+				Msgs: sh.cls[classIntra].msgs, Bytes: sh.cls[classIntra].bytes,
+				StallCycles: sh.cls[classIntra].stall, PeakQueue: sh.cls[classIntra].peak,
+			},
+			Inter: ClassStats{
+				Msgs: sh.cls[classInter].msgs, Bytes: sh.cls[classInter].bytes,
+				StallCycles: sh.cls[classInter].stall, PeakQueue: sh.cls[classInter].peak,
+			},
 		}
 		sh.mu.Unlock()
 	}

@@ -124,9 +124,10 @@ func (f *Fabric) SendStream(s Stream) (endIssue, lastArrive uint64, err error) {
 	transit := f.TransitCost(s.Src, s.Dst, s.ElemBytes)
 	recvSvc := f.recvService(s.Src, s.Dst, s.ElemBytes)
 	swSvc := f.switchService(s.ElemBytes)
-	useSwitch := f.cfg.SwitchGap > 0 && !f.intraLink(s.Src, s.Dst)
+	cls := f.classIdx(s.Src, s.Dst)
+	useSwitch := f.cfg.SwitchGap > 0 && cls == classInter
 
-	var sent, stall uint64
+	var sent, stall, nicStall, lastQueue uint64
 	issue := s.Start
 
 	sh := &f.recv[s.Dst]
@@ -147,6 +148,9 @@ func (f *Fabric) SendStream(s Stream) (endIssue, lastArrive uint64, err error) {
 		if queue > sh.peakQueue {
 			sh.peakQueue = queue
 		}
+		sh.bookClass(cls, uint64(s.ElemBytes), queue)
+		nicStall += queue
+		lastQueue = queue
 		if useSwitch {
 			if qs := f.switchAc.book(f.window, f.queueCap, issue, swSvc); qs > queue {
 				queue = qs
@@ -174,6 +178,7 @@ func (f *Fabric) SendStream(s Stream) (endIssue, lastArrive uint64, err error) {
 		// so one goroutine writes it at a time.
 		f.obs.FabricTrack(s.Dst).Complete("send_stream", s.Start, lastArrive,
 			obs.Args{Rank: s.Src, Peer: s.Dst, Round: -1, Nelems: int(sent)})
+		f.sampleCounters(s.Dst, issue, lastQueue, sh)
 	}
 	if useSwitch {
 		f.switchMu.Unlock()
@@ -185,6 +190,7 @@ func (f *Fabric) SendStream(s Stream) (endIssue, lastArrive uint64, err error) {
 	f.stallCyc.Add(stall)
 	if f.obs != nil && sent > 0 {
 		f.obs.FabricMetrics().ObserveStream(false, int(sent), stall)
+		f.obs.FabricMetrics().AddClass(cls, sent, sent*uint64(s.ElemBytes), nicStall)
 	}
 	if err != nil {
 		return 0, 0, err
@@ -236,9 +242,11 @@ func (f *Fabric) FetchStream(q Fetch) (endIssue, lastDone uint64, err error) {
 	dataSvc := f.recvService(q.Dst, q.Src, q.RespBytes)
 	swReqSvc := f.switchService(q.ReqBytes)
 	swDataSvc := f.switchService(q.RespBytes)
-	useSwitch := f.cfg.SwitchGap > 0 && !f.intraLink(q.Src, q.Dst)
+	cls := f.classIdx(q.Src, q.Dst)
+	useSwitch := f.cfg.SwitchGap > 0 && cls == classInter
 
 	var reqSent, dataSent, stall uint64
+	var nicStallReq, nicStallData, lastQr, lastQd uint64
 	issue := q.Start
 
 	// Two shards are involved: Dst receives the requests, Src receives
@@ -271,6 +279,9 @@ func (f *Fabric) FetchStream(q Fetch) (endIssue, lastDone uint64, err error) {
 		if qr > shReq.peakQueue {
 			shReq.peakQueue = qr
 		}
+		shReq.bookClass(cls, uint64(q.ReqBytes), qr)
+		nicStallReq += qr
+		lastQr = qr
 		if useSwitch {
 			if qs := f.switchAc.book(f.window, f.queueCap, t, swReqSvc); qs > qr {
 				qr = qs
@@ -290,6 +301,9 @@ func (f *Fabric) FetchStream(q Fetch) (endIssue, lastDone uint64, err error) {
 		if qd > shData.peakQueue {
 			shData.peakQueue = qd
 		}
+		shData.bookClass(cls, uint64(q.RespBytes), qd)
+		nicStallData += qd
+		lastQd = qd
 		if useSwitch {
 			if qs := f.switchAc.book(f.window, f.queueCap, req, swDataSvc); qs > qd {
 				qd = qs
@@ -320,6 +334,10 @@ func (f *Fabric) FetchStream(q Fetch) (endIssue, lastDone uint64, err error) {
 		// Appended under the serving node's shard lock (held here).
 		f.obs.FabricTrack(q.Dst).Complete("fetch_stream", q.Start, lastDone,
 			obs.Args{Rank: q.Src, Peer: q.Dst, Round: -1, Nelems: int(reqSent)})
+		f.sampleCounters(q.Dst, issue, lastQr, shReq)
+		if dataSent > 0 {
+			f.sampleCounters(q.Src, issue, lastQd, shData)
+		}
 	}
 	if useSwitch {
 		f.switchMu.Unlock()
@@ -334,6 +352,8 @@ func (f *Fabric) FetchStream(q Fetch) (endIssue, lastDone uint64, err error) {
 	f.stallCyc.Add(stall)
 	if f.obs != nil && reqSent > 0 {
 		f.obs.FabricMetrics().ObserveStream(true, int(reqSent), stall)
+		f.obs.FabricMetrics().AddClass(cls, reqSent, reqSent*uint64(q.ReqBytes), nicStallReq)
+		f.obs.FabricMetrics().AddClass(cls, dataSent, dataSent*uint64(q.RespBytes), nicStallData)
 	}
 	if err != nil {
 		return 0, 0, err

@@ -124,10 +124,10 @@ func TestParseTopo(t *testing.T) {
 		spec string
 		n    int
 	}{
-		{"torus:4x4", 12},  // dims don't match n
-		{"torus", 13},      // prime has no 2-D shape
-		{"hypercube", 12},  // not a power of two
-		{"grouped", 12},    // missing width
+		{"torus:4x4", 12},     // dims don't match n
+		{"torus", 13},         // prime has no 2-D shape
+		{"hypercube", 12},     // not a power of two
+		{"grouped", 12},       // missing width
 		{"grouped:8x16", 300}, // more PEs than G*P
 		{"grouped:8x16", 112}, // fewer than (G-1)*P+1
 		{"dragonfly:4", 64},

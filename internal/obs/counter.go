@@ -1,0 +1,66 @@
+package obs
+
+// CounterSample is one point on a counter track: up to two series
+// values at virtual time Ts.
+type CounterSample struct {
+	Ts     uint64
+	V0, V1 float64
+}
+
+// CounterTrack is a Perfetto counter timeline ("C" events). A track
+// carries one or two named series; two-series tracks render stacked in
+// the viewers (intra vs inter link class). Like Track, a nil
+// CounterTrack records nothing, so disabled tracing costs one pointer
+// test at each sample site.
+type CounterTrack struct {
+	pid     int
+	name    string
+	s0, s1  string // series names; s1 == "" means single-series
+	samples []CounterSample
+}
+
+// Sample appends a point. The fabric samples under its per-NIC shard
+// lock, so appends are serialized per track.
+func (ct *CounterTrack) Sample(ts uint64, v0, v1 float64) {
+	if ct == nil {
+		return
+	}
+	ct.samples = append(ct.samples, CounterSample{Ts: ts, V0: v0, V1: v1})
+}
+
+// Name returns the track's display name.
+func (ct *CounterTrack) Name() string {
+	if ct == nil {
+		return ""
+	}
+	return ct.name
+}
+
+// Samples returns the recorded points (the track's own backing store;
+// do not mutate).
+func (ct *CounterTrack) Samples() []CounterSample {
+	if ct == nil {
+		return nil
+	}
+	return ct.samples
+}
+
+// FabricCounters is the per-destination-NIC set of counter tracks the
+// fabric samples on every booking: the queueing delay the latest
+// message saw, and cumulative stall cycles and payload bytes split by
+// link class. On flat fabrics all traffic is network traffic and lands
+// in the inter series.
+type FabricCounters struct {
+	Queue *CounterTrack // cycles of queueing delay, latest booking
+	Stall *CounterTrack // cumulative stall cycles {intra, inter}
+	Load  *CounterTrack // cumulative payload bytes {intra, inter}
+}
+
+// FabricCounters returns destination NIC dst's counter set, or nil
+// when tracing is disabled.
+func (run *Run) FabricCounters(dst int) *FabricCounters {
+	if run == nil || dst < 0 || dst >= len(run.fabCounters) {
+		return nil
+	}
+	return run.fabCounters[dst]
+}

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PathLink is one segment of a measured critical path: [Start, End] on
+// Rank's virtual clock, attributed to Cat. Links are returned newest
+// first and tile the call's [minStart, maxEnd] interval exactly:
+// Links[i].Start == Links[i+1].End.
+type PathLink struct {
+	Rank       int
+	Cat        StepCat
+	Start, End uint64
+}
+
+// CallPath is the extracted critical path of one collective call: the
+// longest causal chain through the PEs' step logs, following wait
+// edges back to their releasers. Total() always equals End-Start (the
+// measured completion time across all PEs); whatever the chain cannot
+// attribute to a concrete step or wait is charged to CatOverhead.
+type CallPath struct {
+	Name       string
+	Start, End uint64 // min call start / max call end across PEs
+	Links      []PathLink
+}
+
+// Total returns the measured completion time the path spans.
+func (p *CallPath) Total() uint64 { return p.End - p.Start }
+
+// ByCat sums link durations per category.
+func (p *CallPath) ByCat() [NumStepCats]uint64 {
+	var out [NumStepCats]uint64
+	for _, l := range p.Links {
+		out[l.Cat] += l.End - l.Start
+	}
+	return out
+}
+
+// Coverage returns the attributed (non-overhead) share of the total,
+// in [0, 1].
+func (p *CallPath) Coverage() float64 {
+	t := p.Total()
+	if t == 0 {
+		return 1
+	}
+	return 1 - float64(p.ByCat()[CatOverhead])/float64(t)
+}
+
+// stepLogs returns the run's per-PE step logs, nil when tracing is
+// disabled.
+func (run *Run) stepLogs() []*StepLog {
+	if run == nil {
+		return nil
+	}
+	return run.peSteps
+}
+
+// NumCalls returns the number of collective calls extractable from the
+// run: the calls are matched up by SPMD call order, so the count is
+// the shortest per-PE call list, truncated at the first index where
+// the PEs disagree on the call name (team collectives desynchronize
+// the per-PE call streams; everything before the first team call still
+// extracts).
+func (run *Run) NumCalls() int {
+	logs := run.stepLogs()
+	if len(logs) == 0 {
+		return 0
+	}
+	n := len(logs[0].Calls())
+	for _, l := range logs[1:] {
+		if c := len(l.Calls()); c < n {
+			n = c
+		}
+	}
+	for k := 0; k < n; k++ {
+		name := logs[0].Calls()[k].Name
+		for _, l := range logs[1:] {
+			if l.Calls()[k].Name != name {
+				return k
+			}
+		}
+	}
+	return n
+}
+
+// ExtractCallPath builds the measured critical path of call k. It
+// walks backward from the PE that finished last: inside a PE it
+// consumes step intervals newest-first; at a wait whose releaser is
+// another rank it jumps to that rank, attributing the signal's wire
+// and fan-out time to the wait's category. Gaps between steps are
+// overhead. The walk terminates at the earliest call start; if the
+// current PE's log bottoms out first, the remainder is entry skew
+// (overhead). Returns ok=false when the run has no aligned call k.
+func (run *Run) ExtractCallPath(k int) (CallPath, bool) {
+	logs := run.stepLogs()
+	if k < 0 || k >= run.NumCalls() {
+		return CallPath{}, false
+	}
+
+	var cp CallPath
+	pe := 0
+	for i, l := range logs {
+		c := l.Calls()[k]
+		if i == 0 || c.End > cp.End {
+			cp.End = c.End
+			pe = i
+		}
+		if i == 0 || c.Start < cp.Start {
+			cp.Start = c.Start
+		}
+	}
+	cp.Name = logs[pe].Calls()[k].Name
+
+	cur := cp.End
+	gapCat := CatOverhead // category charged to inter-step gaps
+	jumps := 0            // consecutive jumps without cur decreasing
+
+	emit := func(rank int, cat StepCat, start uint64) {
+		if start < cp.Start {
+			start = cp.Start
+		}
+		if start >= cur {
+			return
+		}
+		cp.Links = append(cp.Links, PathLink{Rank: rank, Cat: cat, Start: start, End: cur})
+		cur = start
+		gapCat = CatOverhead
+		jumps = 0
+	}
+
+	for cur > cp.Start {
+		l := logs[pe]
+		c := l.Calls()[k]
+		steps := l.Steps()[c.First : c.First+c.N]
+		// Last step starting strictly before cur.
+		idx := sort.Search(len(steps), func(i int) bool { return steps[i].Start >= cur }) - 1
+		if idx < 0 {
+			// No more steps on this PE: charge the run-up to its call
+			// start, then the entry skew down to the global start.
+			if c.Start < cur {
+				emit(pe, gapCat, c.Start)
+			}
+			emit(pe, CatOverhead, cp.Start)
+			break
+		}
+		s := steps[idx]
+		if s.End < cur {
+			// Gap after the step: executor bookkeeping, or (right
+			// after a jump) the releasing signal's time in flight.
+			emit(pe, gapCat, s.End)
+			continue
+		}
+		isWait := s.Cat == CatFlagWait || s.Cat == CatBarrierWait
+		if isWait && s.Releaser >= 0 && int(s.Releaser) != pe &&
+			int(s.Releaser) < len(logs) && jumps <= len(logs) {
+			// Follow the wait to the rank that released it. cur does
+			// not move; the releaser's trailing gap (signal transit,
+			// barrier fan-out) inherits the wait's category.
+			pe = int(s.Releaser)
+			gapCat = s.Cat
+			jumps++
+			continue
+		}
+		// Consume the step itself (clipped to cur). Also the fallback
+		// when releaser-jumping cycles without progress.
+		emit(pe, s.Cat, s.Start)
+	}
+	return cp, true
+}
+
+// critAgg accumulates the per-category totals of every extracted call
+// with the same name.
+type critAgg struct {
+	name  string
+	calls int
+	total uint64
+	cats  [NumStepCats]uint64
+}
+
+// CriticalPathTable renders the aggregated critical-path breakdown of
+// every extractable collective call: per collective name, the number
+// of calls, mean path length, the share of path time per category, and
+// the attributed coverage. Returns "" when tracing is disabled or no
+// calls were recorded.
+func (run *Run) CriticalPathTable() string {
+	n := run.NumCalls()
+	if n == 0 {
+		return ""
+	}
+	var order []string
+	aggs := make(map[string]*critAgg)
+	for k := 0; k < n; k++ {
+		cp, ok := run.ExtractCallPath(k)
+		if !ok {
+			continue
+		}
+		a := aggs[cp.Name]
+		if a == nil {
+			a = &critAgg{name: cp.Name}
+			aggs[cp.Name] = a
+			order = append(order, cp.Name)
+		}
+		a.calls++
+		a.total += cp.Total()
+		for c, v := range cp.ByCat() {
+			a.cats[c] += v
+		}
+	}
+	if len(order) == 0 {
+		return ""
+	}
+
+	var b strings.Builder
+	b.WriteString("critical path (share of measured completion time, per collective):\n")
+	fmt.Fprintf(&b, "%-28s %6s %12s", "collective", "calls", "mean-cycles")
+	cols := []StepCat{CatTransfer, CatDataWait, CatFlagWait, CatBarrierWait, CatCombine, CatCopy, CatSignal, CatOverhead}
+	for _, c := range cols {
+		fmt.Fprintf(&b, " %12s", c.String())
+	}
+	fmt.Fprintf(&b, " %9s\n", "coverage")
+	for _, name := range order {
+		a := aggs[name]
+		mean := a.total / uint64(a.calls)
+		fmt.Fprintf(&b, "%-28s %6d %12d", a.name, a.calls, mean)
+		for _, c := range cols {
+			share := 0.0
+			if a.total > 0 {
+				share = 100 * float64(a.cats[c]) / float64(a.total)
+			}
+			fmt.Fprintf(&b, " %11.1f%%", share)
+		}
+		cov := 100.0
+		if a.total > 0 {
+			cov = 100 * (1 - float64(a.cats[CatOverhead])/float64(a.total))
+		}
+		fmt.Fprintf(&b, " %8.1f%%\n", cov)
+	}
+	return b.String()
+}
+
+// CriticalPathTable aggregates the per-run tables, prefixing each with
+// the run's label when more than one run recorded calls.
+func (r *Recorder) CriticalPathTable() string {
+	if r == nil {
+		return ""
+	}
+	var parts []string
+	runs := r.Runs()
+	for _, run := range runs {
+		t := run.CriticalPathTable()
+		if t == "" {
+			continue
+		}
+		if len(runs) > 1 {
+			t = fmt.Sprintf("run %q (%d PEs):\n%s", run.label, run.npes, t)
+		}
+		parts = append(parts, t)
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,252 @@
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"xbgas/internal/obs"
+)
+
+// synthRun attaches a tracing run of n PEs and returns it with its step
+// logs, for building synthetic schedules the extractor is tested on.
+func synthRun(t *testing.T, n int) (*obs.Run, []*obs.StepLog) {
+	t.Helper()
+	rec := obs.NewRecorder(obs.Options{Trace: true})
+	run := rec.Attach("synth", n)
+	logs := make([]*obs.StepLog, n)
+	for i := range logs {
+		logs[i] = run.StepLog(i)
+		if logs[i] == nil {
+			t.Fatalf("StepLog(%d) = nil with tracing enabled", i)
+		}
+	}
+	return run, logs
+}
+
+func TestStepLogNilAndNesting(t *testing.T) {
+	var nilLog *obs.StepLog
+	nilLog.BeginCall("x", 0)
+	nilLog.Note(obs.CatTransfer, 0, 10)
+	nilLog.EndCall(10)
+	if nilLog.Calls() != nil || nilLog.Steps() != nil {
+		t.Error("nil StepLog should report no calls/steps")
+	}
+
+	_, logs := synthRun(t, 1)
+	l := logs[0]
+	// Steps outside any call are dropped.
+	l.Note(obs.CatTransfer, 0, 5)
+	// Nested BeginCall folds into the outermost record.
+	l.BeginCall("outer", 10)
+	l.BeginCall("inner", 12)
+	l.Note(obs.CatCombine, 12, 20)
+	l.Note(obs.CatCopy, 20, 20) // zero-length: dropped
+	l.EndCall(25)
+	l.EndCall(30)
+	calls := l.Calls()
+	if len(calls) != 1 {
+		t.Fatalf("got %d calls, want 1 (nested call must fold)", len(calls))
+	}
+	c := calls[0]
+	if c.Name != "outer" || c.Start != 10 || c.End != 30 {
+		t.Errorf("call = %+v, want outer [10,30]", c)
+	}
+	if c.N != 1 {
+		t.Errorf("call recorded %d steps, want 1 (outside-call and zero-length dropped)", c.N)
+	}
+	if s := l.Steps()[c.First]; s.Cat != obs.CatCombine || s.Start != 12 || s.End != 20 {
+		t.Errorf("step = %+v, want combine [12,20]", s)
+	}
+}
+
+// assertTiles checks the extractor's structural invariant: links are
+// newest-first and tile [cp.Start, cp.End] with no gap or overlap, so
+// ByCat sums exactly to Total.
+func assertTiles(t *testing.T, cp obs.CallPath) {
+	t.Helper()
+	if len(cp.Links) == 0 {
+		if cp.Total() != 0 {
+			t.Fatalf("no links but Total=%d", cp.Total())
+		}
+		return
+	}
+	if cp.Links[0].End != cp.End {
+		t.Errorf("first link ends at %d, want cp.End %d", cp.Links[0].End, cp.End)
+	}
+	for i, l := range cp.Links {
+		if l.End <= l.Start {
+			t.Errorf("link %d is empty or inverted: %+v", i, l)
+		}
+		if i+1 < len(cp.Links) && cp.Links[i+1].End != l.Start {
+			t.Errorf("links %d/%d do not tile: %d vs %d", i, i+1, l.Start, cp.Links[i+1].End)
+		}
+	}
+	if last := cp.Links[len(cp.Links)-1]; last.Start != cp.Start {
+		t.Errorf("last link starts at %d, want cp.Start %d", last.Start, cp.Start)
+	}
+	var sum uint64
+	for _, v := range cp.ByCat() {
+		sum += v
+	}
+	if sum != cp.Total() {
+		t.Errorf("ByCat sums to %d, Total is %d", sum, cp.Total())
+	}
+}
+
+func TestCriticalPathSingleRank(t *testing.T) {
+	run, logs := synthRun(t, 1)
+	l := logs[0]
+	l.BeginCall("broadcast/binomial", 100)
+	l.Note(obs.CatTransfer, 100, 300)
+	l.Note(obs.CatCombine, 320, 400) // 20-cycle bookkeeping gap before it
+	l.EndCall(400)
+
+	if n := run.NumCalls(); n != 1 {
+		t.Fatalf("NumCalls = %d, want 1", n)
+	}
+	cp, ok := run.ExtractCallPath(0)
+	if !ok {
+		t.Fatal("ExtractCallPath(0) not ok")
+	}
+	assertTiles(t, cp)
+	if cp.Total() != 300 {
+		t.Errorf("Total = %d, want 300", cp.Total())
+	}
+	by := cp.ByCat()
+	if by[obs.CatTransfer] != 200 || by[obs.CatCombine] != 80 || by[obs.CatOverhead] != 20 {
+		t.Errorf("ByCat = %v, want transfer=200 combine=80 overhead=20", by)
+	}
+}
+
+func TestCriticalPathJumpToReleaser(t *testing.T) {
+	run, logs := synthRun(t, 2)
+	// PE 0 sends for 100 cycles, posts a flag at 110; PE 1 waits on the
+	// flag until 150 (40 cycles of signal transit after PE 0's log ends)
+	// and then combines until 200.
+	logs[0].BeginCall("bcast", 0)
+	logs[0].Note(obs.CatTransfer, 0, 100)
+	logs[0].Note(obs.CatSignal, 100, 110)
+	logs[0].EndCall(110)
+	logs[1].BeginCall("bcast", 0)
+	logs[1].NoteWait(obs.CatFlagWait, 0, 150, 0)
+	logs[1].Note(obs.CatCombine, 150, 200)
+	logs[1].EndCall(200)
+
+	cp, ok := run.ExtractCallPath(0)
+	if !ok {
+		t.Fatal("ExtractCallPath(0) not ok")
+	}
+	assertTiles(t, cp)
+	if cp.Start != 0 || cp.End != 200 {
+		t.Fatalf("path spans [%d,%d], want [0,200]", cp.Start, cp.End)
+	}
+	by := cp.ByCat()
+	// The wait itself must NOT appear as 150 cycles of flag-wait: the
+	// walk jumps to the releaser and only the post-release transit
+	// (110→150) inherits the wait's category.
+	want := map[obs.StepCat]uint64{
+		obs.CatTransfer: 100,
+		obs.CatSignal:   10,
+		obs.CatFlagWait: 40,
+		obs.CatCombine:  50,
+	}
+	for cat, v := range want {
+		if by[cat] != v {
+			t.Errorf("ByCat[%s] = %d, want %d", cat, by[cat], v)
+		}
+	}
+	if by[obs.CatOverhead] != 0 {
+		t.Errorf("ByCat[overhead] = %d, want 0", by[obs.CatOverhead])
+	}
+	if cov := cp.Coverage(); cov != 1 {
+		t.Errorf("Coverage = %v, want 1", cov)
+	}
+	// The releaser's work must be attributed to rank 0.
+	foundRank0 := false
+	for _, l := range cp.Links {
+		if l.Rank == 0 && l.Cat == obs.CatTransfer {
+			foundRank0 = true
+		}
+	}
+	if !foundRank0 {
+		t.Error("path never visited the releasing rank's transfer")
+	}
+}
+
+func TestCriticalPathEntrySkewIsOverhead(t *testing.T) {
+	run, logs := synthRun(t, 2)
+	// PE 0 enters the call late (skew 50): the walk bottoms out on PE 1
+	// and charges [0,50) to overhead — never inventing attribution.
+	logs[0].BeginCall("bar", 50)
+	logs[0].Note(obs.CatTransfer, 50, 80)
+	logs[0].EndCall(80)
+	logs[1].BeginCall("bar", 0)
+	logs[1].NoteWait(obs.CatBarrierWait, 0, 100, 0)
+	logs[1].EndCall(100)
+
+	cp, ok := run.ExtractCallPath(0)
+	if !ok {
+		t.Fatal("ExtractCallPath(0) not ok")
+	}
+	assertTiles(t, cp)
+	if cp.Total() != 100 {
+		t.Fatalf("Total = %d, want 100", cp.Total())
+	}
+	by := cp.ByCat()
+	if by[obs.CatOverhead] == 0 {
+		t.Error("entry skew should surface as overhead, got none")
+	}
+	if cov := cp.Coverage(); cov >= 1 {
+		t.Errorf("Coverage = %v, want < 1 with entry skew", cov)
+	}
+}
+
+func TestCriticalPathDesyncTruncates(t *testing.T) {
+	run, logs := synthRun(t, 2)
+	logs[0].BeginCall("a", 0)
+	logs[0].EndCall(10)
+	logs[0].BeginCall("b", 10)
+	logs[0].EndCall(20)
+	logs[1].BeginCall("a", 0)
+	logs[1].EndCall(10)
+	logs[1].BeginCall("c", 10) // name mismatch at call 1
+	logs[1].EndCall(20)
+	if n := run.NumCalls(); n != 1 {
+		t.Errorf("NumCalls = %d, want 1 (truncate at first mismatch)", n)
+	}
+}
+
+func TestCriticalPathTableFormat(t *testing.T) {
+	run, logs := synthRun(t, 1)
+	for i := 0; i < 3; i++ {
+		start := uint64(i * 1000)
+		logs[0].BeginCall("allreduce/ring", start)
+		logs[0].Note(obs.CatTransfer, start, start+400)
+		logs[0].NoteWait(obs.CatBarrierWait, start+400, start+500, -1)
+		logs[0].EndCall(start + 500)
+	}
+	tbl := run.CriticalPathTable()
+	if tbl == "" {
+		t.Fatal("empty table with recorded calls")
+	}
+	for _, want := range []string{
+		"critical path (share of measured completion time, per collective):",
+		"allreduce/ring", "coverage", "transfer", "barrier-wait",
+	} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	// 3 calls, mean 500 cycles, 80% transfer / 20% barrier-wait.
+	for _, want := range []string{" 3 ", "500", "80.0%", "20.0%", "100.0%"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	// Disabled tracing: no table, no panic.
+	recOff := obs.NewRecorder(obs.Options{})
+	runOff := recOff.Attach("off", 2)
+	if got := runOff.CriticalPathTable(); got != "" {
+		t.Errorf("disabled run produced a table: %q", got)
+	}
+}

@@ -213,6 +213,13 @@ type FabricMetrics struct {
 	StreamElems Counter   // elements across all streams
 	StallCycles Counter   // total queueing delay across all bookings
 	StreamStall Histogram // per-stream total stall cycles
+
+	// Per-link-class traffic split, indexed by the fabric's link class
+	// (0 = intra-node, 1 = inter-node; flat fabrics book everything as
+	// inter).
+	ClassMsgs  [2]Counter
+	ClassBytes [2]Counter
+	ClassStall [2]Counter
 }
 
 // ObserveStream records one stream booking: fetch distinguishes
@@ -241,6 +248,31 @@ func (fm *FabricMetrics) AddStall(stall uint64) {
 	fm.mu.Lock()
 	fm.StallCycles.Add(stall)
 	fm.mu.Unlock()
+}
+
+// AddClass folds one booking (or one whole stream) into the per-link-
+// class split: cls is the fabric link class (0 intra, 1 inter).
+func (fm *FabricMetrics) AddClass(cls int, msgs, bytes, stall uint64) {
+	if fm == nil || cls < 0 || cls > 1 {
+		return
+	}
+	fm.mu.Lock()
+	fm.ClassMsgs[cls].Add(msgs)
+	fm.ClassBytes[cls].Add(bytes)
+	fm.ClassStall[cls].Add(stall)
+	fm.mu.Unlock()
+}
+
+// classSnapshot copies the per-class split under the lock.
+func (fm *FabricMetrics) classSnapshot() (msgs, bytes, stall [2]uint64) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	for c := 0; c < 2; c++ {
+		msgs[c] = fm.ClassMsgs[c].Value()
+		bytes[c] = fm.ClassBytes[c].Value()
+		stall[c] = fm.ClassStall[c].Value()
+	}
+	return msgs, bytes, stall
 }
 
 // snapshot copies the fabric metrics under the lock.
@@ -293,6 +325,11 @@ func (r *Recorder) MetricsReport() string {
 			fmt.Fprintf(&b, "fabric: %d send streams, %d fetch streams, %d elements, %d stall cycles\n",
 				streams, fetches, elems, stall)
 			fmt.Fprintf(&b, "  %-20s %s\n", "stream_stall", h.String())
+			cmsgs, cbytes, cstall := run.fabMet.classSnapshot()
+			for c, name := range [2]string{"intra", "inter"} {
+				fmt.Fprintf(&b, "  class %-14s msgs=%d bytes=%d stall=%d\n",
+					name, cmsgs[c], cbytes[c], cstall[c])
+			}
 		}
 	}
 	return b.String()

@@ -27,6 +27,34 @@ type Recorder struct {
 
 	mu   sync.Mutex
 	runs []*Run
+	meta ModelMeta
+}
+
+// ModelMeta describes the cost-model configuration in effect while the
+// recorder observed its runs. It is embedded in the exported trace
+// header so analyzers (tools/tracelens) can refuse a trace whose model
+// no longer matches the tuning table they load.
+type ModelMeta struct {
+	TuningVersion      int    `json:"tuning_version"`
+	TuningFabric       string `json:"tuning_fabric,omitempty"`
+	TuningCalibratedAt string `json:"tuning_calibrated_at,omitempty"`
+	ChunkBytes         int    `json:"chunk_bytes"`
+}
+
+// SetModelMeta records the model configuration for the trace header.
+// Call it once, before the trace is written; the CLI sets it from the
+// loaded tuning table.
+func (r *Recorder) SetModelMeta(m ModelMeta) {
+	r.mu.Lock()
+	r.meta = m
+	r.mu.Unlock()
+}
+
+// ModelMeta returns the recorded model configuration.
+func (r *Recorder) ModelMeta() ModelMeta {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.meta
 }
 
 // NewRecorder builds a recorder with the given options. A recorder
@@ -57,10 +85,39 @@ type Run struct {
 	label string
 	npes  int
 
-	peTracks  []*Track // nil entries when tracing is off
-	fabTracks []*Track // one per destination NIC, nil when tracing off
-	peMet     []*PEMetrics
-	fabMet    *FabricMetrics
+	peTracks    []*Track // nil entries when tracing is off
+	fabTracks   []*Track // one per destination NIC, nil when tracing off
+	fabCounters []*FabricCounters
+	peSteps     []*StepLog // per-PE step logs, nil when tracing off
+	peMet       []*PEMetrics
+	fabMet      *FabricMetrics
+
+	runMeta RunMeta
+}
+
+// RunMeta is the per-run header embedded in the exported trace: the
+// cluster geometry the run simulated. The owning runtime fills it at
+// construction.
+type RunMeta struct {
+	PEs           int    `json:"pes"`
+	Topo          string `json:"topo"`
+	Deterministic bool   `json:"deterministic"`
+}
+
+// SetMeta records the run's geometry for the trace header.
+func (run *Run) SetMeta(m RunMeta) {
+	if run == nil {
+		return
+	}
+	run.runMeta = m
+}
+
+// Meta returns the run's recorded geometry.
+func (run *Run) Meta() RunMeta {
+	if run == nil {
+		return RunMeta{}
+	}
+	return run.runMeta
 }
 
 // Attach registers a cluster of numPEs processing elements and returns
@@ -83,9 +140,17 @@ func (r *Recorder) Attach(label string, numPEs int) *Run {
 	run.fabTracks = make([]*Track, numPEs)
 	run.peMet = make([]*PEMetrics, numPEs)
 	if r.opts.Trace {
+		run.fabCounters = make([]*FabricCounters, numPEs)
+		run.peSteps = make([]*StepLog, numPEs)
 		for i := 0; i < numPEs; i++ {
 			run.peTracks[i] = &Track{pid: run.pid, tid: i, name: fmt.Sprintf("PE %d", i)}
 			run.fabTracks[i] = &Track{pid: run.pid, tid: numPEs + i, name: fmt.Sprintf("NIC %d", i)}
+			run.fabCounters[i] = &FabricCounters{
+				Queue: &CounterTrack{pid: run.pid, name: fmt.Sprintf("NIC %d queue", i), s0: "cycles"},
+				Stall: &CounterTrack{pid: run.pid, name: fmt.Sprintf("NIC %d stall", i), s0: "intra", s1: "inter"},
+				Load:  &CounterTrack{pid: run.pid, name: fmt.Sprintf("NIC %d load", i), s0: "intra", s1: "inter"},
+			}
+			run.peSteps[i] = &StepLog{rank: i}
 		}
 	}
 	if r.opts.Metrics {
@@ -130,6 +195,14 @@ func (run *Run) FabricTracks() []*Track {
 	return run.fabTracks
 }
 
+// StepLog returns rank's step log, or nil when tracing is disabled.
+func (run *Run) StepLog(rank int) *StepLog {
+	if run == nil || rank < 0 || rank >= len(run.peSteps) {
+		return nil
+	}
+	return run.peSteps[rank]
+}
+
 // PEMetrics returns rank's metric set, or nil when metrics are
 // disabled.
 func (run *Run) PEMetrics(rank int) *PEMetrics {
@@ -153,10 +226,11 @@ func (run *Run) FabricMetrics() *FabricMetrics {
 // talked to, the collective tree round, and the element count. Peer
 // and Round use -1 for "not applicable".
 type Args struct {
-	Rank   int // issuing PE or node rank
-	Peer   int // partner rank (-1 when none)
-	Round  int // collective tree round (-1 outside a round)
-	Nelems int // elements moved (0 when meaningless)
+	Rank   int    // issuing PE or node rank
+	Peer   int    // partner rank (-1 when none)
+	Round  int    // collective tree round (-1 outside a round)
+	Nelems int    // elements moved (0 when meaningless)
+	Label  string // compiled plan identity ("allreduce/ring[seg=4]"), "" when none
 }
 
 // NoPeer builds Args for a span with no partner or round.

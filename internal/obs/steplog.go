@@ -1,0 +1,134 @@
+package obs
+
+// StepCat classifies where a step's virtual-clock interval went. The
+// executor tags every step it runs with one category; the critical-path
+// extractor then attributes the measured completion time of a
+// collective to these buckets. CatOverhead is the residual — executor
+// bookkeeping between steps, allocation cost, and entry skew between
+// PEs — and doubles as the "unattributed" bucket in coverage figures.
+type StepCat uint8
+
+const (
+	CatOverhead    StepCat = iota // bookkeeping, entry skew, unattributed
+	CatTransfer                   // put/get wire + injection time (blocking)
+	CatDataWait                   // waiting on own non-blocking handles
+	CatFlagWait                   // waiting on a peer's flag signal
+	CatBarrierWait                // waiting in a plan or round barrier
+	CatCombine                    // reduction arithmetic
+	CatCopy                       // local stage<->buffer copies
+	CatSignal                     // posting flag words
+
+	NumStepCats = 8
+)
+
+var stepCatNames = [NumStepCats]string{
+	"overhead", "transfer", "data-wait", "flag-wait",
+	"barrier-wait", "combine", "copy", "signal",
+}
+
+func (c StepCat) String() string {
+	if int(c) < len(stepCatNames) {
+		return stepCatNames[c]
+	}
+	return "?"
+}
+
+// StepRec is one executed step's interval on a PE's virtual clock.
+// Releaser is the rank whose action ended a wait (the flag signaler or
+// the last barrier arriver), -1 when the step did not block on a peer.
+type StepRec struct {
+	Start, End uint64
+	Releaser   int32
+	Cat        StepCat
+}
+
+// CallRec is one collective call on a PE: its [Start, End] interval and
+// the half-open step range steps[First:First+N] recorded inside it.
+type CallRec struct {
+	Name       string
+	Start, End uint64
+	First, N   int
+}
+
+// StepLog is a PE's append-only record of collective calls and the
+// categorized steps inside them. One goroutine (the owning PE) writes
+// it; readers wait for the run to quiesce. All methods are nil-safe so
+// disabled tracing costs a single pointer test.
+type StepLog struct {
+	rank  int
+	steps []StepRec
+	calls []CallRec
+	depth int // nested BeginCall count; only depth 0->1 opens a record
+}
+
+// BeginCall opens a collective-call record. Nested calls (a collective
+// implemented in terms of another) fold into the outermost record.
+func (l *StepLog) BeginCall(name string, now uint64) {
+	if l == nil {
+		return
+	}
+	l.depth++
+	if l.depth != 1 {
+		return
+	}
+	l.calls = append(l.calls, CallRec{Name: name, Start: now, End: now, First: len(l.steps)})
+}
+
+// EndCall closes the open record at virtual time now.
+func (l *StepLog) EndCall(now uint64) {
+	if l == nil || l.depth == 0 {
+		return
+	}
+	l.depth--
+	if l.depth != 0 {
+		return
+	}
+	c := &l.calls[len(l.calls)-1]
+	c.End = now
+	c.N = len(l.steps) - c.First
+}
+
+// Note records a non-waiting step interval. Zero-length intervals and
+// intervals outside any open call are dropped.
+func (l *StepLog) Note(cat StepCat, start, end uint64) {
+	l.note(cat, start, end, -1)
+}
+
+// NoteWait records a wait interval together with the rank that released
+// it (-1 when unknown).
+func (l *StepLog) NoteWait(cat StepCat, start, end uint64, releaser int) {
+	l.note(cat, start, end, int32(releaser))
+}
+
+func (l *StepLog) note(cat StepCat, start, end uint64, releaser int32) {
+	if l == nil || l.depth == 0 || end <= start {
+		return
+	}
+	l.steps = append(l.steps, StepRec{Start: start, End: end, Releaser: releaser, Cat: cat})
+}
+
+// Calls returns the recorded call records (the log's own backing
+// store; do not mutate).
+func (l *StepLog) Calls() []CallRec {
+	if l == nil {
+		return nil
+	}
+	return l.calls
+}
+
+// Steps returns the full step store. Use CallRec.First/N to slice one
+// call's steps out of it.
+func (l *StepLog) Steps() []StepRec {
+	if l == nil {
+		return nil
+	}
+	return l.steps
+}
+
+// Rank returns the owning PE's rank.
+func (l *StepLog) Rank() int {
+	if l == nil {
+		return 0
+	}
+	return l.rank
+}

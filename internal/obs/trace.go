@@ -24,10 +24,13 @@ type traceEvent struct {
 }
 
 // traceFile is the JSON object format of a trace: Perfetto and
-// chrome://tracing both accept it.
+// chrome://tracing both accept it. OtherData is the format's free-form
+// global metadata object; this exporter uses it to make traces
+// self-describing (model/tuning identity, tool name).
 type traceFile struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
-	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
 }
 
 // cyclesToUs converts model cycles (1 GHz: 1 cycle = 1 ns) to the
@@ -65,6 +68,9 @@ func appendTrackEvents(out []traceEvent, t *Track) []traceEvent {
 		if ev.Args.Nelems > 0 {
 			args["nelems"] = ev.Args.Nelems
 		}
+		if ev.Args.Label != "" {
+			args["plan"] = ev.Args.Label
+		}
 		out = append(out, traceEvent{
 			Name: ev.Name, Ph: "X", Pid: t.pid, Tid: t.tid,
 			Ts: cyclesToUs(ev.Start), Dur: &dur, Args: args,
@@ -73,10 +79,34 @@ func appendTrackEvents(out []traceEvent, t *Track) []traceEvent {
 	return out
 }
 
+// appendCounterEvents emits one counter track as "C" events, sorted by
+// timestamp (multi-writer NIC counters can record out of global clock
+// order under free-running execution). Empty tracks emit nothing.
+func appendCounterEvents(out []traceEvent, ct *CounterTrack) []traceEvent {
+	if ct == nil || len(ct.samples) == 0 {
+		return out
+	}
+	samples := make([]CounterSample, len(ct.samples))
+	copy(samples, ct.samples)
+	sort.SliceStable(samples, func(i, j int) bool { return samples[i].Ts < samples[j].Ts })
+	for _, s := range samples {
+		args := map[string]any{ct.s0: s.V0}
+		if ct.s1 != "" {
+			args[ct.s1] = s.V1
+		}
+		out = append(out, traceEvent{
+			Name: ct.name, Ph: "C", Pid: ct.pid,
+			Ts: cyclesToUs(s.Ts), Args: args,
+		})
+	}
+	return out
+}
+
 // traceEventList flattens every attached run into trace-event records:
-// per-run process metadata, then one timeline row per PE and one per
-// destination NIC. Within each row, span timestamps are monotonically
-// nondecreasing.
+// per-run process metadata (including the run_metadata header record),
+// then one timeline row per PE, one per destination NIC, and the
+// per-NIC counter tracks. Within each row, span timestamps are
+// monotonically nondecreasing.
 func (r *Recorder) traceEventList() []traceEvent {
 	var out []traceEvent
 	for _, run := range r.Runs() {
@@ -84,11 +114,27 @@ func (r *Recorder) traceEventList() []traceEvent {
 			Name: "process_name", Ph: "M", Pid: run.pid,
 			Args: map[string]any{"name": run.label},
 		})
+		out = append(out, traceEvent{
+			Name: "run_metadata", Ph: "M", Pid: run.pid,
+			Args: map[string]any{
+				"pes":           run.runMeta.PEs,
+				"topo":          run.runMeta.Topo,
+				"deterministic": run.runMeta.Deterministic,
+			},
+		})
 		for _, t := range run.peTracks {
 			out = appendTrackEvents(out, t)
 		}
 		for _, t := range run.fabTracks {
 			out = appendTrackEvents(out, t)
+		}
+		for _, fc := range run.fabCounters {
+			if fc == nil {
+				continue
+			}
+			out = appendCounterEvents(out, fc.Queue)
+			out = appendCounterEvents(out, fc.Stall)
+			out = appendCounterEvents(out, fc.Load)
 		}
 	}
 	return out
@@ -98,9 +144,17 @@ func (r *Recorder) traceEventList() []traceEvent {
 // The output loads directly in https://ui.perfetto.dev or
 // chrome://tracing.
 func (r *Recorder) WriteTrace(w io.Writer) error {
+	meta := r.ModelMeta()
 	f := traceFile{
 		TraceEvents:     r.traceEventList(),
 		DisplayTimeUnit: "ns",
+		OtherData: map[string]any{
+			"tool":                 "xbgas-bench",
+			"tuning_version":       meta.TuningVersion,
+			"tuning_fabric":        meta.TuningFabric,
+			"tuning_calibrated_at": meta.TuningCalibratedAt,
+			"chunk_bytes":          meta.ChunkBytes,
+		},
 	}
 	if f.TraceEvents == nil {
 		f.TraceEvents = []traceEvent{}

@@ -27,6 +27,8 @@ type barrierState struct {
 	count   int
 	sense   bool
 	maxArr  uint64
+	maxBy   int            // rank whose arrival set maxArr (this epoch)
+	relBy   int            // rank whose arrival gated the last release
 	rel     map[int]uint64 // global rank -> release time
 	broken  bool
 }
@@ -58,6 +60,7 @@ func (b *barrierState) breakBarrier() {
 func (pe *PE) Barrier() error {
 	if pe.rt.cfg.Barrier == BarrierDissemination {
 		start := pe.clock
+		pe.lastWaitBy = -1 // dissemination has no single releasing rank
 		pe.barriers++
 		pe.Advance(barrierCPU)
 		var err error
@@ -119,6 +122,7 @@ func (pe *PE) barrierOnImpl(b *barrierState) error {
 	b.count++
 	if arrive > b.maxArr {
 		b.maxArr = arrive
+		b.maxBy = pe.rank
 	}
 	if b.count == n {
 		// The coordinator releases everyone; the fan-out staggers at
@@ -126,6 +130,7 @@ func (pe *PE) barrierOnImpl(b *barrierState) error {
 		// transit.
 		inject := fab.Config().InjectionOverhead
 		release := b.maxArr
+		b.relBy = b.maxBy // critical-path attribution: who gated the epoch
 		b.rel[coordinator] = release
 		for i, m := range b.members {
 			if m == coordinator {
@@ -152,9 +157,11 @@ func (pe *PE) barrierOnImpl(b *barrierState) error {
 		}
 		b.count = 0
 		b.maxArr = 0
+		b.maxBy = 0
 		b.sense = localSense
 		b.cond.Broadcast()
 		rel := b.rel[pe.rank]
+		pe.lastWaitBy = b.relBy
 		b.mu.Unlock()
 		pe.advanceTo(rel)
 		return nil
@@ -167,6 +174,7 @@ func (pe *PE) barrierOnImpl(b *barrierState) error {
 	}
 	broken := b.broken
 	rel := b.rel[pe.rank]
+	pe.lastWaitBy = b.relBy
 	b.mu.Unlock()
 	pe.advanceTo(rel)
 	pe.lsUnblock()

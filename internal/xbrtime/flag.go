@@ -32,6 +32,7 @@ type flagCell struct {
 	posted   uint64
 	consumed uint64
 	at       uint64
+	by       int // rank of the latest poster (critical-path attribution)
 }
 
 // flagHub is the rendezvous for point-to-point completion flags, the
@@ -76,6 +77,7 @@ func (fh *flagHub) post(pe *PE, k flagKey, at uint64) {
 		fh.cells[k] = c
 	}
 	c.posted++
+	c.by = pe.rank
 	if at > c.at {
 		c.at = at
 	}
@@ -147,6 +149,7 @@ func (pe *PE) WaitFlag(addr uint64) error {
 		if c.posted > c.consumed {
 			c.consumed++
 			t := c.at
+			pe.lastWaitBy = c.by
 			delete(fh.waiting, pe.rank)
 			fh.mu.Unlock()
 			pe.advanceTo(t)

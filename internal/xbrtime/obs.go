@@ -15,20 +15,36 @@ func (pe *PE) ObsEnabled() bool { return pe.track != nil || pe.met != nil }
 
 // StartCollective opens a collective-level span ("broadcast",
 // "reduce", ...). root rides in the span's peer slot so the timeline
-// shows which PE the tree was rooted at. The returned handle is inert
-// when observability is disabled.
-func (pe *PE) StartCollective(name string, root, nelems int) obs.Span {
+// shows which PE the tree was rooted at; label is the compiled plan's
+// identity ("allreduce/ring[seg=4]", "" when no plan is involved) and
+// is exported as the span's "plan" arg for trace analyzers. The
+// returned handle is inert when observability is disabled.
+//
+// When tracing is on, the call also opens a record in the PE's step
+// log, under the label (falling back to name), so the critical-path
+// extractor can tile the call's interval with attributed steps.
+func (pe *PE) StartCollective(name, label string, root, nelems int) obs.Span {
+	if pe.slog != nil {
+		n := label
+		if n == "" {
+			n = name
+		}
+		pe.slog.BeginCall(n, pe.clock)
+	}
 	if !pe.ObsEnabled() {
 		return obs.Span{}
 	}
 	return obs.Begin(pe.track, name, pe.clock,
-		obs.Args{Rank: pe.rank, Peer: root, Round: -1, Nelems: nelems})
+		obs.Args{Rank: pe.rank, Peer: root, Round: -1, Nelems: nelems, Label: label})
 }
 
 // FinishCollective closes a collective span at the current virtual
 // clock and feeds the call's latency into the metrics registry. Safe
 // on inert handles (and therefore on every error path).
 func (pe *PE) FinishCollective(s obs.Span) {
+	if pe.slog != nil {
+		pe.slog.EndCall(pe.clock)
+	}
 	if !s.Open() {
 		return
 	}
@@ -38,6 +54,15 @@ func (pe *PE) FinishCollective(s obs.Span) {
 		pe.met.CollectiveLatency.Observe(pe.clock - s.StartCycle())
 	}
 }
+
+// StepLog returns the PE's step log (nil when tracing is disabled);
+// the executor records per-step wait attribution through it.
+func (pe *PE) StepLog() *obs.StepLog { return pe.slog }
+
+// LastWaitBy returns the rank that released the PE's most recent
+// barrier or flag wait, -1 when no single rank did (dissemination
+// barriers, no wait yet).
+func (pe *PE) LastWaitBy() int { return pe.lastWaitBy }
 
 // StartRound opens one tree-round child span inside a collective
 // ("broadcast.round", ...). round is the algorithm's round index, peer

@@ -54,11 +54,25 @@ func (rt *Runtime) StatsReport() string {
 	fmt.Fprintf(&b, "fabric: %d messages, %d payload bytes, %d contention cycles\n",
 		fab.Messages(), fab.Bytes(), fab.ContentionCycles())
 	if fab.Messages() > 0 {
-		fmt.Fprintf(&b, "%-4s %-10s %-12s %-12s %-10s\n",
-			"NIC", "msgs", "bytes", "stall", "peakQueue")
-		for i, s := range fab.NICStats() {
-			fmt.Fprintf(&b, "%-4d %-10d %-12d %-12d %-10d\n",
-				i, s.Msgs, s.Bytes, s.StallCycles, s.PeakQueue)
+		if fab.ClassedTopo() {
+			// Grouped/dragonfly fabrics have two distinct link classes
+			// per NIC; lumping them into one row hides which class the
+			// stall cycles came from.
+			fmt.Fprintf(&b, "%-4s %-6s %-10s %-12s %-12s %-10s\n",
+				"NIC", "class", "msgs", "bytes", "stall", "peakQueue")
+			for i, s := range fab.NICStats() {
+				fmt.Fprintf(&b, "%-4d %-6s %-10d %-12d %-12d %-10d\n",
+					i, "intra", s.Intra.Msgs, s.Intra.Bytes, s.Intra.StallCycles, s.Intra.PeakQueue)
+				fmt.Fprintf(&b, "%-4s %-6s %-10d %-12d %-12d %-10d\n",
+					"", "inter", s.Inter.Msgs, s.Inter.Bytes, s.Inter.StallCycles, s.Inter.PeakQueue)
+			}
+		} else {
+			fmt.Fprintf(&b, "%-4s %-10s %-12s %-12s %-10s\n",
+				"NIC", "msgs", "bytes", "stall", "peakQueue")
+			for i, s := range fab.NICStats() {
+				fmt.Fprintf(&b, "%-4d %-10d %-12d %-12d %-10d\n",
+					i, s.Msgs, s.Bytes, s.StallCycles, s.PeakQueue)
+			}
 		}
 	}
 	if pl := rt.plannerLine(); pl != "" {
@@ -66,6 +80,9 @@ func (rt *Runtime) StatsReport() string {
 	}
 	if bd := rt.obsRun.RoundBreakdown(); bd != "" {
 		b.WriteString(bd)
+	}
+	if cp := rt.obsRun.CriticalPathTable(); cp != "" {
+		b.WriteString(cp)
 	}
 	return b.String()
 }

@@ -119,7 +119,7 @@ func TestStatsReportRoundBreakdown(t *testing.T) {
 		if err := pe.Barrier(); err != nil {
 			return err
 		}
-		cs := pe.StartCollective("broadcast", 0, 4)
+		cs := pe.StartCollective("broadcast", "", 0, 4)
 		rs := pe.StartRound("broadcast.round", 0, 1-pe.MyPE(), 4)
 		if pe.MyPE() == 0 {
 			if err := pe.PutInt64(buf, buf, 4, 1, 1); err != nil {
@@ -144,5 +144,114 @@ func TestStatsReportRoundBreakdown(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("report missing %q:\n%s", want, got)
 		}
+	}
+}
+
+// TestStatsReportClassedNICRows checks the per-NIC table splits into
+// intra/inter rows on a grouped topology and keeps the flat single-row
+// form otherwise.
+func TestStatsReportClassedNICRows(t *testing.T) {
+	rt := MustNew(Config{NumPEs: 4, TopoSpec: "grouped:2", Deterministic: true})
+	err := rt.Run(func(pe *PE) error {
+		buf, err := pe.Malloc(64)
+		if err != nil {
+			return err
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		// One put to the node-mate, one across nodes.
+		if err := pe.PutInt64(buf, buf, 4, 1, pe.MyPE()^1); err != nil {
+			return err
+		}
+		if err := pe.PutInt64(buf, buf, 4, 1, (pe.MyPE()+2)%4); err != nil {
+			return err
+		}
+		return pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rt.StatsReport()
+	for _, want := range []string{"class", "intra", "inter"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("grouped report missing %q:\n%s", want, got)
+		}
+	}
+
+	// Flat runs keep the unsplit row format.
+	rtFlat := MustNew(Config{NumPEs: 2})
+	err = rtFlat.Run(func(pe *PE) error {
+		buf, err := pe.Malloc(64)
+		if err != nil {
+			return err
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		if err := pe.PutInt64(buf, buf, 4, 1, 1-pe.MyPE()); err != nil {
+			return err
+		}
+		return pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFlat := rtFlat.StatsReport()
+	if strings.Contains(gotFlat, "intra") {
+		t.Errorf("flat report must not split NIC rows by class:\n%s", gotFlat)
+	}
+	if !strings.Contains(gotFlat, "peakQueue") {
+		t.Errorf("flat report missing per-NIC table:\n%s", gotFlat)
+	}
+}
+
+// TestStatsReportCriticalPathTable checks the critical-path table is
+// appended when a traced run recorded collective calls through the
+// step log, and stays absent with observability disabled.
+func TestStatsReportCriticalPathTable(t *testing.T) {
+	rec := obs.NewRecorder(obs.Options{Trace: true})
+	rt := MustNew(Config{NumPEs: 2, Deterministic: true, Obs: rec})
+	err := rt.Run(func(pe *PE) error {
+		buf, err := pe.Malloc(64)
+		if err != nil {
+			return err
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		cs := pe.StartCollective("broadcast", "broadcast/binomial", 0, 4)
+		start := pe.Now()
+		if pe.MyPE() == 0 {
+			if err := pe.PutInt64(buf, buf, 4, 1, 1); err != nil {
+				return err
+			}
+			pe.StepLog().Note(obs.CatTransfer, start, pe.Now())
+		}
+		bstart := pe.Now()
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		pe.StepLog().NoteWait(obs.CatBarrierWait, bstart, pe.Now(), pe.LastWaitBy())
+		pe.FinishCollective(cs)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rt.StatsReport()
+	for _, want := range []string{
+		"critical path (share of measured completion time, per collective):",
+		"broadcast/binomial",
+		"coverage",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+
+	rtOff := MustNew(Config{NumPEs: 2})
+	if strings.Contains(rtOff.StatsReport(), "critical path") {
+		t.Error("untraced report must omit the critical-path table")
 	}
 }

@@ -185,20 +185,41 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	if cfg.Obs != nil {
 		rt.obsRun = cfg.Obs.Attach(fmt.Sprintf("%d PEs", cfg.NumPEs), cfg.NumPEs)
+		rt.obsRun.SetMeta(obs.RunMeta{
+			PEs:           cfg.NumPEs,
+			Topo:          topoName(cfg.TopoSpec, cfg.Topology),
+			Deterministic: cfg.Deterministic,
+		})
 		m.SetObs(rt.obsRun)
 	}
 	for rank := 0; rank < cfg.NumPEs; rank++ {
 		rt.pes = append(rt.pes, &PE{
-			rt:      rt,
-			rank:    rank,
-			node:    m.Nodes[rank],
-			shared:  newHeap(SharedBase, cfg.SharedSize),
-			privBrk: PrivateBase,
-			track:   rt.obsRun.PETrack(rank),
-			met:     rt.obsRun.PEMetrics(rank),
+			rt:         rt,
+			rank:       rank,
+			node:       m.Nodes[rank],
+			shared:     newHeap(SharedBase, cfg.SharedSize),
+			privBrk:    PrivateBase,
+			track:      rt.obsRun.PETrack(rank),
+			met:        rt.obsRun.PEMetrics(rank),
+			slog:       rt.obsRun.StepLog(rank),
+			lastWaitBy: -1,
 		})
 	}
 	return rt, nil
+}
+
+// topoName returns the run-metadata topology string: the user's -topo
+// spec when one was given (it round-trips through fabric.ParseTopo, so
+// analyzers can rebuild the shape), otherwise the topology's display
+// name.
+func topoName(spec string, topo fabric.Topology) string {
+	if spec != "" {
+		return spec
+	}
+	if topo != nil {
+		return topo.Name()
+	}
+	return "flat"
 }
 
 // MustNew is New for known-good configurations; it panics on error.
@@ -309,6 +330,12 @@ type PE struct {
 	// behind a nil test so the disabled path stays allocation-free.
 	track *obs.Track
 	met   *obs.PEMetrics
+	slog  *obs.StepLog // per-PE step log for critical-path extraction
+
+	// lastWaitBy is the rank whose action released this PE's most
+	// recent barrier or flag wait (-1 when unknown): the causal edge
+	// the critical-path extractor follows across PEs.
+	lastWaitBy int
 
 	spike *spikeEngine // lazily built for TransportSpike
 
