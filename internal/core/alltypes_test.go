@@ -127,6 +127,95 @@ func TestEveryTable1TypeThroughEveryCollective(t *testing.T) {
 						}
 					}
 				}
+				// The §7 extensions: reduction-to-all, reduce-scatter,
+				// gather-to-all, and personalized all-to-all, each
+				// against the sequential Combine/Identity oracle.
+				val := func(k int) uint64 {
+					if dt.Kind == xbrtime.KindFloat {
+						return dt.FromFloat(float64(k))
+					}
+					return dt.Canon(uint64(k))
+				}
+				fold := func(op ReduceOp, contrib func(p int) uint64) (uint64, error) {
+					acc := Identity(dt, op)
+					for p := 0; p < nPEs; p++ {
+						var err error
+						if acc, err = Combine(dt, op, acc, contrib(p)); err != nil {
+							return 0, err
+						}
+					}
+					return acc, nil
+				}
+				for _, op := range AllReduceOps() {
+					if !op.ValidFor(dt) {
+						continue
+					}
+					if err := pe.Barrier(); err != nil {
+						return err
+					}
+					pe.Poke(dt, buf, val(me+1))
+					if err := AllReduce(pe, dt, op, vec, buf, 1, 1); err != nil {
+						return err
+					}
+					want, err := fold(op, func(p int) uint64 { return val(p + 1) })
+					if err != nil {
+						return err
+					}
+					if got := pe.Peek(dt, vec); got != want {
+						t.Errorf("%s allreduce %s: PE %d got %s, want %s",
+							dt, op, me, dt.FormatValue(got), dt.FormatValue(want))
+					}
+
+					if err := pe.Barrier(); err != nil {
+						return err
+					}
+					for j := 0; j < nPEs; j++ {
+						pe.Poke(dt, buf+uint64(j)*w, val(me+j+1))
+					}
+					if err := ReduceScatter(pe, dt, op, vec, buf, nPEs); err != nil {
+						return err
+					}
+					// With nelems == nPEs, PE me owns global element me.
+					want, err = fold(op, func(p int) uint64 { return val(p + me + 1) })
+					if err != nil {
+						return err
+					}
+					if got := pe.Peek(dt, vec); got != want {
+						t.Errorf("%s reduce_scatter %s: PE %d got %s, want %s",
+							dt, op, me, dt.FormatValue(got), dt.FormatValue(want))
+					}
+				}
+
+				if err := pe.Barrier(); err != nil {
+					return err
+				}
+				pe.Poke(dt, buf, val(me+40))
+				if err := AllGather(pe, dt, vec, buf, msgs, disp, nPEs); err != nil {
+					return err
+				}
+				for p := 0; p < nPEs; p++ {
+					if got := pe.Peek(dt, vec+uint64(p)*w); got != val(p+40) {
+						t.Errorf("%s allgather: PE %d elem %d got %s, want %s",
+							dt, me, p, dt.FormatValue(got), dt.FormatValue(val(p+40)))
+					}
+				}
+
+				if err := pe.Barrier(); err != nil {
+					return err
+				}
+				for j := 0; j < nPEs; j++ {
+					pe.Poke(dt, buf+uint64(j)*w, val(1+me*nPEs+j))
+				}
+				if err := Alltoall(pe, dt, vec, buf, 1); err != nil {
+					return err
+				}
+				for i := 0; i < nPEs; i++ {
+					if got := pe.Peek(dt, vec+uint64(i)*w); got != val(1+i*nPEs+me) {
+						t.Errorf("%s alltoall: PE %d block %d got %s, want %s",
+							dt, me, i, dt.FormatValue(got), dt.FormatValue(val(1+i*nPEs+me)))
+					}
+				}
+
 				if err := pe.Free(buf); err != nil {
 					return err
 				}

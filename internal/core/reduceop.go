@@ -12,18 +12,27 @@ import (
 // bitwise XOR ... for non-floating point types" (§4.4).
 type ReduceOp uint8
 
-// Reduction operators.
+// Reduction operators. This const block is one of the three scanned
+// sources of truth behind the generated typed surface (tools/gen): the
+// iota order pairs each constant with its reduceOpNames entry, and the
+// //xbgas:intonly markers gate the operator out of the floating-point
+// rows of the dtype × op matrix.
 const (
 	OpSum ReduceOp = iota
 	OpProd
 	OpMin
 	OpMax
-	OpBand
-	OpBor
-	OpBxor
+	OpBand //xbgas:intonly
+	OpBor  //xbgas:intonly
+	OpBxor //xbgas:intonly
 )
 
 var reduceOpNames = [...]string{"sum", "prod", "min", "max", "and", "or", "xor"}
+
+// intOnlyOps mirrors the //xbgas:intonly markers above for run-time
+// validity checks; the generated-surface property tests pin the two in
+// lockstep.
+var intOnlyOps = [...]bool{OpBand: true, OpBor: true, OpBxor: true}
 
 // String returns the operator's short name as used in the C function
 // names (xbrtime_TYPENAME_reduce_OP).
@@ -42,13 +51,10 @@ func AllReduceOps() []ReduceOp {
 // ValidFor reports whether the operator applies to dt: bitwise
 // operators are defined only for non-floating-point types.
 func (op ReduceOp) ValidFor(dt xbrtime.DType) bool {
-	switch op {
-	case OpSum, OpProd, OpMin, OpMax:
-		return true
-	case OpBand, OpBor, OpBxor:
-		return dt.Kind != xbrtime.KindFloat
+	if int(op) >= len(reduceOpNames) {
+		return false
 	}
-	return false
+	return !(intOnlyOps[op] && dt.Kind == xbrtime.KindFloat)
 }
 
 // combineCost is the ALU cycle charge per element combine.
@@ -62,128 +68,141 @@ func combineCost(dt xbrtime.DType, op ReduceOp) uint64 {
 	return 1
 }
 
+// scalar is the arithmetic domain of one reduction kind: every Table 1
+// type combines as a sign-extended int64, a zero-extended uint64, or an
+// IEEE float64.
+type scalar interface {
+	~int64 | ~uint64 | ~float64
+}
+
+// arith is the single generic arithmetic kernel behind Combine: one
+// body, instantiated once per domain, replaces the three hand-written
+// per-kind switch blocks the string-template era forced into
+// triplicate.
+func arith[T scalar](op ReduceOp, x, y T) T {
+	switch op {
+	case OpSum:
+		return x + y
+	case OpProd:
+		return x * y
+	case OpMin:
+		if y < x {
+			return y
+		}
+	case OpMax:
+		if y > x {
+			return y
+		}
+	}
+	return x
+}
+
+// bitwise extends arith with the integer-only operators (ValidFor
+// rejects them for floats before dispatch reaches a kernel).
+func bitwise[T ~int64 | ~uint64](op ReduceOp, x, y T) T {
+	switch op {
+	case OpBand:
+		return x & y
+	case OpBor:
+		return x | y
+	case OpBxor:
+		return x ^ y
+	}
+	return arith(op, x, y)
+}
+
 // Combine applies op to two canonical values of type dt and returns the
 // canonical result. Canonical means: sign-extended for signed integers,
 // zero-extended for unsigned, raw IEEE bits for floats (see
-// xbrtime.DType.Canon).
+// xbrtime.DType.Canon). The kind switch only picks the decode/encode
+// pair; the arithmetic itself lives in the shared generic kernels.
 func Combine(dt xbrtime.DType, op ReduceOp, a, b uint64) (uint64, error) {
 	if !op.ValidFor(dt) {
 		return 0, fmt.Errorf("core: operator %s undefined for type %s", op, dt)
 	}
 	switch dt.Kind {
 	case xbrtime.KindFloat:
-		x, y := dt.Float(a), dt.Float(b)
-		var r float64
-		switch op {
-		case OpSum:
-			r = x + y
-		case OpProd:
-			r = x * y
-		case OpMin:
-			r = x
-			if y < x {
-				r = y
-			}
-		case OpMax:
-			r = x
-			if y > x {
-				r = y
-			}
-		}
-		return dt.FromFloat(r), nil
-
+		return dt.FromFloat(arith(op, dt.Float(a), dt.Float(b))), nil
 	case xbrtime.KindInt:
-		x, y := int64(a), int64(b)
-		var r int64
-		switch op {
-		case OpSum:
-			r = x + y
-		case OpProd:
-			r = x * y
-		case OpMin:
-			r = x
-			if y < x {
-				r = y
-			}
-		case OpMax:
-			r = x
-			if y > x {
-				r = y
-			}
-		case OpBand:
-			r = x & y
-		case OpBor:
-			r = x | y
-		case OpBxor:
-			r = x ^ y
-		}
-		return dt.Canon(uint64(r)), nil
-
+		return dt.Canon(uint64(bitwise(op, int64(a), int64(b)))), nil
 	default: // KindUint
-		x, y := a, b
-		var r uint64
-		switch op {
-		case OpSum:
-			r = x + y
-		case OpProd:
-			r = x * y
-		case OpMin:
-			r = x
-			if y < x {
-				r = y
-			}
-		case OpMax:
-			r = x
-			if y > x {
-				r = y
-			}
-		case OpBand:
-			r = x & y
-		case OpBor:
-			r = x | y
-		case OpBxor:
-			r = x ^ y
-		}
-		return dt.Canon(r), nil
+		return dt.Canon(bitwise(op, a, b)), nil
 	}
+}
+
+// identityClass says how an operator's identity element is built from
+// the type's bounds — one table replaces the per-op × per-kind value
+// matrix.
+type identityClass uint8
+
+const (
+	identZero    identityClass = iota // x ⊕ 0 = x (sum, or, xor)
+	identOne                          // x ⊗ 1 = x (prod)
+	identAllOnes                      // x ∧ ~0 = x (and)
+	identMaxVal                       // min(x, max) = x
+	identMinVal                       // max(x, min) = x
+)
+
+var identities = [...]identityClass{
+	OpSum:  identZero,
+	OpProd: identOne,
+	OpMin:  identMaxVal,
+	OpMax:  identMinVal,
+	OpBand: identAllOnes,
+	OpBor:  identZero,
+	OpBxor: identZero,
 }
 
 // Identity returns the operator's identity element for dt (used by the
 // linear-reduction baseline and by tests).
 func Identity(dt xbrtime.DType, op ReduceOp) uint64 {
-	switch op {
-	case OpSum, OpBor, OpBxor:
-		if dt.Kind == xbrtime.KindFloat {
-			return dt.FromFloat(0)
-		}
+	if int(op) >= len(identities) {
 		return 0
-	case OpProd:
-		if dt.Kind == xbrtime.KindFloat {
-			return dt.FromFloat(1)
-		}
-		return 1
-	case OpBand:
-		return dt.Canon(^uint64(0))
-	case OpMin:
-		switch dt.Kind {
-		case xbrtime.KindFloat:
-			return dt.FromFloat(maxFloat(dt))
-		case xbrtime.KindInt:
-			return dt.Canon(uint64(int64(1)<<(8*dt.Width-1) - 1)) // max signed
-		default:
-			return dt.Canon(^uint64(0)) // max unsigned
-		}
-	case OpMax:
-		switch dt.Kind {
-		case xbrtime.KindFloat:
-			return dt.FromFloat(-maxFloat(dt))
-		case xbrtime.KindInt:
-			return dt.Canon(uint64(int64(-1) << (8*dt.Width - 1))) // min signed
-		default:
-			return 0
-		}
 	}
-	return 0
+	switch identities[op] {
+	case identOne:
+		return fromScalar(dt, 1)
+	case identAllOnes:
+		return dt.Canon(^uint64(0))
+	case identMaxVal:
+		return maxValue(dt)
+	case identMinVal:
+		return minValue(dt)
+	default:
+		return fromScalar(dt, 0)
+	}
+}
+
+// fromScalar encodes a small integer in dt's canonical representation.
+func fromScalar(dt xbrtime.DType, v int64) uint64 {
+	if dt.Kind == xbrtime.KindFloat {
+		return dt.FromFloat(float64(v))
+	}
+	return dt.Canon(uint64(v))
+}
+
+// maxValue returns the largest canonical value of dt's domain.
+func maxValue(dt xbrtime.DType) uint64 {
+	switch dt.Kind {
+	case xbrtime.KindFloat:
+		return dt.FromFloat(maxFloat(dt))
+	case xbrtime.KindInt:
+		return dt.Canon(uint64(int64(1)<<(8*dt.Width-1) - 1)) // max signed
+	default:
+		return dt.Canon(^uint64(0)) // max unsigned
+	}
+}
+
+// minValue returns the smallest canonical value of dt's domain.
+func minValue(dt xbrtime.DType) uint64 {
+	switch dt.Kind {
+	case xbrtime.KindFloat:
+		return dt.FromFloat(-maxFloat(dt))
+	case xbrtime.KindInt:
+		return dt.Canon(uint64(int64(-1) << (8*dt.Width - 1))) // min signed
+	default:
+		return 0
+	}
 }
 
 func maxFloat(dt xbrtime.DType) float64 {

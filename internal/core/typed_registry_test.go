@@ -128,3 +128,367 @@ func opByName(t *testing.T, name string) ReduceOp {
 	t.Fatalf("unknown reduce op %q", name)
 	return 0
 }
+
+// TestEveryGeneratedExtensionWrapperDelegates drives the §7 extension
+// surface — every generated xbrtime_TYPENAME_allreduce_OP,
+// xbrtime_TYPENAME_reduce_scatter_OP, xbrtime_TYPENAME_allgather, and
+// xbrtime_TYPENAME_alltoall wrapper — and checks each result against
+// the sequential oracle (Combine/Identity over every PE's
+// contribution).
+func TestEveryGeneratedExtensionWrapperDelegates(t *testing.T) {
+	const nPEs = 4
+	if len(typedAllGathers) != 24 || len(typedAlltoalls) != 24 {
+		t.Fatalf("registry sizes: allgather %d, alltoall %d, want 24 each",
+			len(typedAllGathers), len(typedAlltoalls))
+	}
+	for regName, reg := range map[string]int{
+		"allreduce":      countReduceCells(typedAllReduces),
+		"reduce_scatter": countReduceCells(typedReduceScatters),
+	} {
+		// 24 types × 4 arithmetic ops + 21 integer types × 3 bitwise ops.
+		if want := 24*4 + 21*3; reg != want {
+			t.Fatalf("%s registry has %d entries, want %d", regName, reg, want)
+		}
+	}
+
+	for name, allReduces := range typedAllReduces {
+		name, allReduces := name, allReduces
+		dt, ok := xbrtime.TypeByName(name)
+		if !ok {
+			t.Fatalf("registry names unknown type %q", name)
+		}
+		reduceScatters := typedReduceScatters[name]
+		allGather := typedAllGathers[name]
+		alltoall := typedAlltoalls[name]
+		t.Run(name, func(t *testing.T) {
+			w := uint64(dt.Width)
+			msgs := []int{1, 1, 1, 1}
+			disp := []int{0, 1, 2, 3}
+			runSPMD(t, nPEs, func(pe *xbrtime.PE) error {
+				me := pe.MyPE()
+				src, err := pe.Malloc(w * uint64(nPEs))
+				if err != nil {
+					return err
+				}
+				dest, err := pe.Malloc(w * uint64(nPEs))
+				if err != nil {
+					return err
+				}
+				val := func(k int) uint64 {
+					if dt.Kind == xbrtime.KindFloat {
+						return dt.FromFloat(float64(k))
+					}
+					return dt.Canon(uint64(k))
+				}
+				fold := func(op ReduceOp, contrib func(p int) uint64) (uint64, error) {
+					acc := Identity(dt, op)
+					for p := 0; p < nPEs; p++ {
+						var err error
+						if acc, err = Combine(dt, op, acc, contrib(p)); err != nil {
+							return 0, err
+						}
+					}
+					return acc, nil
+				}
+
+				// Every allreduce wrapper: the combined value must land
+				// on every PE. Iterate in AllReduceOps order, not map
+				// order: map iteration is randomised per goroutine, and
+				// the PEs must issue the same collective sequence.
+				for _, op := range AllReduceOps() {
+					opName := op.String()
+					allReduce, ok := allReduces[opName]
+					if !ok {
+						continue
+					}
+					if err := pe.Barrier(); err != nil {
+						return err
+					}
+					pe.Poke(dt, src, val(me+1))
+					if err := allReduce(pe, dest, src, 1, 1); err != nil {
+						return err
+					}
+					want, err := fold(op, func(p int) uint64 { return val(p + 1) })
+					if err != nil {
+						return err
+					}
+					if got := pe.Peek(dt, dest); got != want {
+						t.Errorf("allreduce_%s wrapper: PE %d got %s, want %s",
+							opName, me, dt.FormatValue(got), dt.FormatValue(want))
+					}
+				}
+
+				// Every reduce_scatter wrapper: with nelems == nPEs each
+				// PE owns exactly global element me of the reduced
+				// vector.
+				for _, op := range AllReduceOps() {
+					opName := op.String()
+					reduceScatter, ok := reduceScatters[opName]
+					if !ok {
+						continue
+					}
+					if err := pe.Barrier(); err != nil {
+						return err
+					}
+					for j := 0; j < nPEs; j++ {
+						pe.Poke(dt, src+uint64(j)*w, val(me+j+1))
+					}
+					if err := reduceScatter(pe, dest, src, nPEs); err != nil {
+						return err
+					}
+					want, err := fold(op, func(p int) uint64 { return val(p + me + 1) })
+					if err != nil {
+						return err
+					}
+					if got := pe.Peek(dt, dest); got != want {
+						t.Errorf("reduce_scatter_%s wrapper: PE %d got %s, want %s",
+							opName, me, dt.FormatValue(got), dt.FormatValue(want))
+					}
+				}
+
+				// The allgather wrapper: every contribution lands on
+				// every PE in rank order.
+				if err := pe.Barrier(); err != nil {
+					return err
+				}
+				pe.Poke(dt, src, val(me+10))
+				if err := allGather(pe, dest, src, msgs, disp, nPEs); err != nil {
+					return err
+				}
+				for p := 0; p < nPEs; p++ {
+					if got := pe.Peek(dt, dest+uint64(p)*w); got != val(p+10) {
+						t.Errorf("allgather wrapper: PE %d elem %d got %s, want %s",
+							me, p, dt.FormatValue(got), dt.FormatValue(val(p+10)))
+					}
+				}
+
+				// The alltoall wrapper: block j of src on PE i arrives
+				// as block i of dest on PE j.
+				if err := pe.Barrier(); err != nil {
+					return err
+				}
+				for j := 0; j < nPEs; j++ {
+					pe.Poke(dt, src+uint64(j)*w, val(1+me*nPEs+j))
+				}
+				if err := alltoall(pe, dest, src, 1); err != nil {
+					return err
+				}
+				for i := 0; i < nPEs; i++ {
+					if got := pe.Peek(dt, dest+uint64(i)*w); got != val(1+i*nPEs+me) {
+						t.Errorf("alltoall wrapper: PE %d block %d got %s, want %s",
+							me, i, dt.FormatValue(got), dt.FormatValue(val(1+i*nPEs+me)))
+					}
+				}
+				if err := pe.Free(src); err != nil {
+					return err
+				}
+				return pe.Free(dest)
+			})
+		})
+	}
+}
+
+func countReduceCells[F any](reg map[string]map[string]F) int {
+	n := 0
+	for _, ops := range reg {
+		n += len(ops)
+	}
+	return n
+}
+
+// TestValidForMatchesGeneratedSurface pins the no-third-state property:
+// every (dtype, op) cell either has a generated wrapper in every
+// reduce-kind registry AND is accepted by ReduceOp.ValidFor and
+// Combine, or has no wrapper anywhere AND is rejected by both.
+func TestValidForMatchesGeneratedSurface(t *testing.T) {
+	type hasCell func(ty, op string) bool
+	registries := map[string]hasCell{
+		"reduce": func(ty, op string) bool { _, ok := typedReduces[ty][op]; return ok },
+		"allreduce": func(ty, op string) bool {
+			_, ok := typedAllReduces[ty][op]
+			return ok
+		},
+		"reduce_scatter": func(ty, op string) bool {
+			_, ok := typedReduceScatters[ty][op]
+			return ok
+		},
+	}
+	// Rows and columns name only the declared axes: no phantom types or
+	// operators can appear in a registry.
+	for regName, reg := range map[string]int{
+		"reduce": len(typedReduces), "allreduce": len(typedAllReduces),
+		"reduce_scatter": len(typedReduceScatters),
+	} {
+		if reg != len(xbrtime.Types) {
+			t.Errorf("%s registry has %d rows, want %d", regName, reg, len(xbrtime.Types))
+		}
+	}
+	for ty, ops := range typedReduces {
+		if _, ok := xbrtime.TypeByName(ty); !ok {
+			t.Errorf("reduce registry row %q is not a Table 1 TYPENAME", ty)
+		}
+		for op := range ops {
+			opByName(t, op)
+		}
+	}
+
+	for _, dt := range xbrtime.Types {
+		for _, op := range AllReduceOps() {
+			valid := op.ValidFor(dt)
+			for regName, has := range registries {
+				if got := has(dt.Name, op.String()); got != valid {
+					t.Errorf("cell (%s, %s): %s wrapper exists=%v but ValidFor=%v — a third state",
+						dt.Name, op, regName, got, valid)
+				}
+			}
+			// Combine must agree with ValidFor cell-for-cell.
+			_, err := Combine(dt, op, Identity(dt, op), Identity(dt, op))
+			if (err == nil) != valid {
+				t.Errorf("cell (%s, %s): Combine error=%v but ValidFor=%v",
+					dt.Name, op, err, valid)
+			}
+		}
+	}
+}
+
+// TestTypedWrapperCostParity pins the zero-overhead contract of the
+// generated surface: a typed wrapper must cost exactly the same virtual
+// cycles as the generic entry point it delegates to, and add zero
+// allocations on the cached-plan path.
+func TestTypedWrapperCostParity(t *testing.T) {
+	const nPEs = 4
+	dt := xbrtime.TypeInt64
+
+	// measure runs one collective on a fresh deterministic runtime and
+	// returns every PE's virtual-clock delta across the call.
+	measure := func(call func(pe *xbrtime.PE, dest, src uint64) error) []uint64 {
+		deltas := make([]uint64, nPEs)
+		rt, err := xbrtime.New(xbrtime.Config{NumPEs: nPEs, Deterministic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Run(func(pe *xbrtime.PE) error {
+			src, err := pe.Malloc(8 * nPEs)
+			if err != nil {
+				return err
+			}
+			dest, err := pe.Malloc(8 * nPEs)
+			if err != nil {
+				return err
+			}
+			for j := 0; j < nPEs; j++ {
+				pe.Poke(dt, src+uint64(j)*8, uint64(pe.MyPE()+j+1))
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+			start := pe.Now()
+			if err := call(pe, dest, src); err != nil {
+				return err
+			}
+			deltas[pe.MyPE()] = pe.Now() - start
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return deltas
+	}
+
+	pairs := []struct {
+		name    string
+		typed   func(pe *xbrtime.PE, dest, src uint64) error
+		generic func(pe *xbrtime.PE, dest, src uint64) error
+	}{
+		{"broadcast", func(pe *xbrtime.PE, dest, src uint64) error {
+			return BroadcastInt64(pe, dest, src, nPEs, 1, 0)
+		}, func(pe *xbrtime.PE, dest, src uint64) error {
+			return Broadcast(pe, dt, dest, src, nPEs, 1, 0)
+		}},
+		{"reduce_sum", func(pe *xbrtime.PE, dest, src uint64) error {
+			return ReduceSumInt64(pe, dest, src, nPEs, 1, 0)
+		}, func(pe *xbrtime.PE, dest, src uint64) error {
+			return Reduce(pe, dt, OpSum, dest, src, nPEs, 1, 0)
+		}},
+		{"allreduce_max", func(pe *xbrtime.PE, dest, src uint64) error {
+			return AllReduceMaxInt64(pe, dest, src, nPEs, 1)
+		}, func(pe *xbrtime.PE, dest, src uint64) error {
+			return AllReduce(pe, dt, OpMax, dest, src, nPEs, 1)
+		}},
+		{"alltoall", func(pe *xbrtime.PE, dest, src uint64) error {
+			return AlltoallInt64(pe, dest, src, 1)
+		}, func(pe *xbrtime.PE, dest, src uint64) error {
+			return Alltoall(pe, dt, dest, src, 1)
+		}},
+	}
+	for _, pair := range pairs {
+		typed := measure(pair.typed)
+		generic := measure(pair.generic)
+		for p := 0; p < nPEs; p++ {
+			if typed[p] != generic[p] {
+				t.Errorf("%s: PE %d typed wrapper took %d cycles, generic entry %d — wrappers must be free",
+					pair.name, p, typed[p], generic[p])
+			}
+		}
+	}
+
+	// Zero added allocations: on a single-PE runtime the collectives run
+	// on one goroutine, so AllocsPerRun can drive them directly. Warm
+	// the plan cache first; steady state must allocate nothing, and the
+	// wrapper must match the generic entry exactly.
+	rt, err := xbrtime.New(xbrtime.Config{NumPEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(func(pe *xbrtime.PE) error {
+		src, err := pe.Malloc(8 * nPEs)
+		if err != nil {
+			return err
+		}
+		dest, err := pe.Malloc(8 * nPEs)
+		if err != nil {
+			return err
+		}
+		allocPairs := []struct {
+			name           string
+			typed, generic func() error
+		}{
+			{"broadcast",
+				func() error { return BroadcastInt64(pe, dest, src, nPEs, 1, 0) },
+				func() error { return Broadcast(pe, dt, dest, src, nPEs, 1, 0) }},
+			{"allreduce_sum",
+				func() error { return AllReduceSumInt64(pe, dest, src, nPEs, 1) },
+				func() error { return AllReduce(pe, dt, OpSum, dest, src, nPEs, 1) }},
+		}
+		for _, pair := range allocPairs {
+			for _, warm := range []func() error{pair.typed, pair.generic} {
+				if err := warm(); err != nil {
+					return err
+				}
+			}
+			typed := testing.AllocsPerRun(50, func() {
+				if err := pair.typed(); err != nil {
+					t.Error(err)
+				}
+			})
+			generic := testing.AllocsPerRun(50, func() {
+				if err := pair.generic(); err != nil {
+					t.Error(err)
+				}
+			})
+			if typed != generic {
+				t.Errorf("%s: typed wrapper allocates %v/op, generic entry %v/op",
+					pair.name, typed, generic)
+			}
+			if typed != 0 {
+				t.Errorf("%s: typed wrapper allocates %v/op on the cached-plan path, want 0",
+					pair.name, typed)
+			}
+		}
+		if err := pe.Free(src); err != nil {
+			return err
+		}
+		return pe.Free(dest)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -53,9 +53,7 @@ func (pe *PE) ReadElemsChunk(dt DType, addr uint64, dst []uint64) {
 	bytes := uint64(len(dst)) * uint64(dt.Width)
 	cost := pe.touchLines(addr, bytes, false)
 	pe.node.LockedReadElems(addr, dt.Width, uint64(dt.Width), len(dst), dst)
-	for i, raw := range dst {
-		dst[i] = dt.Canon(raw)
-	}
+	dt.canonElems(dst)
 	pe.Advance(cost)
 }
 
@@ -67,11 +65,8 @@ func (pe *PE) WriteElemsChunk(dt DType, addr uint64, src []uint64) {
 	}
 	bytes := uint64(len(src)) * uint64(dt.Width)
 	cost := pe.touchLines(addr, bytes, true)
-	m := dt.mask()
 	masked := pe.elems(len(src))
-	for i, v := range src {
-		masked[i] = v & m
-	}
+	dt.maskElems(masked, src)
 	pe.node.LockedWriteElems(addr, dt.Width, uint64(dt.Width), len(src), masked)
 	pe.Advance(cost)
 }

@@ -43,4 +43,10 @@
 // instruction sequence for each transfer and executes it on an
 // internal/sim core, exercising the full ISA path; both transports
 // produce identical memory contents (see the equivalence tests).
+//
+// The per-type Put/Get surface (typed_gen.go) is generated from the
+// //xbgas:typed annotations on Put, Get, PutNB, and GetNB — see
+// tools/gen and docs/API_SURFACE.md.
 package xbrtime
+
+//go:generate go run ../../tools/gen

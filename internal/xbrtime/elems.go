@@ -1,0 +1,70 @@
+package xbrtime
+
+import "math/bits"
+
+// Element canonicalise/mask kernels. memaccess.go (PeekElems,
+// PokeElems) and bulk.go (ReadElemsChunk, WriteElemsChunk) each used to
+// hand-roll the same two loops — canonicalise raw little-endian words
+// after a bulk load, width-mask canonical words before a bulk store —
+// with a per-element Kind/Width branch inside. One generic body per
+// direction, instantiated from the kind × width table below, replaces
+// all of them: the conversion through the width type T truncates,
+// then sign- or zero-extends, in a single monomorphic loop.
+
+// canonElemsAs canonicalises raw elements in place: the T conversion
+// truncates to the element width, and the int64 round trip extends —
+// sign-extending for signed T, zero-extending for unsigned T.
+func canonElemsAs[T int8 | int16 | int32 | int64 | uint8 | uint16 | uint32 | uint64](s []uint64) {
+	for i, raw := range s {
+		s[i] = uint64(int64(T(raw)))
+	}
+}
+
+// maskElemsAs width-masks canonical values into dst (dst and src may
+// alias).
+func maskElemsAs[T uint8 | uint16 | uint32 | uint64](dst, src []uint64) {
+	for i, v := range src {
+		dst[i] = uint64(T(v))
+	}
+}
+
+// elemKernel pairs the two directions for one (kind, width) cell.
+type elemKernel struct {
+	canon func([]uint64)          // raw → canonical, in place
+	mask  func(dst, src []uint64) // canonical → width-masked raw
+}
+
+// Width-indexed (log2 of the byte width) kernel tables. Unsigned and
+// floating-point types share the zero-extending column: a float's
+// canonical form is its raw IEEE bits.
+var (
+	signedKernels = [4]elemKernel{
+		{canonElemsAs[int8], maskElemsAs[uint8]},
+		{canonElemsAs[int16], maskElemsAs[uint16]},
+		{canonElemsAs[int32], maskElemsAs[uint32]},
+		{canonElemsAs[int64], maskElemsAs[uint64]},
+	}
+	unsignedKernels = [4]elemKernel{
+		{canonElemsAs[uint8], maskElemsAs[uint8]},
+		{canonElemsAs[uint16], maskElemsAs[uint16]},
+		{canonElemsAs[uint32], maskElemsAs[uint32]},
+		{canonElemsAs[uint64], maskElemsAs[uint64]},
+	}
+)
+
+// kernel selects the (kind, width) cell for dt.
+func (dt DType) kernel() elemKernel {
+	w := bits.TrailingZeros8(uint8(dt.Width)) // 1,2,4,8 → 0..3
+	if dt.Kind == KindInt {
+		return signedKernels[w]
+	}
+	return unsignedKernels[w]
+}
+
+// canonElems canonicalises a freshly loaded raw slice in place;
+// element i ends up as dt.Canon of its raw value.
+func (dt DType) canonElems(s []uint64) { dt.kernel().canon(s) }
+
+// maskElems writes the width-masked raw image of src into dst, the
+// store-side inverse of canonElems.
+func (dt DType) maskElems(dst, src []uint64) { dt.kernel().mask(dst, src) }

@@ -1,0 +1,167 @@
+package xbrtime
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestElemKernelsMatchScalarCanon pins the generic bulk kernels to the
+// scalar definitions: for every Table 1 type, canonElems must equal
+// element-wise Canon and maskElems element-wise width masking.
+func TestElemKernelsMatchScalarCanon(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	for _, dt := range Types {
+		raw := make([]uint64, 64)
+		for i := range raw {
+			raw[i] = rng.Uint64()
+		}
+
+		canon := append([]uint64(nil), raw...)
+		dt.canonElems(canon)
+		for i, r := range raw {
+			if want := dt.Canon(r); canon[i] != want {
+				t.Fatalf("%s canonElems[%d]: %#x, want Canon(%#x) = %#x",
+					dt, i, canon[i], r, want)
+			}
+		}
+
+		// canonElems is idempotent: canonical values re-canonicalise to
+		// themselves.
+		again := append([]uint64(nil), canon...)
+		dt.canonElems(again)
+		for i := range again {
+			if again[i] != canon[i] {
+				t.Fatalf("%s canonElems not idempotent at %d", dt, i)
+			}
+		}
+
+		masked := make([]uint64, len(canon))
+		dt.maskElems(masked, canon)
+		for i, v := range canon {
+			if want := v & dt.mask(); masked[i] != want {
+				t.Fatalf("%s maskElems[%d]: %#x, want %#x", dt, i, masked[i], want)
+			}
+			// mask ∘ canon round-trips: canonicalising the masked image
+			// recovers the canonical value.
+			if got := dt.Canon(masked[i]); got != v {
+				t.Fatalf("%s mask/canon round trip[%d]: %#x, want %#x", dt, i, got, v)
+			}
+		}
+
+		// maskElems supports aliased dst == src.
+		aliased := append([]uint64(nil), canon...)
+		dt.maskElems(aliased, aliased)
+		for i := range aliased {
+			if aliased[i] != masked[i] {
+				t.Fatalf("%s maskElems aliased[%d]: %#x, want %#x",
+					dt, i, aliased[i], masked[i])
+			}
+		}
+	}
+}
+
+// TestTypedTransferCostParity pins the zero-overhead contract of the
+// generated transfer wrappers: same virtual cycles and same allocation
+// count as the generic Put/Get entry points.
+func TestTypedTransferCostParity(t *testing.T) {
+	const nelems = 8
+	dt := TypeInt64
+
+	// measure runs one remote round trip on a fresh deterministic
+	// runtime and returns PE 0's virtual-clock delta.
+	measure := func(call func(pe *PE, dest, src uint64) error) uint64 {
+		var delta uint64
+		rt := MustNew(Config{NumPEs: 2, Deterministic: true})
+		defer rt.Close()
+		err := rt.Run(func(pe *PE) error {
+			buf, err := pe.Malloc(8 * nelems)
+			if err != nil {
+				return err
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+			if pe.MyPE() != 0 {
+				return nil
+			}
+			src, err := pe.PrivateAlloc(8 * nelems)
+			if err != nil {
+				return err
+			}
+			start := pe.Now()
+			if err := call(pe, buf, src); err != nil {
+				return err
+			}
+			delta = pe.Now() - start
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return delta
+	}
+
+	pairs := []struct {
+		name    string
+		typed   func(pe *PE, dest, src uint64) error
+		generic func(pe *PE, dest, src uint64) error
+	}{
+		{"put", func(pe *PE, dest, src uint64) error {
+			return pe.PutInt64(dest, src, nelems, 1, 1)
+		}, func(pe *PE, dest, src uint64) error {
+			return pe.Put(dt, dest, src, nelems, 1, 1)
+		}},
+		{"get", func(pe *PE, dest, src uint64) error {
+			return pe.GetInt64(src, dest, nelems, 1, 1)
+		}, func(pe *PE, dest, src uint64) error {
+			return pe.Get(dt, src, dest, nelems, 1, 1)
+		}},
+	}
+	for _, pair := range pairs {
+		typed := measure(pair.typed)
+		generic := measure(pair.generic)
+		if typed != generic {
+			t.Errorf("%s: typed wrapper took %d cycles, generic entry %d — wrappers must be free",
+				pair.name, typed, generic)
+		}
+	}
+
+	// Allocation parity on a single-PE runtime (transfers to self run on
+	// one goroutine): steady state must be allocation-free for wrapper
+	// and generic entry alike.
+	rt := MustNew(Config{NumPEs: 1})
+	defer rt.Close()
+	err := rt.Run(func(pe *PE) error {
+		buf, err := pe.Malloc(8 * nelems)
+		if err != nil {
+			return err
+		}
+		src, err := pe.PrivateAlloc(8 * nelems)
+		if err != nil {
+			return err
+		}
+		if err := pe.PutInt64(buf, src, nelems, 1, 0); err != nil {
+			return err
+		}
+		typed := testing.AllocsPerRun(50, func() {
+			if err := pe.PutInt64(buf, src, nelems, 1, 0); err != nil {
+				t.Error(err)
+			}
+		})
+		generic := testing.AllocsPerRun(50, func() {
+			if err := pe.Put(dt, buf, src, nelems, 1, 0); err != nil {
+				t.Error(err)
+			}
+		})
+		if typed != generic {
+			t.Errorf("put: typed wrapper allocates %v/op, generic entry %v/op", typed, generic)
+		}
+		if typed != 0 {
+			t.Errorf("put: typed wrapper allocates %v/op in steady state, want 0", typed)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

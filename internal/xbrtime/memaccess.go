@@ -37,18 +37,13 @@ func (pe *PE) Poke(dt DType, addr uint64, canon uint64) {
 // charge): dst[i] is the canonical value at addr + i*width.
 func (pe *PE) PeekElems(dt DType, addr uint64, dst []uint64) {
 	pe.node.LockedReadElems(addr, dt.Width, uint64(dt.Width), len(dst), dst)
-	for i, raw := range dst {
-		dst[i] = dt.Canon(raw)
-	}
+	dt.canonElems(dst)
 }
 
 // PokeElems writes len(src) contiguous elements functionally.
 func (pe *PE) PokeElems(dt DType, addr uint64, src []uint64) {
-	m := dt.mask()
 	masked := pe.elems(len(src))
-	for i, v := range src {
-		masked[i] = v & m
-	}
+	dt.maskElems(masked, src)
 	pe.node.LockedWriteElems(addr, dt.Width, uint64(dt.Width), len(src), masked)
 }
 

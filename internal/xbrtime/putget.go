@@ -35,6 +35,8 @@ func (pe *PE) Wait(h Handle) {
 // address dest on PE target, reading and writing every stride-th
 // element (stride 1 = contiguous; the stride applies at both ends,
 // paper §3.3). Put blocks until the last element is delivered.
+//
+//xbgas:typed transfer
 func (pe *PE) Put(dt DType, dest, src uint64, nelems, stride int, target int) error {
 	h, err := pe.put(dt, dest, src, nelems, stride, target, false)
 	if err != nil {
@@ -46,6 +48,8 @@ func (pe *PE) Put(dt DType, dest, src uint64, nelems, stride int, target int) er
 
 // PutNB is the non-blocking form of Put: it returns once the last
 // element has been issued; Wait completes the transfer.
+//
+//xbgas:typed transfer
 func (pe *PE) PutNB(dt DType, dest, src uint64, nelems, stride int, target int) (Handle, error) {
 	return pe.put(dt, dest, src, nelems, stride, target, true)
 }
@@ -53,6 +57,8 @@ func (pe *PE) PutNB(dt DType, dest, src uint64, nelems, stride int, target int) 
 // Get copies nelems elements of type dt from address src on PE target
 // to local address dest, with the same stride contract as Put. Get
 // blocks until the last element has arrived.
+//
+//xbgas:typed transfer
 func (pe *PE) Get(dt DType, dest, src uint64, nelems, stride int, target int) error {
 	h, err := pe.get(dt, dest, src, nelems, stride, target, false)
 	if err != nil {
@@ -63,6 +69,8 @@ func (pe *PE) Get(dt DType, dest, src uint64, nelems, stride int, target int) er
 }
 
 // GetNB is the non-blocking form of Get.
+//
+//xbgas:typed transfer
 func (pe *PE) GetNB(dt DType, dest, src uint64, nelems, stride int, target int) (Handle, error) {
 	return pe.get(dt, dest, src, nelems, stride, target, true)
 }

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scanRepo scans the real repository once per test binary.
+func scanRepo(t *testing.T) *Surface {
+	t.Helper()
+	root, err := repoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Scan(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestScanAxes(t *testing.T) {
+	s := scanRepo(t)
+	if len(s.Types) != 24 {
+		t.Fatalf("scanned %d types, want the 24 of Table 1", len(s.Types))
+	}
+	if s.Types[0].VarName != "TypeFloat" || s.Types[23].VarName != "TypePtrdiff" {
+		t.Errorf("Types order lost: first %s last %s", s.Types[0].VarName, s.Types[23].VarName)
+	}
+	if got := s.Types[12]; got.Name != "ulonglong" || got.CName != "unsigned long long" ||
+		got.Width != 8 || got.Kind != "KindUint" {
+		t.Errorf("ulonglong literal decoded wrong: %+v", got)
+	}
+	if len(s.Ops) != 7 {
+		t.Fatalf("scanned %d ops, want 7", len(s.Ops))
+	}
+	intOnly := 0
+	for _, op := range s.Ops {
+		if op.IntOnly {
+			intOnly++
+		}
+	}
+	if intOnly != 3 {
+		t.Errorf("%d int-only ops, want the 3 bitwise ones", intOnly)
+	}
+	if s.Ops[0].GoID != "Sum" || s.Ops[4].GoID != "And" || s.Ops[4].ConstName != "OpBand" {
+		t.Errorf("op naming drifted: %+v", s.Ops)
+	}
+}
+
+func TestScanTargets(t *testing.T) {
+	s := scanRepo(t)
+	want := map[string]string{ // entry point → kind
+		"Put": "transfer", "Get": "transfer", "PutNB": "transfer", "GetNB": "transfer",
+		"Broadcast": "rooted", "Reduce": "reduce",
+		"Scatter": "vector", "Gather": "vector",
+		"AllReduce": "reduce", "ReduceScatter": "reduce",
+		"AllGather": "vector", "Alltoall": "rootless",
+	}
+	got := map[string]string{}
+	for _, tg := range s.Targets {
+		got[tg.Name] = tg.Kind
+	}
+	for name, kind := range want {
+		if got[name] != kind {
+			t.Errorf("target %s: kind %q, want %q", name, got[name], kind)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("scanned %d targets, want %d: %v", len(got), len(want), got)
+	}
+}
+
+func TestWrapperNaming(t *testing.T) {
+	s := scanRepo(t)
+	byName := map[string]*Target{}
+	for i := range s.Targets {
+		byName[s.Targets[i].Name] = &s.Targets[i]
+	}
+	ty := TypeInfo{GoID: "Int32", Name: "int32", CName: "int32_t"}
+	sum := OpInfo{ConstName: "OpSum", Name: "sum", GoID: "Sum"}
+	cases := []struct{ target, wrapper, cname string }{
+		{"Put", "PutInt32", "xbrtime_int32_put"},
+		{"PutNB", "PutInt32NB", "xbrtime_int32_put"},
+		{"Broadcast", "BroadcastInt32", "xbrtime_int32_broadcast"},
+		{"Reduce", "ReduceSumInt32", "xbrtime_int32_reduce_sum"},
+		{"AllReduce", "AllReduceSumInt32", "xbrtime_int32_allreduce_sum"},
+		{"ReduceScatter", "ReduceScatterSumInt32", "xbrtime_int32_reduce_scatter_sum"},
+		{"AllGather", "AllGatherInt32", "xbrtime_int32_allgather"},
+		{"Alltoall", "AlltoallInt32", "xbrtime_int32_alltoall"},
+	}
+	for _, c := range cases {
+		tg := byName[c.target]
+		if tg == nil {
+			t.Fatalf("target %s not scanned", c.target)
+		}
+		if got := tg.WrapperName(sum, ty); got != c.wrapper {
+			t.Errorf("%s wrapper name: %s, want %s", c.target, got, c.wrapper)
+		}
+		if got := tg.CName(sum, ty); got != c.cname {
+			t.Errorf("%s C name: %s, want %s", c.target, got, c.cname)
+		}
+	}
+}
+
+// TestEmitReproducible pins the byte-reproducibility the CI drift gate
+// relies on: emitting twice from one scan, and from two independent
+// scans, must agree, and the checked-in files must match.
+func TestEmitReproducible(t *testing.T) {
+	root, err := repoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := scanRepo(t)
+	s2 := scanRepo(t)
+	for _, pkg := range []string{"xbrtime", "core"} {
+		w1, err := EmitWrappers(s1, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := EmitWrappers(s2, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w1, w2) {
+			t.Errorf("%s wrappers not reproducible across scans", pkg)
+		}
+		onDisk, err := os.ReadFile(filepath.Join(root, "internal", pkg, "typed_gen.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w1, onDisk) {
+			t.Errorf("internal/%s/typed_gen.go is stale — rerun go generate ./...", pkg)
+		}
+		r1, err := EmitRegistry(s1, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onDisk, err = os.ReadFile(filepath.Join(root, "internal", pkg, "typed_registry_gen.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(r1, onDisk) {
+			t.Errorf("internal/%s/typed_registry_gen.go is stale — rerun go generate ./...", pkg)
+		}
+	}
+	doc := EmitSurfaceDoc(s1)
+	onDisk, err := os.ReadFile(filepath.Join(root, "docs", "API_SURFACE.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(doc, onDisk) {
+		t.Errorf("docs/API_SURFACE.md is stale — rerun go generate ./...")
+	}
+}
+
+func TestWrapperCounts(t *testing.T) {
+	s := scanRepo(t)
+	floatTypes := 0
+	for _, ty := range s.Types {
+		if ty.Float() {
+			floatTypes++
+		}
+	}
+	reduceCells := len(s.Types)*4 + (len(s.Types)-floatTypes)*3
+	for _, tg := range s.Targets {
+		want := len(s.Types)
+		if tg.HasOp() {
+			want = reduceCells
+		}
+		if got := wrapperCount(s, &tg); got != want {
+			t.Errorf("%s expands to %d wrappers, want %d", tg.Name, got, want)
+		}
+	}
+}
+
+// scanSnippet runs target scanning over an in-memory file.
+func scanSnippet(t *testing.T, src string) error {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Surface{}
+	return s.scanTargets(fset, "core", parsedFile{name: "snippet.go", ast: f})
+}
+
+func TestAnnotationValidation(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown kind",
+			"package core\n//xbgas:typed frobnicate\nfunc F(dt DType) error { return nil }\n",
+			"unknown annotation kind"},
+		{"missing kind",
+			"package core\n//xbgas:typed\nfunc F(dt DType) error { return nil }\n",
+			"needs a kind"},
+		{"reduce without op",
+			"package core\n//xbgas:typed reduce\nfunc F(pe *PE, dt DType, n int) error { return nil }\n",
+			"ReduceOp parameter"},
+		{"rooted with op",
+			"package core\n//xbgas:typed rooted\nfunc F(pe *PE, dt DType, op ReduceOp, n int) error { return nil }\n",
+			"ReduceOp parameter"},
+		{"no dtype",
+			"package core\n//xbgas:typed rooted\nfunc F(pe *PE, n int) error { return nil }\n",
+			"exactly one DType"},
+		{"vector without slices",
+			"package core\n//xbgas:typed vector\nfunc F(pe *PE, dt DType, n int) error { return nil }\n",
+			"[]int"},
+		{"bad argument",
+			"package core\n//xbgas:typed rooted oops\nfunc F(pe *PE, dt DType, n int) error { return nil }\n",
+			"not k=v"},
+		{"method kind mismatch",
+			"package core\n//xbgas:typed rooted\nfunc (pe *PE) F(dt DType, n int) error { return nil }\n",
+			"receiver mismatch"},
+		{"ok rooted",
+			"package core\n//xbgas:typed rooted\nfunc F(pe *PE, dt DType, n int) error { return nil }\n",
+			""},
+		{"ok transfer method",
+			"package core\n//xbgas:typed transfer\nfunc (pe *PE) F(dt DType, n int) error { return nil }\n",
+			""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := scanSnippet(t, c.src)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %v, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestParamAndArgLists pins signature surgery: dt/op parameters vanish
+// from the wrapper signature but reappear as constants at the call.
+func TestParamAndArgLists(t *testing.T) {
+	tg := Target{
+		Pkg: "core", Name: "AllReduce", Kind: "reduce", CSuffix: "allreduce",
+		Params: []Param{
+			{Names: []string{"pe"}, Type: "*xbrtime.PE", Role: "plain"},
+			{Names: []string{"dt"}, Type: "xbrtime.DType", Role: "dt"},
+			{Names: []string{"op"}, Type: "ReduceOp", Role: "op"},
+			{Names: []string{"dest", "src"}, Type: "uint64", Role: "plain"},
+			{Names: []string{"nelems"}, Type: "int", Role: "plain"},
+			{Names: []string{"stride"}, Type: "int", Role: "plain"},
+		},
+		Results: "error",
+	}
+	if got, want := paramList(&tg), "pe *xbrtime.PE, dest, src uint64, nelems, stride int"; got != want {
+		t.Errorf("paramList:\n got %q\nwant %q", got, want)
+	}
+	op := OpInfo{ConstName: "OpMax", Name: "max", GoID: "Max"}
+	ty := TypeInfo{VarName: "TypeUInt", GoID: "UInt", Name: "uint", CName: "unsigned int"}
+	if got, want := argList(&tg, op, ty, "xbrtime."),
+		"pe, xbrtime.TypeUInt, OpMax, dest, src, nelems, stride"; got != want {
+		t.Errorf("argList:\n got %q\nwant %q", got, want)
+	}
+	if got, want := tg.WrapperName(op, ty), "AllReduceMaxUInt"; got != want {
+		t.Errorf("WrapperName: %q, want %q", got, want)
+	}
+}

@@ -1,235 +1,106 @@
-// Command gen regenerates the typed API wrappers that reproduce the
-// paper's per-type C function surface (Table 1) in Go spelling:
+// Command gen regenerates the typed API surface that reproduces the
+// paper's per-type C function calls (Table 1, §4.7) in Go spelling.
 //
-//	internal/xbrtime/typed_gen.go — Put/Get/PutNB/GetNB per type
-//	                                (xbrtime_TYPENAME_put etc., §3.3)
-//	internal/core/typed_gen.go    — Broadcast/Scatter/Gather per type and
-//	                                Reduce per type and operator
-//	                                (xbrtime_TYPENAME_broadcast etc., §4)
+// Unlike its string-template predecessor, the generator is AST-driven:
+// it parses internal/xbrtime and internal/core with go/parser and
+// derives the whole surface from three in-source declarations —
 //
-// Run from the repository root:
+//   - //xbgas:typed annotations on the generic entry points (Put/Get
+//     and the collectives) select what to expand; each wrapper's
+//     signature is computed from the annotated function's own
+//     signature by substituting the DType (and ReduceOp) parameters,
+//   - the xbrtime.Types var block supplies the 24 data types,
+//   - the core.ReduceOp const block (with //xbgas:intonly markers)
+//     supplies the operators and their float validity.
 //
-//	go run ./tools/gen
+// It writes, all gofmt'd via go/format:
+//
+//	internal/xbrtime/typed_gen.go           per-type Put/Get/NB methods
+//	internal/xbrtime/typed_registry_gen.go  registry for mechanical tests
+//	internal/core/typed_gen.go              per-type collective wrappers
+//	internal/core/typed_registry_gen.go     registry for mechanical tests
+//	docs/API_SURFACE.md                     generated surface inventory
+//
+// Run from anywhere inside the repository:
+//
+//	go generate ./...        (or: go run ./tools/gen)
 package main
 
 import (
-	"bytes"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
 )
 
-// typeInfo mirrors xbrtime.Types; the generator is deliberately
-// decoupled so that it can run before the packages compile.
-type typeInfo struct {
-	name  string // TYPENAME as in Table 1 and the C function names
-	goID  string // Go identifier fragment ("Int32", "ULongLong", ...)
-	cname string // C TYPE
-	float bool
-}
-
-var types = []typeInfo{
-	{"float", "Float", "float", true},
-	{"double", "Double", "double", true},
-	{"longdouble", "LongDouble", "long double", true},
-	{"char", "Char", "char", false},
-	{"uchar", "UChar", "unsigned char", false},
-	{"schar", "SChar", "signed char", false},
-	{"ushort", "UShort", "unsigned short", false},
-	{"short", "Short", "short", false},
-	{"uint", "UInt", "unsigned int", false},
-	{"int", "Int", "int", false},
-	{"ulong", "ULong", "unsigned long", false},
-	{"long", "Long", "long", false},
-	{"ulonglong", "ULongLong", "unsigned long long", false},
-	{"longlong", "LongLong", "long long", false},
-	{"uint8", "Uint8", "uint8_t", false},
-	{"int8", "Int8", "int8_t", false},
-	{"uint16", "Uint16", "uint16_t", false},
-	{"int16", "Int16", "int16_t", false},
-	{"uint32", "Uint32", "uint32_t", false},
-	{"int32", "Int32", "int32_t", false},
-	{"uint64", "Uint64", "uint64_t", false},
-	{"int64", "Int64", "int64_t", false},
-	{"size", "Size", "size_t", false},
-	{"ptrdiff", "Ptrdiff", "ptrdiff_t", false},
-}
-
-// dtypeConst returns the xbrtime package constant for a type.
-func dtypeConst(t typeInfo) string { return "Type" + t.goID }
-
-var reduceOps = []struct {
-	name  string // C suffix
-	goID  string // method-name fragment
-	konst string // core.ReduceOp constant
-	all   bool   // applies to floating point too
-}{
-	{"sum", "Sum", "OpSum", true},
-	{"prod", "Prod", "OpProd", true},
-	{"min", "Min", "OpMin", true},
-	{"max", "Max", "OpMax", true},
-	{"and", "And", "OpBand", false},
-	{"or", "Or", "OpBor", false},
-	{"xor", "Xor", "OpBxor", false},
-}
-
-const header = `// Code generated by tools/gen. DO NOT EDIT.
-//
-// Typed wrappers reproducing the explicit per-type call surface of the
-// paper's C API (Table 1): "our library chooses to provide explicit
-// calls for each data type supported ... this explicit naming will be
-// more intuitive for developers" (§4.7).
-
-`
-
-func genXbrtime() []byte {
-	var b bytes.Buffer
-	b.WriteString(header)
-	b.WriteString("package xbrtime\n")
-	for _, t := range types {
-		dt := dtypeConst(t)
-		fmt.Fprintf(&b, `
-// Put%[1]s is xbrtime_%[2]s_put: a blocking one-sided put of C %[3]s
-// elements.
-func (pe *PE) Put%[1]s(dest, src uint64, nelems, stride, target int) error {
-	return pe.Put(%[4]s, dest, src, nelems, stride, target)
-}
-
-// Get%[1]s is xbrtime_%[2]s_get: a blocking one-sided get of C %[3]s
-// elements.
-func (pe *PE) Get%[1]s(dest, src uint64, nelems, stride, target int) error {
-	return pe.Get(%[4]s, dest, src, nelems, stride, target)
-}
-
-// Put%[1]sNB is the non-blocking form of Put%[1]s.
-func (pe *PE) Put%[1]sNB(dest, src uint64, nelems, stride, target int) (Handle, error) {
-	return pe.PutNB(%[4]s, dest, src, nelems, stride, target)
-}
-
-// Get%[1]sNB is the non-blocking form of Get%[1]s.
-func (pe *PE) Get%[1]sNB(dest, src uint64, nelems, stride, target int) (Handle, error) {
-	return pe.GetNB(%[4]s, dest, src, nelems, stride, target)
-}
-`, t.goID, t.name, t.cname, dt)
-	}
-	return b.Bytes()
-}
-
-func genCore() []byte {
-	var b bytes.Buffer
-	b.WriteString(header)
-	b.WriteString("package core\n\nimport \"xbgas/internal/xbrtime\"\n")
-	for _, t := range types {
-		dt := "xbrtime." + dtypeConst(t)
-		fmt.Fprintf(&b, `
-// Broadcast%[1]s is xbrtime_%[2]s_broadcast: a binomial-tree broadcast
-// of C %[3]s elements.
-func Broadcast%[1]s(pe *xbrtime.PE, dest, src uint64, nelems, stride, root int) error {
-	return Broadcast(pe, %[4]s, dest, src, nelems, stride, root)
-}
-
-// Scatter%[1]s is xbrtime_%[2]s_scatter: a binomial-tree scatter of C
-// %[3]s elements.
-func Scatter%[1]s(pe *xbrtime.PE, dest, src uint64, peMsgs, peDisp []int, nelems, root int) error {
-	return Scatter(pe, %[4]s, dest, src, peMsgs, peDisp, nelems, root)
-}
-
-// Gather%[1]s is xbrtime_%[2]s_gather: a binomial-tree gather of C
-// %[3]s elements.
-func Gather%[1]s(pe *xbrtime.PE, dest, src uint64, peMsgs, peDisp []int, nelems, root int) error {
-	return Gather(pe, %[4]s, dest, src, peMsgs, peDisp, nelems, root)
-}
-`, t.goID, t.name, t.cname, dt)
-		for _, op := range reduceOps {
-			if !op.all && t.float {
-				continue
-			}
-			fmt.Fprintf(&b, `
-// Reduce%[5]s%[1]s is xbrtime_%[2]s_reduce_%[6]s: a binomial-tree
-// %[6]s-reduction of C %[3]s elements to the root PE.
-func Reduce%[5]s%[1]s(pe *xbrtime.PE, dest, src uint64, nelems, stride, root int) error {
-	return Reduce(pe, %[4]s, %[7]s, dest, src, nelems, stride, root)
-}
-`, t.goID, t.name, t.cname, dt, op.goID, op.name, op.konst)
-		}
-	}
-	return b.Bytes()
-}
-
-// genXbrtimeRegistry emits an unexported registry of the generated
-// wrappers, so the test suite can exercise every one mechanically.
-func genXbrtimeRegistry() []byte {
-	var b bytes.Buffer
-	b.WriteString(header)
-	b.WriteString("package xbrtime\n\n")
-	b.WriteString("// typedTransfer is the signature shared by the generated put/get\n// wrappers.\n")
-	b.WriteString("type typedTransfer func(pe *PE, dest, src uint64, nelems, stride, target int) error\n\n")
-	b.WriteString("type typedTransferNB func(pe *PE, dest, src uint64, nelems, stride, target int) (Handle, error)\n\n")
-	b.WriteString("var typedPuts = map[string]typedTransfer{\n")
-	for _, t := range types {
-		fmt.Fprintf(&b, "\t%q: (*PE).Put%s,\n", t.name, t.goID)
-	}
-	b.WriteString("}\n\nvar typedGets = map[string]typedTransfer{\n")
-	for _, t := range types {
-		fmt.Fprintf(&b, "\t%q: (*PE).Get%s,\n", t.name, t.goID)
-	}
-	b.WriteString("}\n\nvar typedPutNBs = map[string]typedTransferNB{\n")
-	for _, t := range types {
-		fmt.Fprintf(&b, "\t%q: (*PE).Put%sNB,\n", t.name, t.goID)
-	}
-	b.WriteString("}\n\nvar typedGetNBs = map[string]typedTransferNB{\n")
-	for _, t := range types {
-		fmt.Fprintf(&b, "\t%q: (*PE).Get%sNB,\n", t.name, t.goID)
-	}
-	b.WriteString("}\n")
-	return b.Bytes()
-}
-
-// genCoreRegistry does the same for the collective wrappers.
-func genCoreRegistry() []byte {
-	var b bytes.Buffer
-	b.WriteString(header)
-	b.WriteString("package core\n\nimport \"xbgas/internal/xbrtime\"\n\n")
-	b.WriteString("type typedRooted func(pe *xbrtime.PE, dest, src uint64, nelems, stride, root int) error\n\n")
-	b.WriteString("type typedVector func(pe *xbrtime.PE, dest, src uint64, peMsgs, peDisp []int, nelems, root int) error\n\n")
-	b.WriteString("var typedBroadcasts = map[string]typedRooted{\n")
-	for _, t := range types {
-		fmt.Fprintf(&b, "\t%q: Broadcast%s,\n", t.name, t.goID)
-	}
-	b.WriteString("}\n\nvar typedScatters = map[string]typedVector{\n")
-	for _, t := range types {
-		fmt.Fprintf(&b, "\t%q: Scatter%s,\n", t.name, t.goID)
-	}
-	b.WriteString("}\n\nvar typedGathers = map[string]typedVector{\n")
-	for _, t := range types {
-		fmt.Fprintf(&b, "\t%q: Gather%s,\n", t.name, t.goID)
-	}
-	b.WriteString("}\n\nvar typedReduces = map[string]map[string]typedRooted{\n")
-	for _, t := range types {
-		fmt.Fprintf(&b, "\t%q: {\n", t.name)
-		for _, op := range reduceOps {
-			if !op.all && t.float {
-				continue
-			}
-			fmt.Fprintf(&b, "\t\t%q: Reduce%s%s,\n", op.name, op.goID, t.goID)
-		}
-		b.WriteString("\t},\n")
-	}
-	b.WriteString("}\n")
-	return b.Bytes()
-}
-
 func main() {
-	outputs := map[string][]byte{
-		"internal/xbrtime/typed_gen.go":          genXbrtime(),
-		"internal/xbrtime/typed_registry_gen.go": genXbrtimeRegistry(),
-		"internal/core/typed_gen.go":             genCore(),
-		"internal/core/typed_registry_gen.go":    genCoreRegistry(),
+	log.SetFlags(0)
+	root, err := repoRoot()
+	if err != nil {
+		log.Fatal(err)
 	}
-	for path, data := range outputs {
-		if err := os.WriteFile(path, data, 0o644); err != nil {
-			log.Fatal(err)
+	if err := run(root); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(root string) error {
+	s, err := Scan(root)
+	if err != nil {
+		return err
+	}
+	outputs := map[string][]byte{}
+	for _, pkg := range []string{"xbrtime", "core"} {
+		w, err := EmitWrappers(s, pkg)
+		if err != nil {
+			return err
 		}
-		fmt.Println("generated", path)
+		r, err := EmitRegistry(s, pkg)
+		if err != nil {
+			return err
+		}
+		outputs[filepath.Join("internal", pkg, "typed_gen.go")] = w
+		outputs[filepath.Join("internal", pkg, "typed_registry_gen.go")] = r
+	}
+	outputs[filepath.Join("docs", "API_SURFACE.md")] = EmitSurfaceDoc(s)
+
+	paths := make([]string, 0, len(outputs))
+	for p := range outputs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		abs := filepath.Join(root, p)
+		old, _ := os.ReadFile(abs)
+		if string(old) == string(outputs[p]) {
+			fmt.Println("unchanged", p)
+			continue
+		}
+		if err := os.WriteFile(abs, outputs[p], 0o644); err != nil {
+			return err
+		}
+		fmt.Println("generated", p)
+	}
+	return nil
+}
+
+// repoRoot walks up from the working directory to the module root, so
+// the generator runs identically from the repo root and from the
+// //go:generate directives inside the packages.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("gen: no go.mod above the working directory")
+		}
+		dir = parent
 	}
 }

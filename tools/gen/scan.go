@@ -1,0 +1,557 @@
+package main
+
+// scan.go walks the annotated runtime sources with go/parser + go/ast
+// and extracts the three axes of the typed API surface:
+//
+//   - the data types: the DType var declarations and the Types slice in
+//     internal/xbrtime/dtype.go (paper Table 1),
+//   - the reduction operators: the ReduceOp const block and the
+//     reduceOpNames table in internal/core/reduceop.go, with
+//     //xbgas:intonly marking operators undefined for floating point,
+//   - the entry points: every function or *PE method carrying an
+//     //xbgas:typed annotation in its doc comment.
+//
+// The scan is purely syntactic — it runs on sources that need not
+// compile yet, so the generator can bootstrap a broken tree.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TypeInfo describes one Table 1 data type, read from the DType var
+// declarations in internal/xbrtime/dtype.go.
+type TypeInfo struct {
+	VarName string // Go constant-like var, e.g. "TypeFloat"
+	GoID    string // identifier fragment for wrapper names, e.g. "Float"
+	Name    string // TYPENAME in the C function names, e.g. "float"
+	CName   string // C TYPE, e.g. "unsigned long long"
+	Width   int    // element width in bytes
+	Kind    string // "KindInt" | "KindUint" | "KindFloat"
+}
+
+// Float reports whether the type reduces in the floating-point domain.
+func (t TypeInfo) Float() bool { return t.Kind == "KindFloat" }
+
+// OpInfo describes one reduction operator, read from the ReduceOp
+// const block in internal/core/reduceop.go.
+type OpInfo struct {
+	ConstName string // "OpSum"
+	Name      string // C suffix: "sum"
+	GoID      string // wrapper-name fragment: "Sum"
+	IntOnly   bool   // //xbgas:intonly — undefined for floats
+}
+
+// annotation is one parsed //xbgas:typed marker.
+type annotation struct {
+	Kind string            // transfer | rooted | vector | reduce | rootless
+	Args map[string]string // k=v arguments, e.g. c=allreduce
+}
+
+// Param is one parameter group of an annotated signature.
+type Param struct {
+	Names []string
+	Type  string // printed type expression
+	Role  string // "dt" | "op" | "plain"
+}
+
+// Target is one annotated entry point to expand across the type (and,
+// for reduce kinds, operator) axis.
+type Target struct {
+	Pkg     string // package name the wrappers live in
+	File    string // basename of the defining file
+	Name    string // entry point name, e.g. "AllReduce"
+	Kind    string // annotation kind
+	CSuffix string // C-name suffix, e.g. "allreduce"
+	Recv    string // receiver name when the entry point is a *PE method
+	Params  []Param
+	Results string // printed result list, e.g. "error" or "(Handle, error)"
+}
+
+// HasOp reports whether the entry point takes a ReduceOp.
+func (t *Target) HasOp() bool {
+	for _, p := range t.Params {
+		if p.Role == "op" {
+			return true
+		}
+	}
+	return false
+}
+
+// WrapperName names the per-type (and per-op) wrapper: the type
+// fragment lands before a trailing NB suffix (PutFloatNB), and reduce
+// kinds insert the operator fragment first (AllReduceSumFloat).
+func (t *Target) WrapperName(op OpInfo, ty TypeInfo) string {
+	base := t.Name
+	if t.HasOp() {
+		base += op.GoID
+	}
+	if nb := strings.TrimSuffix(t.Name, "NB"); nb != t.Name {
+		return nb + ty.GoID + "NB"
+	}
+	return base + ty.GoID
+}
+
+// CName returns the paper-style C spelling of one wrapper cell, e.g.
+// xbrtime_int32_allreduce_sum.
+func (t *Target) CName(op OpInfo, ty TypeInfo) string {
+	s := "xbrtime_" + ty.Name + "_" + t.CSuffix
+	if t.HasOp() {
+		s += "_" + op.Name
+	}
+	return s
+}
+
+// Surface is the complete scanned model of the typed API.
+type Surface struct {
+	Types   []TypeInfo
+	Ops     []OpInfo
+	Targets []Target // in (package, file, offset) scan order
+}
+
+// TargetsFor returns the targets whose wrappers belong in package pkg.
+func (s *Surface) TargetsFor(pkg string) []Target {
+	var out []Target
+	for _, t := range s.Targets {
+		if t.Pkg == pkg {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// OpsFor returns the operators valid for ty, in declaration order.
+func (s *Surface) OpsFor(ty TypeInfo) []OpInfo {
+	var out []OpInfo
+	for _, op := range s.Ops {
+		if op.IntOnly && ty.Float() {
+			continue
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// Scan parses the annotated packages under root (the repository root)
+// and assembles the surface model.
+func Scan(root string) (*Surface, error) {
+	s := &Surface{}
+	fset := token.NewFileSet()
+
+	xbrtime, err := parseDir(fset, filepath.Join(root, "internal", "xbrtime"))
+	if err != nil {
+		return nil, err
+	}
+	core, err := parseDir(fset, filepath.Join(root, "internal", "core"))
+	if err != nil {
+		return nil, err
+	}
+
+	if err := s.scanTypes(xbrtime); err != nil {
+		return nil, err
+	}
+	if err := s.scanOps(core); err != nil {
+		return nil, err
+	}
+	for _, pkg := range []struct {
+		name  string
+		files []parsedFile
+	}{{"xbrtime", xbrtime}, {"core", core}} {
+		for _, f := range pkg.files {
+			if err := s.scanTargets(fset, pkg.name, f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(s.Types) == 0 {
+		return nil, fmt.Errorf("gen: no DType declarations found in internal/xbrtime")
+	}
+	if len(s.Ops) == 0 {
+		return nil, fmt.Errorf("gen: no ReduceOp declarations found in internal/core")
+	}
+	if len(s.Targets) == 0 {
+		return nil, fmt.Errorf("gen: no //xbgas:typed annotations found")
+	}
+	return s, nil
+}
+
+type parsedFile struct {
+	name string // basename
+	ast  *ast.File
+}
+
+// parseDir parses every non-test, non-generated .go file of dir in
+// lexical filename order, giving the scan a deterministic sequence.
+func parseDir(fset *token.FileSet, dir string) ([]parsedFile, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var out []parsedFile
+	for _, name := range names {
+		base := filepath.Base(name)
+		if strings.HasSuffix(base, "_test.go") || strings.HasSuffix(base, "_gen.go") {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("gen: parse %s: %w", name, err)
+		}
+		out = append(out, parsedFile{name: base, ast: f})
+	}
+	return out, nil
+}
+
+// scanTypes reads the DType var declarations and the Types ordering
+// slice.
+func (s *Surface) scanTypes(files []parsedFile) error {
+	byVar := map[string]TypeInfo{}
+	var order []string
+	for _, pf := range files {
+		for _, decl := range pf.ast.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+					continue
+				}
+				name := vs.Names[0].Name
+				cl, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				switch lit := cl.Type.(type) {
+				case *ast.Ident:
+					if lit.Name == "DType" && strings.HasPrefix(name, "Type") {
+						ti, err := typeFromLit(name, cl)
+						if err != nil {
+							return err
+						}
+						byVar[name] = ti
+					}
+				case *ast.ArrayType:
+					if name == "Types" {
+						for _, el := range cl.Elts {
+							id, ok := el.(*ast.Ident)
+							if !ok {
+								return fmt.Errorf("gen: Types element is not an identifier")
+							}
+							order = append(order, id.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("gen: xbrtime Types slice not found")
+	}
+	for _, v := range order {
+		ti, ok := byVar[v]
+		if !ok {
+			return fmt.Errorf("gen: Types lists %s but no DType literal found for it", v)
+		}
+		s.Types = append(s.Types, ti)
+	}
+	return nil
+}
+
+// typeFromLit decodes DType{"float", "float", 4, KindFloat}.
+func typeFromLit(varName string, cl *ast.CompositeLit) (TypeInfo, error) {
+	bad := func(why string) (TypeInfo, error) {
+		return TypeInfo{}, fmt.Errorf("gen: %s: malformed DType literal (%s)", varName, why)
+	}
+	if len(cl.Elts) != 4 {
+		return bad("want 4 positional fields")
+	}
+	name, err := strconv.Unquote(litString(cl.Elts[0]))
+	if err != nil {
+		return bad("Name")
+	}
+	cname, err := strconv.Unquote(litString(cl.Elts[1]))
+	if err != nil {
+		return bad("CName")
+	}
+	width, err := strconv.Atoi(litString(cl.Elts[2]))
+	if err != nil {
+		return bad("Width")
+	}
+	kind, ok := cl.Elts[3].(*ast.Ident)
+	if !ok {
+		return bad("Kind")
+	}
+	return TypeInfo{
+		VarName: varName,
+		GoID:    strings.TrimPrefix(varName, "Type"),
+		Name:    name,
+		CName:   cname,
+		Width:   width,
+		Kind:    kind.Name,
+	}, nil
+}
+
+func litString(e ast.Expr) string {
+	if bl, ok := e.(*ast.BasicLit); ok {
+		return bl.Value
+	}
+	return ""
+}
+
+// scanOps reads the ReduceOp const block (operator order and the
+// //xbgas:intonly markers) and the reduceOpNames table.
+func (s *Surface) scanOps(files []parsedFile) error {
+	var consts []OpInfo
+	var names []string
+	for _, pf := range files {
+		for _, decl := range pf.ast.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.CONST:
+				if !constBlockOf(gd, "ReduceOp") {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, n := range vs.Names {
+						consts = append(consts, OpInfo{
+							ConstName: n.Name,
+							IntOnly:   hasMarker(vs.Comment, "xbgas:intonly"),
+						})
+					}
+				}
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "reduceOpNames" {
+						continue
+					}
+					cl, ok := vs.Values[0].(*ast.CompositeLit)
+					if !ok {
+						return fmt.Errorf("gen: reduceOpNames is not a composite literal")
+					}
+					for _, el := range cl.Elts {
+						n, err := strconv.Unquote(litString(el))
+						if err != nil {
+							return fmt.Errorf("gen: reduceOpNames element: %v", err)
+						}
+						names = append(names, n)
+					}
+				}
+			}
+		}
+	}
+	if len(consts) == 0 || len(names) == 0 {
+		return fmt.Errorf("gen: ReduceOp consts (%d) or reduceOpNames (%d) not found",
+			len(consts), len(names))
+	}
+	if len(consts) != len(names) {
+		return fmt.Errorf("gen: %d ReduceOp consts but %d reduceOpNames entries — the iota block and the name table drifted",
+			len(consts), len(names))
+	}
+	for i := range consts {
+		consts[i].Name = names[i]
+		consts[i].GoID = strings.ToUpper(names[i][:1]) + names[i][1:]
+	}
+	s.Ops = consts
+	return nil
+}
+
+// constBlockOf reports whether the const block declares values of the
+// named type (on its first typed spec — the iota anchor).
+func constBlockOf(gd *ast.GenDecl, typeName string) bool {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if id, ok := vs.Type.(*ast.Ident); ok {
+			return id.Name == typeName
+		}
+	}
+	return false
+}
+
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanTargets collects the //xbgas:typed entry points of one file.
+func (s *Surface) scanTargets(fset *token.FileSet, pkg string, pf parsedFile) error {
+	for _, decl := range pf.ast.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		ann, ok, err := typedAnnotation(fd.Doc)
+		if err != nil {
+			return fmt.Errorf("gen: %s: %s: %w", pf.name, fd.Name.Name, err)
+		}
+		if !ok {
+			continue
+		}
+		t, err := targetFromDecl(pkg, pf.name, fd, ann)
+		if err != nil {
+			return fmt.Errorf("gen: %s: %s: %w", pf.name, fd.Name.Name, err)
+		}
+		s.Targets = append(s.Targets, t)
+	}
+	return nil
+}
+
+// typedAnnotation finds and parses an //xbgas:typed line in a doc
+// comment.
+func typedAnnotation(doc *ast.CommentGroup) (annotation, bool, error) {
+	if doc == nil {
+		return annotation{}, false, nil
+	}
+	for _, c := range doc.List {
+		line := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(line, "xbgas:typed") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return annotation{}, false, fmt.Errorf("annotation %q needs a kind", line)
+		}
+		ann := annotation{Kind: fields[1], Args: map[string]string{}}
+		for _, f := range fields[2:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return annotation{}, false, fmt.Errorf("annotation argument %q is not k=v", f)
+			}
+			ann.Args[k] = v
+		}
+		switch ann.Kind {
+		case "transfer", "rooted", "vector", "reduce", "rootless":
+		default:
+			return annotation{}, false, fmt.Errorf("unknown annotation kind %q", ann.Kind)
+		}
+		return ann, true, nil
+	}
+	return annotation{}, false, nil
+}
+
+// targetFromDecl builds the Target model of one annotated declaration
+// and cross-checks the signature against the annotation kind.
+func targetFromDecl(pkg, file string, fd *ast.FuncDecl, ann annotation) (Target, error) {
+	t := Target{
+		Pkg:     pkg,
+		File:    file,
+		Name:    fd.Name.Name,
+		Kind:    ann.Kind,
+		CSuffix: ann.Args["c"],
+	}
+	if t.CSuffix == "" {
+		t.CSuffix = strings.ToLower(strings.TrimSuffix(t.Name, "NB"))
+	}
+	if fd.Recv != nil {
+		if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+			return t, fmt.Errorf("annotated method needs a named receiver")
+		}
+		if types.ExprString(fd.Recv.List[0].Type) != "*PE" {
+			return t, fmt.Errorf("annotated method receiver must be *PE")
+		}
+		t.Recv = fd.Recv.List[0].Names[0].Name
+	}
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			return t, fmt.Errorf("annotated signature has unnamed parameters")
+		}
+		p := Param{Type: types.ExprString(field.Type), Role: "plain"}
+		switch p.Type {
+		case "DType", "xbrtime.DType":
+			p.Role = "dt"
+		case "ReduceOp", "core.ReduceOp":
+			p.Role = "op"
+		}
+		for _, n := range field.Names {
+			p.Names = append(p.Names, n.Name)
+		}
+		t.Params = append(t.Params, p)
+	}
+	t.Results = resultString(fd.Type.Results)
+
+	// Kind ↔ signature cross-checks keep the annotations honest.
+	nDT, nOp := 0, 0
+	for _, p := range t.Params {
+		switch p.Role {
+		case "dt":
+			nDT += len(p.Names)
+		case "op":
+			nOp += len(p.Names)
+		}
+	}
+	if nDT != 1 {
+		return t, fmt.Errorf("annotated entry point must take exactly one DType (got %d)", nDT)
+	}
+	wantOp := ann.Kind == "reduce"
+	if (nOp == 1) != wantOp || nOp > 1 {
+		return t, fmt.Errorf("kind %q expects %v ReduceOp parameter, got %d", ann.Kind, wantOp, nOp)
+	}
+	if (ann.Kind == "transfer") != (t.Recv != "") {
+		return t, fmt.Errorf("kind %q / receiver mismatch", ann.Kind)
+	}
+	if ann.Kind == "vector" {
+		found := false
+		for _, p := range t.Params {
+			if p.Type == "[]int" {
+				found = true
+			}
+		}
+		if !found {
+			return t, fmt.Errorf("kind vector expects []int count/displacement parameters")
+		}
+	}
+	return t, nil
+}
+
+func resultString(fl *ast.FieldList) string {
+	if fl == nil || len(fl.List) == 0 {
+		return ""
+	}
+	var parts []string
+	for _, f := range fl.List {
+		ts := types.ExprString(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			parts = append(parts, ts)
+		}
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
